@@ -1,0 +1,141 @@
+// Experiment XMIT — Section 3.3: transmission of abstract values.
+//
+// Measures the cost of the encode/decode machinery that lets different
+// nodes use different internal representations:
+//   - the built-in baseline (the system "can build and decompose messages
+//     consisting of objects of built-in types" with no user code);
+//   - complex numbers crossing a representation boundary (rect -> wire ->
+//     polar);
+//   - associative memories of sweeping size (hash table -> wire -> tree),
+//     the paper's own example;
+//   - enforcement of the system-wide integer bound (the 24-bit example).
+//
+// Expected shape: abstract transmission costs one traversal + allocation on
+// each side, linear in value size, a small constant factor over the
+// built-in baseline — the price of representation independence.
+#include <benchmark/benchmark.h>
+
+#include "src/transmit/assoc_memory.h"
+#include "src/transmit/complex.h"
+#include "src/transmit/document.h"
+#include "src/wire/value_codec.h"
+
+namespace guardians {
+namespace {
+
+Value BuiltinArray(int n) {
+  std::vector<Value> items;
+  items.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    items.push_back(Value::Record({{"key", Value::Str("key-" +
+                                                      std::to_string(i))},
+                                   {"item", Value::Str("item")}}));
+  }
+  return Value::Array(std::move(items));
+}
+
+void BM_BuiltinRoundTrip(benchmark::State& state) {
+  const Value v = BuiltinArray(static_cast<int>(state.range(0)));
+  size_t bytes = 0;
+  for (auto _ : state) {
+    auto encoded = EncodeValueToBytes(v);
+    bytes = encoded->size();
+    auto decoded = DecodeValueFromBytes(*encoded);
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+  state.counters["wire_bytes"] = static_cast<double>(bytes);
+}
+
+void BM_ComplexRectToPolar(benchmark::State& state) {
+  TransmitRegistry receiving_node;
+  (void)receiving_node.Register(kComplexTypeName, PolarComplexDecoder());
+  const Value v = Value::Abstract(MakeRectComplex(3.0, 4.0));
+  for (auto _ : state) {
+    auto encoded = EncodeValueToBytes(v);
+    auto decoded = DecodeValueFromBytes(*encoded, DefaultLimits(),
+                                        receiving_node.AsDecodeFn());
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_AssocMemoryHashToTree(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  TransmitRegistry receiving_node;
+  (void)receiving_node.Register(kAssocMemoryTypeName,
+                                TreeAssocMemoryDecoder());
+  auto memory = MakeHashAssocMemory();
+  for (int i = 0; i < n; ++i) {
+    memory->AddItem("key-" + std::to_string(i), "item");
+  }
+  const Value v = Value::Abstract(memory);
+  size_t bytes = 0;
+  for (auto _ : state) {
+    auto encoded = EncodeValueToBytes(v);
+    bytes = encoded->size();
+    auto decoded = DecodeValueFromBytes(*encoded, DefaultLimits(),
+                                        receiving_node.AsDecodeFn());
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.counters["wire_bytes"] = static_cast<double>(bytes);
+}
+
+void BM_DocumentRoundTrip(benchmark::State& state) {
+  const int paras = static_cast<int>(state.range(0));
+  TransmitRegistry receiving_node;
+  (void)receiving_node.Register(kDocumentTypeName, DocumentDecoder());
+  std::vector<std::string> paragraphs(
+      paras, "the quick brown fox jumps over the lazy dog");
+  const Value v = Value::Abstract(MakeDocument("memo", paragraphs));
+  for (auto _ : state) {
+    auto encoded = EncodeValueToBytes(v);
+    auto decoded = DecodeValueFromBytes(*encoded, DefaultLimits(),
+                                        receiving_node.AsDecodeFn());
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+// The 24-bit system integer of Section 3.3: in-bound values encode; the
+// out-of-bound check costs nothing measurable but *must* reject.
+void BM_IntegerBoundCheck(benchmark::State& state) {
+  WireLimits limits;
+  limits.int_bits = 24;
+  const Value in_bounds = Value::Int((1 << 23) - 1);
+  const Value out_of_bounds = Value::Int(1 << 23);
+  int64_t rejected = 0;
+  for (auto _ : state) {
+    auto good = EncodeValueToBytes(in_bounds, limits);
+    auto bad = EncodeValueToBytes(out_of_bounds, limits);
+    if (!bad.ok()) {
+      ++rejected;
+    }
+    benchmark::DoNotOptimize(good);
+  }
+  if (rejected != static_cast<int64_t>(state.iterations())) {
+    state.SkipWithError("bound enforcement failed");
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+}  // namespace
+}  // namespace guardians
+
+BENCHMARK(guardians::BM_BuiltinRoundTrip)
+    ->ArgNames({"entries"})
+    ->Arg(16)->Arg(256)->Arg(4096)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(guardians::BM_ComplexRectToPolar)->Unit(benchmark::kNanosecond);
+BENCHMARK(guardians::BM_AssocMemoryHashToTree)
+    ->ArgNames({"entries"})
+    ->Arg(16)->Arg(256)->Arg(4096)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(guardians::BM_DocumentRoundTrip)
+    ->ArgNames({"paras"})
+    ->Arg(4)->Arg(64)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(guardians::BM_IntegerBoundCheck)->Unit(benchmark::kNanosecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,117 @@
+// Experiment FIG1 — Figure 1: the three flight-guardian organizations.
+//
+// Paper claim: "Organizations 2 and 3 can provide concurrent manipulation
+// of the data base, while organization 1 cannot."
+//
+// Workload: C concurrent clerks issue reserve requests spread over D
+// distinct dates against one flight guardian whose per-request service time
+// is fixed. With D > 1, the serializer (1b) and monitor-fork (1c)
+// organizations overlap requests for different dates; one-at-a-time (1a)
+// cannot. With D == 1 all three serialize and the organizations converge.
+//
+// Expected shape: throughput(1b), throughput(1c) ≈ min(C, D, workers) ×
+// throughput(1a) for D > 1; equal for D == 1.
+#include <atomic>
+#include <thread>
+
+#include "bench/bench_util.h"
+
+namespace guardians {
+namespace {
+
+void BM_FlightOrganization(benchmark::State& state) {
+  const auto organization = static_cast<FlightOrganization>(state.range(0));
+  const int clerks = static_cast<int>(state.range(1));
+  const int dates_count = static_cast<int>(state.range(2));
+  const int requests_per_clerk = 24;
+
+  for (auto _ : state) {
+    state.PauseTiming();
+    SystemConfig config;
+    config.seed = 42;
+    config.default_link.latency = Micros(50);
+    auto world = std::make_unique<BenchWorld>(config);
+    NodeRuntime& node = world->system.AddNode("airline");
+    node.RegisterGuardianType("flight", MakeFactory<FlightGuardian>());
+
+    FlightConfig flight_config;
+    flight_config.flight_no = 1;
+    flight_config.capacity = 1 << 20;  // never full: measure concurrency
+    flight_config.organization = organization;
+    flight_config.workers = 16;
+    flight_config.service_time = Millis(2);
+    flight_config.logging = false;
+    auto flight = node.Create<FlightGuardian>(
+        "flight", "f1", flight_config.ToArgs(), false);
+    const PortName port = (*flight)->ProvidedPorts()[0];
+
+    std::vector<std::string> dates;
+    for (int d = 0; d < dates_count; ++d) {
+      dates.push_back(DateString(d));
+    }
+    std::vector<Guardian*> shells;
+    for (int c = 0; c < clerks; ++c) {
+      shells.push_back(world->Shell(node, "clerk-" + std::to_string(c)));
+    }
+    state.ResumeTiming();
+
+    // Clerks run concurrently; each sends its requests back-to-back.
+    std::atomic<int> completed{0};
+    {
+      std::vector<std::thread> threads;
+      threads.reserve(clerks);
+      for (int c = 0; c < clerks; ++c) {
+        threads.emplace_back([&, c] {
+          // Each clerk cycles through the dates starting at its own offset,
+          // so at any instant distinct clerks tend to touch distinct dates.
+          std::vector<std::string> my_dates;
+          for (int d = 0; d < dates_count; ++d) {
+            my_dates.push_back(dates[(c + d) % dates_count]);
+          }
+          completed.fetch_add(DriveReserves(*shells[c], port,
+                                            requests_per_clerk, my_dates,
+                                            Millis(30000),
+                                            "c" + std::to_string(c)));
+        });
+      }
+      for (auto& thread : threads) {
+        thread.join();
+      }
+    }
+    if (completed.load() != clerks * requests_per_clerk) {
+      state.SkipWithError("requests failed");
+      return;
+    }
+
+    state.PauseTiming();
+    world.reset();  // join everything outside the timed region
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations() * clerks * requests_per_clerk);
+  state.counters["clerks"] = clerks;
+  state.counters["dates"] = dates_count;
+}
+
+}  // namespace
+}  // namespace guardians
+
+// org ∈ {0: one-at-a-time, 1: serializer, 2: monitor-fork}
+BENCHMARK(guardians::BM_FlightOrganization)
+    ->ArgNames({"org", "clerks", "dates"})
+    // Single date: every organization must serialize.
+    ->Args({0, 8, 1})
+    ->Args({1, 8, 1})
+    ->Args({2, 8, 1})
+    // Many dates: 1b/1c exploit concurrency, 1a cannot.
+    ->Args({0, 8, 8})
+    ->Args({1, 8, 8})
+    ->Args({2, 8, 8})
+    // Scaling in clerk count at fixed date spread.
+    ->Args({0, 2, 8})
+    ->Args({1, 2, 8})
+    ->Args({2, 2, 8})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+BENCHMARK_MAIN();

@@ -1,0 +1,152 @@
+// Experiment FIG2 — Figure 2: regionally partitioned data base vs. a
+// single centralized guardian.
+//
+// Paper claims (Section 1, advantages 1 & 2): a distributed organization
+// gives *reduced contention* (each division's unit runs on its own
+// computer) and *speed of access* (the unit can be located physically close
+// to the division). The partitioned airline of Figure 2 realizes both.
+//
+// Workload: R clerk sites, each colocated with its region's node. Every
+// request is a reserve on a flight chosen from the clerk's own region with
+// probability `local`, otherwise from a random region. Baseline: the same
+// flights all live at one central node; clerks reach it over the wide-area
+// link.
+//
+// Expected shape: partitioned-with-high-locality wins on latency (local
+// link ≈ 50us vs. WAN ≈ 3ms) and on throughput (R service points); as
+// locality drops the advantage shrinks toward the centralized baseline.
+#include <atomic>
+#include <thread>
+
+#include "bench/bench_util.h"
+
+namespace guardians {
+namespace {
+
+constexpr int kRegions = 3;
+constexpr int kFlightsPerRegion = 2;
+constexpr int kRequestsPerClerk = 20;
+constexpr auto kLocalLatency = Micros(50);
+constexpr auto kWanLatency = Millis(3);
+
+// mode 0: centralized; mode 1..: partitioned with locality percent arg.
+void BM_Partitioning(benchmark::State& state) {
+  const bool centralized = state.range(0) == 0;
+  const double locality = static_cast<double>(state.range(1)) / 100.0;
+
+  int64_t total_requests = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    SystemConfig config;
+    config.seed = 7;
+    config.default_link.latency = kWanLatency;
+    auto world = std::make_unique<BenchWorld>(config);
+
+    AirlineParams params;
+    params.regions = centralized ? 1 : kRegions;
+    params.flights_per_region = centralized
+                                    ? kRegions * kFlightsPerRegion
+                                    : kFlightsPerRegion;
+    params.capacity = 1 << 20;
+    params.organization = FlightOrganization::kSerializer;
+    params.flight_service_time = Micros(500);
+    params.logging = false;
+    auto topology = BuildAirline(world->system, params);
+    if (!topology.ok()) {
+      state.SkipWithError(topology.status().ToString().c_str());
+      return;
+    }
+
+    // Clerk sites: one node per region, near its own region's node.
+    std::vector<NodeId> clerk_nodes;
+    std::vector<Guardian*> shells;
+    for (int r = 0; r < kRegions; ++r) {
+      NodeRuntime& site = world->system.AddNode("site-" + std::to_string(r));
+      if (centralized) {
+        // Only site 0 is physically near the central machine; the other
+        // divisions reach it over the WAN — the situation Figure 2's
+        // partitioning is designed to avoid.
+        if (r == 0) {
+          world->system.network().SetLink(
+              site.id(), topology->region_nodes[0],
+              LinkParams{kLocalLatency, Micros(0), 0, 0, 0});
+        }
+      } else {
+        // Each division's unit is located physically close to it.
+        world->system.network().SetLink(
+            site.id(), topology->region_nodes[r],
+            LinkParams{kLocalLatency, Micros(0), 0, 0, 0});
+      }
+      clerk_nodes.push_back(site.id());
+      shells.push_back(world->Shell(site, "clerk-" + std::to_string(r)));
+    }
+    Rng rng(13);
+    state.ResumeTiming();
+
+    std::atomic<int64_t> latency_us_total{0};
+    {
+      std::vector<std::thread> threads;
+      for (int r = 0; r < kRegions; ++r) {
+        // Pre-draw each clerk's flight choices deterministically.
+        std::vector<int64_t> flights;
+        for (int i = 0; i < kRequestsPerClerk; ++i) {
+          const int region =
+              centralized
+                  ? 0
+                  : (rng.NextBool(locality)
+                         ? r
+                         : static_cast<int>(rng.NextBelow(kRegions)));
+          flights.push_back(FlightNo(
+              region, static_cast<int>(rng.NextBelow(kFlightsPerRegion))));
+        }
+        threads.emplace_back([&, r, flights] {
+          RemoteCallOptions options;
+          options.timeout = Millis(30000);
+          for (int i = 0; i < kRequestsPerClerk; ++i) {
+            const int target_region =
+                centralized ? 0 : RegionOfFlight(flights[i]);
+            const TimePoint begin = Now();
+            auto reply = RemoteCall(
+                *shells[r], topology->regional_ports[target_region],
+                "reserve",
+                {Value::Int(flights[i]),
+                 Value::Str("p" + std::to_string(r) + "-" +
+                            std::to_string(i)),
+                 Value::Str(DateString(i % 4))},
+                ReservationReplyType(), options);
+            benchmark::DoNotOptimize(reply);
+            latency_us_total.fetch_add(ToMicros(Now() - begin));
+          }
+        });
+      }
+      for (auto& thread : threads) {
+        thread.join();
+      }
+    }
+    total_requests += kRegions * kRequestsPerClerk;
+    state.counters["mean_req_ms"] = benchmark::Counter(
+        static_cast<double>(latency_us_total.load()) / 1000.0 /
+        (kRegions * kRequestsPerClerk));
+
+    state.PauseTiming();
+    world.reset();
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(total_requests);
+  state.counters["locality_pct"] = static_cast<double>(state.range(1));
+}
+
+}  // namespace
+}  // namespace guardians
+
+BENCHMARK(guardians::BM_Partitioning)
+    ->ArgNames({"centralized", "locality"})
+    ->Args({1, 100})  // Figure 2, all traffic local
+    ->Args({1, 50})   // mixed
+    ->Args({1, 0})    // no locality: partitioning without placement benefit
+    ->Args({0, 100})  // centralized baseline (locality is irrelevant)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+BENCHMARK_MAIN();

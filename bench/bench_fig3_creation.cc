@@ -1,0 +1,111 @@
+// Experiment FIG3 — Figure 3: guardian creation.
+//
+// Paper rule: a guardian is created at the node of its creator; to populate
+// a *remote* node you message that node's primordial guardian, which
+// creates on your behalf (preserving autonomy). So local creation costs no
+// messages at all, while remote creation costs one request/response pair
+// across the network and is subject to the admission policy.
+//
+// Expected shape: local creation is microseconds (bounded by port setup);
+// remote creation ≈ 2 × link latency + local creation; a refusing
+// admission policy costs the same round trip and creates nothing.
+#include "bench/bench_util.h"
+
+namespace guardians {
+namespace {
+
+PortType NoopPortType() {
+  return PortType("noop", {MessageSig{"poke", {}, {}}});
+}
+
+class NoopGuardian : public Guardian {
+ public:
+  Status Setup(const ValueList& args) override {
+    (void)args;
+    AddPort(NoopPortType(), 8, /*provided=*/true);
+    return OkStatus();
+  }
+};
+
+void BM_LocalCreate(benchmark::State& state) {
+  SystemConfig config;
+  config.default_link.latency = Millis(1);
+  BenchWorld world(config);
+  NodeRuntime& node = world.system.AddNode("n");
+  node.RegisterGuardianType("noop", MakeFactory<NoopGuardian>());
+  int64_t i = 0;
+  for (auto _ : state) {
+    auto created = node.CreateGuardian("noop", "g" + std::to_string(i++),
+                                       {}, false);
+    benchmark::DoNotOptimize(created);
+    if (!created.ok()) {
+      state.SkipWithError("create failed");
+      return;
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_RemoteCreate(benchmark::State& state) {
+  const auto latency = Micros(state.range(0));
+  SystemConfig config;
+  config.default_link.latency = latency;
+  BenchWorld world(config);
+  NodeRuntime& here = world.system.AddNode("here");
+  NodeRuntime& there = world.system.AddNode("there");
+  there.RegisterGuardianType("noop", MakeFactory<NoopGuardian>());
+  Guardian* driver = world.Shell(here, "driver");
+  int64_t i = 0;
+  for (auto _ : state) {
+    auto ports = CreateGuardianAt(*driver, there.PrimordialPort(), "noop",
+                                  "g" + std::to_string(i++), {}, false,
+                                  Millis(30000));
+    if (!ports.ok()) {
+      state.SkipWithError("remote create failed");
+      return;
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["link_us"] = static_cast<double>(latency.count());
+}
+
+void BM_RemoteCreateRefused(benchmark::State& state) {
+  SystemConfig config;
+  config.default_link.latency = Millis(1);
+  BenchWorld world(config);
+  NodeRuntime& here = world.system.AddNode("here");
+  NodeRuntime& there = world.system.AddNode("there");
+  there.RegisterGuardianType("noop", MakeFactory<NoopGuardian>());
+  // The owner says no (autonomy, Section 1.1).
+  there.SetAdmissionPolicy([](const std::string&, NodeId) { return false; });
+  Guardian* driver = world.Shell(here, "driver");
+  for (auto _ : state) {
+    auto ports = CreateGuardianAt(*driver, there.PrimordialPort(), "noop",
+                                  "g", {}, false, Millis(30000));
+    if (ports.ok() ||
+        ports.status().code() != Code::kPermissionDenied) {
+      state.SkipWithError("expected refusal");
+      return;
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+}  // namespace
+}  // namespace guardians
+
+BENCHMARK(guardians::BM_LocalCreate)
+    ->Iterations(2000)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(guardians::BM_RemoteCreate)
+    ->ArgNames({"link_us"})
+    ->Arg(100)
+    ->Arg(1000)
+    ->Arg(5000)
+    ->Unit(benchmark::kMicrosecond)
+    ->UseRealTime();
+BENCHMARK(guardians::BM_RemoteCreateRefused)
+    ->Unit(benchmark::kMicrosecond)
+    ->UseRealTime();
+
+BENCHMARK_MAIN();

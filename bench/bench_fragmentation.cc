@@ -1,0 +1,115 @@
+// Ablation: message fragmentation (Section 3.3's "breaking a large message
+// into packets and reassembling the packets").
+//
+// Two effects of packet size that the paper's system model implies:
+//  - overhead: small packets pay more header bytes per payload byte;
+//  - loss amplification: a message is delivered only if EVERY fragment
+//    arrives, so under per-packet loss q an n-fragment message survives
+//    with probability (1-q)^n — large messages over small packets die
+//    fast. This is why "the delivery is not guaranteed, but will happen
+//    with high probability" degrades with message size, and why the
+//    timeout/retry machinery above it must exist.
+#include <thread>
+
+#include "bench/bench_util.h"
+
+namespace guardians {
+namespace {
+
+PortType BlobPortType() {
+  return PortType("blob_sink",
+                  {MessageSig{"blob", {ArgType::Of(TypeTag::kBytes)}, {}}});
+}
+
+class BlobSink : public Guardian {
+ public:
+  Status Setup(const ValueList& args) override {
+    (void)args;
+    AddPort(BlobPortType(), 1024, /*provided=*/true);
+    return OkStatus();
+  }
+  void Main() override {
+    for (;;) {
+      auto received = Receive(port(0), Micros::max());
+      if (!received.ok()) {
+        return;
+      }
+      received_.fetch_add(1);
+    }
+  }
+  std::atomic<int64_t> received_{0};
+};
+
+void BM_FragmentationLossAmplification(benchmark::State& state) {
+  const uint64_t packet_payload = static_cast<uint64_t>(state.range(0));
+  const size_t message_bytes = static_cast<size_t>(state.range(1));
+  const double loss = static_cast<double>(state.range(2)) / 100.0;
+  constexpr int kMessages = 200;
+
+  double delivered_frac = 0;
+  double wire_bytes_per_message = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    SystemConfig config;
+    config.seed = 99;
+    config.limits.max_packet_payload = packet_payload;
+    config.default_link.latency = Micros(50);
+    config.default_link.drop_prob = loss;
+    BenchWorld world(config);
+    NodeRuntime& a = world.system.AddNode("a");
+    NodeRuntime& b = world.system.AddNode("b");
+    b.RegisterGuardianType("sink", MakeFactory<BlobSink>());
+    Guardian* driver = world.Shell(a, "driver");
+    auto sink = b.Create<BlobSink>("sink", "sink", {}, false);
+    const PortName port = (*sink)->ProvidedPorts()[0];
+    state.ResumeTiming();
+
+    for (int i = 0; i < kMessages; ++i) {
+      Status st = driver->Send(
+          port, "blob",
+          {Value::Blob(Bytes(message_bytes, static_cast<uint8_t>(i)))});
+      benchmark::DoNotOptimize(st);
+    }
+    world.system.network().DrainForTesting();
+    // Allow the final deliveries to reach the sink process.
+    const Deadline settle(Millis(500));
+    while ((*sink)->received_.load() < kMessages && !settle.Expired()) {
+      std::this_thread::sleep_for(Millis(2));
+    }
+    delivered_frac +=
+        static_cast<double>((*sink)->received_.load()) / kMessages;
+    wire_bytes_per_message +=
+        static_cast<double>(world.system.network().stats().bytes_sent) /
+        kMessages;
+  }
+  state.counters["packet_payload"] = static_cast<double>(packet_payload);
+  state.counters["message_bytes"] = static_cast<double>(message_bytes);
+  state.counters["loss_pct"] = static_cast<double>(state.range(2));
+  state.counters["delivered_frac"] =
+      benchmark::Counter(delivered_frac / state.iterations());
+  state.counters["wire_bytes_per_msg"] =
+      benchmark::Counter(wire_bytes_per_message / state.iterations());
+  state.SetItemsProcessed(state.iterations() * kMessages);
+}
+
+}  // namespace
+}  // namespace guardians
+
+BENCHMARK(guardians::BM_FragmentationLossAmplification)
+    ->ArgNames({"pkt", "msg", "loss_pct"})
+    // Overhead at zero loss: packet-size sweep for a 8KB message.
+    ->Args({128, 8192, 0})
+    ->Args({1024, 8192, 0})
+    ->Args({8192, 8192, 0})
+    // Loss amplification: 2% per-packet loss, growing message size at 1KB
+    // packets: survival ~ 0.98^fragments.
+    ->Args({1024, 1024, 2})
+    ->Args({1024, 8192, 2})
+    ->Args({1024, 65536, 2})
+    // Bigger packets shield big messages from amplification.
+    ->Args({65536, 65536, 2})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+BENCHMARK_MAIN();

@@ -1,0 +1,196 @@
+// Experiment PORTQ — Sections 3.2/3.4: bounded port buffers and the
+// delivery semantics.
+//
+//  - "We assume that ports provide some buffer space so that messages may
+//    be queued if necessary... If there is no room for the message, the
+//    message is thrown away" and the system sends failure(...) to the
+//    reply port when one was given. The burst test measures accepted vs
+//    discarded vs failure-notified as burst size crosses the capacity.
+//  - "No guarantee about arrival order is made" — under link jitter, a
+//    numbered stream measures the out-of-order fraction observed by the
+//    receiver.
+#include <atomic>
+#include <thread>
+
+#include "bench/bench_util.h"
+
+namespace guardians {
+namespace {
+
+PortType StreamPortType() {
+  return PortType("stream",
+                  {MessageSig{"item",
+                              {ArgType::Of(TypeTag::kInt)},
+                              {"taken"}},
+                   MessageSig{"seq", {ArgType::Of(TypeTag::kInt)}, {}}});
+}
+
+PortType StreamReplyType() {
+  return PortType("stream_reply", {MessageSig{"taken", {}, {}}});
+}
+
+// A deliberately slow consumer with a small buffer.
+class SlowConsumer : public Guardian {
+ public:
+  // args: [capacity int, per_item_us int]
+  Status Setup(const ValueList& args) override {
+    service_ = Micros(args[1].int_value());
+    AddPort(StreamPortType(), static_cast<size_t>(args[0].int_value()),
+            /*provided=*/true);
+    return OkStatus();
+  }
+
+  void Main() override {
+    for (;;) {
+      auto received = Receive(port(0), Micros::max());
+      if (!received.ok()) {
+        return;
+      }
+      if (service_.count() > 0) {
+        std::this_thread::sleep_for(service_);
+      }
+      if (received->command == "seq") {
+        const int64_t n = received->args[0].int_value();
+        if (n < last_seen_.load()) {
+          out_of_order_.fetch_add(1);
+        }
+        last_seen_.store(n);
+        seen_.fetch_add(1);
+      } else {
+        consumed_.fetch_add(1);
+        if (!received->reply_to.IsNull()) {
+          Status st = Send(received->reply_to, "taken", {});
+          (void)st;
+        }
+      }
+    }
+  }
+
+  Micros service_{0};
+  std::atomic<int64_t> consumed_{0};
+  std::atomic<int64_t> seen_{0};
+  std::atomic<int64_t> last_seen_{-1};
+  std::atomic<int64_t> out_of_order_{0};
+};
+
+void BM_PortBufferOverrun(benchmark::State& state) {
+  const int capacity = static_cast<int>(state.range(0));
+  const int burst = static_cast<int>(state.range(1));
+
+  int64_t accepted_total = 0;
+  int64_t failures_total = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    SystemConfig config;
+    config.seed = 3;
+    config.default_link.latency = Micros(50);
+    BenchWorld world(config);
+    NodeRuntime& a = world.system.AddNode("sender");
+    NodeRuntime& b = world.system.AddNode("consumer");
+    b.RegisterGuardianType("slow", MakeFactory<SlowConsumer>());
+    Guardian* driver = world.Shell(a, "driver");
+    auto consumer = b.Create<SlowConsumer>(
+        "slow", "slow", {Value::Int(capacity), Value::Int(500)}, false);
+    const PortName port = (*consumer)->ProvidedPorts()[0];
+    Port* reply_port = driver->AddPort(StreamReplyType(), burst * 2);
+    state.ResumeTiming();
+
+    // Fire the whole burst with the no-wait send, each carrying a reply
+    // port so the system can report discards.
+    for (int i = 0; i < burst; ++i) {
+      Status st = driver->Send(port, "item", {Value::Int(i)},
+                               reply_port->name());
+      benchmark::DoNotOptimize(st);
+    }
+    // Collect outcomes: a "taken" per consumed item, a failure per discard.
+    int taken = 0;
+    int failures = 0;
+    while (taken + failures < burst) {
+      auto received = driver->Receive(reply_port, Millis(3000));
+      if (!received.ok()) {
+        break;  // residue lost to timing; counted as neither
+      }
+      if (received->command == "taken") {
+        ++taken;
+      } else {
+        ++failures;
+      }
+    }
+    accepted_total += taken;
+    failures_total += failures;
+
+    state.PauseTiming();
+    state.ResumeTiming();
+  }
+  state.counters["capacity"] = capacity;
+  state.counters["burst"] = burst;
+  state.counters["accepted"] = benchmark::Counter(
+      static_cast<double>(accepted_total) / state.iterations());
+  state.counters["discard_failures"] = benchmark::Counter(
+      static_cast<double>(failures_total) / state.iterations());
+  state.SetItemsProcessed(state.iterations() * burst);
+}
+
+void BM_ReorderingUnderJitter(benchmark::State& state) {
+  const auto jitter = Micros(state.range(0));
+  constexpr int kMessages = 400;
+
+  double out_of_order_frac = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    SystemConfig config;
+    config.seed = 23;
+    config.default_link.latency = Micros(500);
+    config.default_link.jitter = jitter;
+    BenchWorld world(config);
+    NodeRuntime& a = world.system.AddNode("sender");
+    NodeRuntime& b = world.system.AddNode("consumer");
+    b.RegisterGuardianType("slow", MakeFactory<SlowConsumer>());
+    Guardian* driver = world.Shell(a, "driver");
+    auto consumer = b.Create<SlowConsumer>(
+        "slow", "slow", {Value::Int(kMessages * 2), Value::Int(0)}, false);
+    const PortName port = (*consumer)->ProvidedPorts()[0];
+    state.ResumeTiming();
+
+    for (int i = 0; i < kMessages; ++i) {
+      Status st = driver->Send(port, "seq", {Value::Int(i)});
+      benchmark::DoNotOptimize(st);
+    }
+    const Deadline deadline(Millis(10000));
+    while ((*consumer)->seen_.load() < kMessages && !deadline.Expired()) {
+      std::this_thread::sleep_for(Millis(1));
+    }
+    out_of_order_frac +=
+        static_cast<double>((*consumer)->out_of_order_.load()) / kMessages;
+
+    state.PauseTiming();
+    state.ResumeTiming();
+  }
+  state.counters["jitter_us"] = static_cast<double>(jitter.count());
+  state.counters["out_of_order_frac"] =
+      benchmark::Counter(out_of_order_frac / state.iterations());
+  state.SetItemsProcessed(state.iterations() * kMessages);
+}
+
+}  // namespace
+}  // namespace guardians
+
+BENCHMARK(guardians::BM_PortBufferOverrun)
+    ->ArgNames({"capacity", "burst"})
+    ->Args({64, 32})    // fits: everything accepted
+    ->Args({64, 128})   // overruns: discards + system failures
+    ->Args({16, 128})   // tiny buffer
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+BENCHMARK(guardians::BM_ReorderingUnderJitter)
+    ->ArgNames({"jitter_us"})
+    ->Arg(0)      // a quiet link still delivers in order here
+    ->Arg(200)
+    ->Arg(1000)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+BENCHMARK_MAIN();

@@ -1,0 +1,61 @@
+// Shared helpers for the experiment benchmarks. Each bench binary
+// regenerates one figure/analysis of the paper (see DESIGN.md §4) and
+// reports the measured shape through benchmark counters.
+#ifndef GUARDIANS_BENCH_BENCH_UTIL_H_
+#define GUARDIANS_BENCH_BENCH_UTIL_H_
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/airline/airline_system.h"
+#include "src/airline/workload.h"
+#include "src/guardian/system.h"
+#include "src/sendprims/remote_call.h"
+
+namespace guardians {
+
+// A system with one "clients" node plus whatever the scenario adds.
+struct BenchWorld {
+  explicit BenchWorld(SystemConfig config) : system(config) {}
+
+  System system;
+
+  // A driver shell guardian on `node` (registers the type if needed).
+  Guardian* Shell(NodeRuntime& node, const std::string& name) {
+    if (!node.KnowsGuardianType("shell")) {
+      node.RegisterGuardianType("shell", MakeFactory<ShellGuardian>());
+    }
+    auto shell = node.Create<ShellGuardian>("shell", name, {});
+    return shell.ok() ? *shell : nullptr;
+  }
+};
+
+// Issue `count` reserve requests from `shell` directly against a *flight*
+// port (reserve(passenger, date)), cycling passengers and the given dates.
+// Returns completed (replied) requests.
+inline int DriveReserves(Guardian& shell, const PortName& flight_port,
+                         int count, const std::vector<std::string>& dates,
+                         Micros timeout, const std::string& who) {
+  int completed = 0;
+  RemoteCallOptions options;
+  options.timeout = timeout;
+  options.max_attempts = 1;
+  for (int i = 0; i < count; ++i) {
+    auto reply = RemoteCall(
+        shell, flight_port, "reserve",
+        {Value::Str(who + "-" + std::to_string(i)),
+         Value::Str(dates[i % dates.size()])},
+        ReservationReplyType(), options);
+    if (reply.ok() && reply->command != kFailureCommand) {
+      ++completed;
+    }
+  }
+  return completed;
+}
+
+}  // namespace guardians
+
+#endif  // GUARDIANS_BENCH_BENCH_UTIL_H_

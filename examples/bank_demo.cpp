@@ -1,0 +1,121 @@
+// Banking demo: accounts as guardians, exactly-once operations under
+// retries, a cross-node transfer that is cut off mid-flight by a partition,
+// and the recovery process finishing it — permanence of effect in action.
+//
+//   $ ./bank_demo
+#include <cstdio>
+#include <thread>
+
+#include "src/bank/branch_guardian.h"
+#include "src/guardian/system.h"
+#include "src/sendprims/remote_call.h"
+
+using namespace guardians;
+
+namespace {
+
+int64_t Balance(Guardian& shell, const PortName& account) {
+  auto reply = RemoteCall(shell, account, "balance", {}, BankReplyType(),
+                          {Millis(1000), 3});
+  return reply.ok() && reply->command == "balance_is"
+             ? reply->args[0].int_value()
+             : -1;
+}
+
+}  // namespace
+
+int main() {
+  SystemConfig config;
+  config.default_link.latency = Micros(400);
+  System system(config);
+  NodeRuntime& hq = system.AddNode("hq");
+  NodeRuntime& suburb = system.AddNode("suburb");
+  for (NodeRuntime* node : {&hq, &suburb}) {
+    node->RegisterGuardianType(AccountGuardian::kTypeName,
+                               MakeFactory<AccountGuardian>());
+    node->RegisterGuardianType(BranchGuardian::kTypeName,
+                               MakeFactory<BranchGuardian>());
+    node->RegisterGuardianType("shell", MakeFactory<ShellGuardian>());
+  }
+  Guardian* teller = *hq.Create<ShellGuardian>("shell", "teller", {});
+
+  auto alice = *hq.Create<AccountGuardian>(
+      AccountGuardian::kTypeName, "alice",
+      {Value::Str("alice"), Value::Int(200)}, /*persistent=*/true);
+  auto bob = *suburb.Create<AccountGuardian>(
+      AccountGuardian::kTypeName, "bob", {Value::Str("bob"), Value::Int(50)},
+      /*persistent=*/true);
+  auto branch = *hq.Create<BranchGuardian>(
+      BranchGuardian::kTypeName, "branch",
+      {Value::Int(300000), Value::Int(2)}, /*persistent=*/true);
+
+  const PortName alice_port = alice->ProvidedPorts()[0];
+  const PortName bob_port = bob->ProvidedPorts()[0];
+  const PortName branch_port = branch->ProvidedPorts()[0];
+
+  std::printf("opening balances: alice=%lld bob=%lld\n",
+              (long long)Balance(*teller, alice_port),
+              (long long)Balance(*teller, bob_port));
+
+  // A clean transfer.
+  auto done = RemoteCall(*teller, branch_port, "transfer",
+                         {Value::OfPort(alice_port), Value::OfPort(bob_port),
+                          Value::Int(75), Value::Str("rent-sept")},
+                         BankReplyType(), {Millis(3000), 1});
+  std::printf("transfer #1: %s\n",
+              done.ok() ? done->command.c_str()
+                        : done.status().ToString().c_str());
+  std::printf("after #1: alice=%lld bob=%lld\n",
+              (long long)Balance(*teller, alice_port),
+              (long long)Balance(*teller, bob_port));
+
+  // Retrying the same txid is harmless: the accounts deduplicate.
+  done = RemoteCall(*teller, branch_port, "transfer",
+                    {Value::OfPort(alice_port), Value::OfPort(bob_port),
+                     Value::Int(75), Value::Str("rent-sept")},
+                    BankReplyType(), {Millis(3000), 1});
+  std::printf("transfer #1 retried: %s (balances unchanged: alice=%lld "
+              "bob=%lld)\n",
+              done.ok() ? done->command.c_str() : "?",
+              (long long)Balance(*teller, alice_port),
+              (long long)Balance(*teller, bob_port));
+
+  // A transfer interrupted by a partition: withdrawn, deposit in doubt.
+  std::printf("\n*** partitioning hq <-> suburb ***\n");
+  system.network().SetPartitioned(hq.id(), suburb.id(), true);
+  done = RemoteCall(*teller, branch_port, "transfer",
+                    {Value::OfPort(alice_port), Value::OfPort(bob_port),
+                     Value::Int(40), Value::Str("gift")},
+                    BankReplyType(), {Millis(5000), 1});
+  std::printf("transfer #2 during partition: %s — %s\n",
+              done.ok() ? done->command.c_str() : "?",
+              done.ok() && !done->args.empty()
+                  ? done->args[0].string_value().c_str()
+                  : "");
+  std::printf("alice=%lld (debited), bob unreachable\n",
+              (long long)Balance(*teller, alice_port));
+
+  // Heal, crash the branch's node, restart: recovery finishes the deposit.
+  system.network().SetPartitioned(hq.id(), suburb.id(), false);
+  std::printf("*** healing partition; crashing and restarting hq ***\n");
+  hq.Crash();
+  if (!hq.Restart().ok()) {
+    return 1;
+  }
+  Guardian* teller2 = *hq.Create<ShellGuardian>("shell", "teller2", {});
+  for (int i = 0; i < 100; ++i) {
+    if (Balance(*teller2, bob_port) == 50 + 75 + 40) {
+      break;
+    }
+    std::this_thread::sleep_for(Millis(20));
+  }
+  std::printf("after recovery: alice=%lld bob=%lld (money conserved: %s)\n",
+              (long long)Balance(*teller2, alice_port),
+              (long long)Balance(*teller2, bob_port),
+              Balance(*teller2, alice_port) +
+                          Balance(*teller2, bob_port) ==
+                      250
+                  ? "yes"
+                  : "NO");
+  return 0;
+}

@@ -1,0 +1,143 @@
+// A day at the office: the services layer working together.
+//
+//  - a CatalogGuardian bootstraps names (port names are the only global
+//    names; everything else is found by asking the catalog);
+//  - a CabinetGuardian files documents durably and hands out sealed tokens;
+//  - a SpoolerGuardian queues print jobs on the shared printer;
+//  - the records node crashes over lunch and recovers: the cabinet's
+//    documents survive, the print queue (deliberately volatile) does not,
+//    and stale tokens are refreshed through find_title.
+//
+//   $ ./office_day
+#include <cstdio>
+#include <thread>
+
+#include "src/guardian/system.h"
+#include "src/sendprims/remote_call.h"
+#include "src/services/cabinet.h"
+#include "src/services/catalog.h"
+#include "src/services/spooler.h"
+
+using namespace guardians;
+
+namespace {
+
+RemoteReply Call(Guardian& from, const PortName& to,
+                 const std::string& command, ValueList args,
+                 const PortType& reply_type) {
+  auto reply = RemoteCall(from, to, command, std::move(args), reply_type,
+                          {Millis(1000), 3});
+  if (!reply.ok()) {
+    std::printf("  (call %s failed: %s)\n", command.c_str(),
+                reply.status().ToString().c_str());
+    return {};
+  }
+  return *reply;
+}
+
+}  // namespace
+
+int main() {
+  SystemConfig config;
+  config.default_link.latency = Micros(500);
+  System system(config);
+  NodeRuntime& records = system.AddNode("records-room");
+  NodeRuntime& desk_node = system.AddNode("front-desk");
+
+  records.RegisterGuardianType(CatalogGuardian::kTypeName,
+                               MakeFactory<CatalogGuardian>());
+  records.RegisterGuardianType(CabinetGuardian::kTypeName,
+                               MakeFactory<CabinetGuardian>());
+  records.RegisterGuardianType(SpoolerGuardian::kTypeName,
+                               MakeFactory<SpoolerGuardian>());
+  desk_node.RegisterGuardianType("shell", MakeFactory<ShellGuardian>());
+  (void)desk_node.transmit_registry().Register(kDocumentTypeName,
+                                               DocumentDecoder());
+
+  // Boot the records room and register everything in the catalog.
+  auto catalog = *records.Create<CatalogGuardian>(
+      CatalogGuardian::kTypeName, "catalog", {}, /*persistent=*/true);
+  const PortName catalog_port = catalog->ProvidedPorts()[0];
+  auto cabinet = *records.Create<CabinetGuardian>(
+      CabinetGuardian::kTypeName, "cabinet", {}, /*persistent=*/true);
+  auto spooler = *records.Create<SpoolerGuardian>(
+      SpoolerGuardian::kTypeName, "printer", {Value::Int(500)},
+      /*persistent=*/false);
+
+  Guardian* desk = *desk_node.Create<ShellGuardian>("shell", "desk", {});
+  (void)CatalogRegister(*desk, catalog_port, "office/cabinet",
+                        cabinet->ProvidedPorts()[0], Millis(1000));
+  (void)CatalogRegister(*desk, catalog_port, "office/printer",
+                        spooler->ProvidedPorts()[0], Millis(1000));
+  std::printf("catalog holds %zu names\n", catalog->size());
+
+  // Morning: find the cabinet by name, file the quarterly report.
+  auto cabinet_port =
+      CatalogLookup(*desk, catalog_port, "office/cabinet", Millis(1000));
+  auto printer_port =
+      CatalogLookup(*desk, catalog_port, "office/printer", Millis(1000));
+  if (!cabinet_port.ok() || !printer_port.ok()) {
+    return 1;
+  }
+
+  auto report = MakeDocument(
+      "Q3 report", {"Reservations are up twelve percent.",
+                    "The waiting lists for flight 1002 keep growing."});
+  auto filed = Call(*desk, *cabinet_port, "file_doc",
+                    {Value::Abstract(report)}, CabinetReplyType());
+  const Token receipt = filed.args[0].token_value();
+  std::printf("filed \"Q3 report\"; receipt %s\n",
+              receipt.ToString().c_str());
+
+  // Print two copies.
+  auto job1 = Call(*desk, *printer_port, "submit",
+                   {Value::Abstract(report)}, SpoolerReplyType());
+  auto job2 = Call(*desk, *printer_port, "submit",
+                   {Value::Abstract(report)}, SpoolerReplyType());
+  std::printf("queued print jobs %lld and %lld\n",
+              (long long)job1.args[0].int_value(),
+              (long long)job2.args[0].int_value());
+
+  // Change of mind about the second copy.
+  auto canceled = Call(*desk, *printer_port, "cancel_job",
+                       {Value::Int(job2.args[0].int_value())},
+                       SpoolerReplyType());
+  std::printf("cancel second copy: %s\n", canceled.command.c_str());
+
+  // Lunch: the records room loses power.
+  std::printf("\n*** records-room crashes ***\n");
+  records.Crash();
+  if (!records.Restart().ok()) {
+    return 1;
+  }
+  std::printf("*** records-room restarted ***\n");
+
+  // The catalog recovered its names...
+  auto after = CatalogLookup(*desk, catalog_port, "office/cabinet",
+                             Millis(2000));
+  std::printf("catalog still knows office/cabinet: %s\n",
+              after.ok() ? "yes" : "no");
+  // ...the cabinet recovered its documents, but the old receipt is stale:
+  auto stale = Call(*desk, *cabinet_port, "fetch",
+                    {Value::OfToken(receipt)}, CabinetReplyType());
+  std::printf("old receipt after crash: %s\n", stale.command.c_str());
+  auto fresh = Call(*desk, *cabinet_port, "find_title",
+                    {Value::Str("Q3 report")}, CabinetReplyType());
+  auto doc = Call(*desk, *cabinet_port, "fetch",
+                  {Value::OfToken(fresh.args[0].token_value())},
+                  CabinetReplyType());
+  if (doc.command == "doc_is") {
+    auto recovered = std::static_pointer_cast<const Document>(
+        doc.args[0].abstract_value());
+    std::printf("recovered \"%s\" (%zu words) via find_title\n",
+                recovered->title().c_str(), recovered->WordCount());
+  }
+  // ...and the print queue was deliberately forgotten (like Figure 5's
+  // transactions): resubmit.
+  auto lost = Call(*desk, *printer_port, "job_status",
+                   {Value::Int(job1.args[0].int_value())},
+                   SpoolerReplyType());
+  std::printf("pre-crash print job after restart: %s\n",
+              lost.command.c_str());
+  return 0;
+}

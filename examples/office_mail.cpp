@@ -1,0 +1,192 @@
+// Office automation demo (Section 3.3's transmittable abstract values):
+// documents mailed between offices whose nodes use *different internal
+// representations*; a filing cabinet handing out sealed tokens; an index
+// sent as an associative memory that is a hash table at one office and a
+// tree at the other; and a type that refuses transmission outright.
+//
+//   $ ./office_mail
+#include <cstdio>
+
+#include "src/guardian/system.h"
+#include "src/sendprims/remote_call.h"
+#include "src/transmit/assoc_memory.h"
+#include "src/transmit/document.h"
+
+using namespace guardians;
+
+namespace {
+
+// cabinet = port { file_doc(document) replies(filed);
+//                  fetch(token) replies(doc_is, bad_token);
+//                  take_index(assoc_memory) replies(indexed) }
+PortType CabinetPortType() {
+  return PortType(
+      "cabinet",
+      {MessageSig{"file_doc",
+                  {ArgType::AbstractOf(kDocumentTypeName)},
+                  {"filed"}},
+       MessageSig{"fetch", {ArgType::Of(TypeTag::kToken)},
+                  {"doc_is", "bad_token"}},
+       MessageSig{"take_index",
+                  {ArgType::AbstractOf(kAssocMemoryTypeName)},
+                  {"indexed"}},
+       MessageSig{"gossip", {ArgType::Any()}, {}}});
+}
+
+PortType CabinetReplyType() {
+  return PortType(
+      "cabinet_reply",
+      {MessageSig{"filed", {ArgType::Of(TypeTag::kToken)}, {}},
+       MessageSig{"doc_is", {ArgType::AbstractOf(kDocumentTypeName)}, {}},
+       MessageSig{"bad_token", {}, {}},
+       MessageSig{"indexed", {ArgType::Of(TypeTag::kInt)}, {}}});
+}
+
+class CabinetGuardian : public Guardian {
+ public:
+  Status Setup(const ValueList& args) override {
+    (void)args;
+    AddPort(CabinetPortType(), Port::kDefaultCapacity, /*provided=*/true);
+    return OkStatus();
+  }
+
+  void Main() override {
+    for (;;) {
+      auto received = Receive(port(0), Micros::max());
+      if (!received.ok()) {
+        return;
+      }
+      if (received->command == "file_doc") {
+        auto doc = received->args[0].abstract_value();
+        docs_.push_back(std::static_pointer_cast<const Document>(doc));
+        // The drawer index is guardian-private; only the token leaves.
+        Token token = Seal(docs_.size() - 1);
+        if (!received->reply_to.IsNull()) {
+          Status st = Send(received->reply_to, "filed",
+                           {Value::OfToken(token)});
+          (void)st;
+        }
+      } else if (received->command == "fetch") {
+        auto index = Unseal(received->args[0].token_value());
+        if (!received->reply_to.IsNull()) {
+          if (!index.ok() || *index >= docs_.size()) {
+            Status st = Send(received->reply_to, "bad_token", {});
+            (void)st;
+          } else {
+            Status st = Send(received->reply_to, "doc_is",
+                             {Value::Abstract(docs_[*index])});
+            (void)st;
+          }
+        }
+      } else if (received->command == "take_index") {
+        auto index = received->args[0].abstract_value();
+        const auto* memory =
+            dynamic_cast<const AssocMemoryObject*>(index.get());
+        std::printf("  [cabinet %s] received index with %zu entries "
+                    "(local rep: %s)\n",
+                    name().c_str(), memory->Size(),
+                    dynamic_cast<const TreeAssocMemory*>(memory) != nullptr
+                        ? "tree"
+                        : "hash table");
+        if (!received->reply_to.IsNull()) {
+          Status st = Send(received->reply_to, "indexed",
+                           {Value::Int(static_cast<int64_t>(memory->Size()))});
+          (void)st;
+        }
+      }
+    }
+  }
+
+ private:
+  std::vector<std::shared_ptr<const Document>> docs_;
+};
+
+}  // namespace
+
+int main() {
+  SystemConfig config;
+  config.default_link.latency = Micros(600);
+  System system(config);
+  NodeRuntime& downtown = system.AddNode("downtown");
+  NodeRuntime& uptown = system.AddNode("uptown");
+
+  // Different representations at different nodes — decode rebuilds the
+  // value in the *receiving* node's representation.
+  (void)downtown.transmit_registry().Register(kDocumentTypeName,
+                                              DocumentDecoder());
+  (void)uptown.transmit_registry().Register(kDocumentTypeName,
+                                            DocumentDecoder());
+  (void)downtown.transmit_registry().Register(kAssocMemoryTypeName,
+                                              HashAssocMemoryDecoder());
+  (void)uptown.transmit_registry().Register(kAssocMemoryTypeName,
+                                            TreeAssocMemoryDecoder());
+
+  uptown.RegisterGuardianType("cabinet", MakeFactory<CabinetGuardian>());
+  downtown.RegisterGuardianType("shell", MakeFactory<ShellGuardian>());
+  Guardian* desk = *downtown.Create<ShellGuardian>("shell", "desk", {});
+
+  auto cabinet = CreateGuardianAt(*desk, uptown.PrimordialPort(), "cabinet",
+                                  "records", {}, false, Millis(1000));
+  if (!cabinet.ok()) {
+    return 1;
+  }
+
+  // Mail a document uptown. Its local cache index (guardian-dependent
+  // information) is deliberately not transmitted.
+  auto memo = MakeDocument(
+      "Primitives for Distributed Computing",
+      {"Guardians consist of objects and processes.",
+       "Processes in different guardians communicate only by messages."});
+  memo->SetLocalCacheIndex(7);
+  auto filed = RemoteCall(*desk, (*cabinet)[0], "file_doc",
+                          {Value::Abstract(memo)}, CabinetReplyType(),
+                          {Millis(1000), 1});
+  if (!filed.ok() || filed->command != "filed") {
+    return 1;
+  }
+  const Token receipt = filed->args[0].token_value();
+  std::printf("filed memo; got %s\n", receipt.ToString().c_str());
+
+  // Fetch it back via the token.
+  auto fetched = RemoteCall(*desk, (*cabinet)[0], "fetch",
+                            {Value::OfToken(receipt)}, CabinetReplyType(),
+                            {Millis(1000), 1});
+  if (fetched.ok() && fetched->command == "doc_is") {
+    auto doc = std::static_pointer_cast<const Document>(
+        fetched->args[0].abstract_value());
+    std::printf("fetched \"%s\" (%zu words; cache index travelled? %s)\n",
+                doc->title().c_str(), doc->WordCount(),
+                doc->local_cache_index() == -1 ? "no" : "YES (bug)");
+  }
+
+  // A forged token is useless.
+  Token forged = receipt;
+  forged.handle += 1;
+  auto denied = RemoteCall(*desk, (*cabinet)[0], "fetch",
+                           {Value::OfToken(forged)}, CabinetReplyType(),
+                           {Millis(1000), 1});
+  std::printf("forged token: %s\n",
+              denied.ok() ? denied->command.c_str() : "?");
+
+  // Send the office index: built as a hash table here, it arrives as a
+  // tree there — same abstract value, different representations.
+  auto index = MakeHashAssocMemory();
+  index->AddItem("memo-184", "drawer 3");
+  index->AddItem("contract-12", "drawer 1");
+  index->AddItem("blueprints", "flat file");
+  std::printf("mailing index (local rep: hash table)...\n");
+  auto indexed = RemoteCall(*desk, (*cabinet)[0], "take_index",
+                            {Value::Abstract(index)}, CabinetReplyType(),
+                            {Millis(1000), 1});
+  std::printf("cabinet confirmed %lld entries\n",
+              indexed.ok() && indexed->command == "indexed"
+                  ? (long long)indexed->args[0].int_value()
+                  : -1LL);
+
+  // Some values must never leave the guardian: encode refuses, so the send
+  // terminates before any bits reach the wire.
+  Status refused = desk->Send((*cabinet)[0], "gossip",
+                              {Value::Abstract(MakeSealedNote("the combo"))});
+  std::printf("sending a sealed note: %s\n", refused.ToString().c_str());
+  return 0;
+}

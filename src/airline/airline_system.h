@@ -1,0 +1,52 @@
+// Assembly of the Figure 2 topology: one node per geographical region, each
+// hosting its regional guardian P_j and user-interface guardian U_j; flight
+// guardians created locally by each P_j.
+//
+// "each node belonging to the airline has one guardian, P_j, for the region
+//  in which it resides, and one guardian, U_j, to provide an interface to
+//  the airline data base for that node's users."
+#ifndef GUARDIANS_SRC_AIRLINE_AIRLINE_SYSTEM_H_
+#define GUARDIANS_SRC_AIRLINE_AIRLINE_SYSTEM_H_
+
+#include <vector>
+
+#include "src/airline/flight_guardian.h"
+#include "src/airline/regional_manager.h"
+#include "src/airline/user_guardian.h"
+#include "src/guardian/system.h"
+
+namespace guardians {
+
+struct AirlineParams {
+  int regions = 2;
+  int flights_per_region = 4;
+  int capacity = 100;
+  FlightOrganization organization = FlightOrganization::kOneAtATime;
+  int flight_workers = 4;
+  Micros flight_service_time{0};
+  bool logging = true;
+  int checkpoint_every = 256;
+  // User guardian behaviour (Figure 5 timeouts).
+  Micros reserve_timeout{Millis(500)};
+  Micros idle_timeout{Millis(10000)};
+  int cancel_attempts = 3;
+};
+
+struct AirlineTopology {
+  std::vector<NodeId> region_nodes;       // node of region r
+  std::vector<PortName> regional_ports;   // P_r request port
+  std::vector<PortName> user_ports;       // U_r start_transaction port
+  std::vector<RegionalManager*> regionals;
+  std::vector<UserGuardian*> users;
+};
+
+// Builds the whole airline inside `system`: adds the region nodes, creates
+// the guardians, and registers every flight (region r owns flights
+// FlightNo(r, 0..flights_per_region-1)). Flights are added through the
+// message protocol, exactly as an administrator's program would.
+Result<AirlineTopology> BuildAirline(System& system,
+                                     const AirlineParams& params);
+
+}  // namespace guardians
+
+#endif  // GUARDIANS_SRC_AIRLINE_AIRLINE_SYSTEM_H_

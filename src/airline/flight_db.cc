@@ -1,0 +1,244 @@
+#include "src/airline/flight_db.h"
+
+#include <algorithm>
+
+namespace guardians {
+
+const char* OutcomeName(ReserveOutcome outcome) {
+  switch (outcome) {
+    case ReserveOutcome::kOk:
+      return "ok";
+    case ReserveOutcome::kPreReserved:
+      return "pre_reserved";
+    case ReserveOutcome::kFull:
+      return "full";
+    case ReserveOutcome::kWaitList:
+      return "wait_list";
+  }
+  return "?";
+}
+
+const char* OutcomeName(CancelOutcome outcome) {
+  switch (outcome) {
+    case CancelOutcome::kCanceled:
+      return "canceled";
+    case CancelOutcome::kNotReserved:
+      return "not_reserved";
+  }
+  return "?";
+}
+
+FlightDb::FlightDb(int64_t flight_no, int capacity, int waitlist_limit)
+    : flight_no_(flight_no), capacity_(capacity),
+      waitlist_limit_(waitlist_limit) {}
+
+ReserveOutcome FlightDb::Reserve(const std::string& passenger,
+                                 const std::string& date) {
+  ++reserve_ops_;
+  DateInventory& inv = dates_[date];
+  if (inv.reserved.count(passenger) > 0) {
+    ++idempotent_noops_;
+    return ReserveOutcome::kPreReserved;
+  }
+  auto waiting = std::find(inv.waitlist.begin(), inv.waitlist.end(),
+                           passenger);
+  if (waiting != inv.waitlist.end()) {
+    ++idempotent_noops_;
+    return ReserveOutcome::kWaitList;
+  }
+  if (static_cast<int>(inv.reserved.size()) < capacity_) {
+    inv.reserved.insert(passenger);
+    return ReserveOutcome::kOk;
+  }
+  if (static_cast<int>(inv.waitlist.size()) < waitlist_limit_) {
+    inv.waitlist.push_back(passenger);
+    return ReserveOutcome::kWaitList;
+  }
+  return ReserveOutcome::kFull;
+}
+
+CancelOutcome FlightDb::Cancel(const std::string& passenger,
+                               const std::string& date) {
+  ++cancel_ops_;
+  auto it = dates_.find(date);
+  if (it == dates_.end()) {
+    ++idempotent_noops_;
+    return CancelOutcome::kNotReserved;
+  }
+  DateInventory& inv = it->second;
+  auto waiting = std::find(inv.waitlist.begin(), inv.waitlist.end(),
+                           passenger);
+  if (waiting != inv.waitlist.end()) {
+    inv.waitlist.erase(waiting);
+    return CancelOutcome::kCanceled;
+  }
+  if (inv.reserved.erase(passenger) == 0) {
+    ++idempotent_noops_;
+    return CancelOutcome::kNotReserved;
+  }
+  // Promote the head of the waiting list into the freed seat.
+  if (!inv.waitlist.empty()) {
+    inv.reserved.insert(inv.waitlist.front());
+    inv.waitlist.erase(inv.waitlist.begin());
+  }
+  return CancelOutcome::kCanceled;
+}
+
+bool FlightDb::IsReserved(const std::string& passenger,
+                          const std::string& date) const {
+  auto it = dates_.find(date);
+  return it != dates_.end() && it->second.reserved.count(passenger) > 0;
+}
+
+bool FlightDb::IsWaitListed(const std::string& passenger,
+                            const std::string& date) const {
+  auto it = dates_.find(date);
+  if (it == dates_.end()) {
+    return false;
+  }
+  const auto& wl = it->second.waitlist;
+  return std::find(wl.begin(), wl.end(), passenger) != wl.end();
+}
+
+std::vector<std::string> FlightDb::Passengers(const std::string& date) const {
+  auto it = dates_.find(date);
+  if (it == dates_.end()) {
+    return {};
+  }
+  return std::vector<std::string>(it->second.reserved.begin(),
+                                  it->second.reserved.end());
+}
+
+int FlightDb::SeatsTaken(const std::string& date) const {
+  auto it = dates_.find(date);
+  return it == dates_.end() ? 0
+                            : static_cast<int>(it->second.reserved.size());
+}
+
+int FlightDb::Archive(const std::string& before_date) {
+  int removed = 0;
+  for (auto it = dates_.begin(); it != dates_.end();) {
+    if (it->first < before_date) {
+      it = dates_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+FlightDb::Stats FlightDb::GetStats() const {
+  Stats stats;
+  stats.dates = static_cast<int>(dates_.size());
+  for (const auto& [date, inv] : dates_) {
+    stats.reservations += static_cast<int>(inv.reserved.size());
+    stats.wait_listed += static_cast<int>(inv.waitlist.size());
+  }
+  stats.reserve_ops = reserve_ops_;
+  stats.cancel_ops = cancel_ops_;
+  stats.idempotent_noops = idempotent_noops_;
+  return stats;
+}
+
+bool FlightDb::CheckInvariants() const {
+  for (const auto& [date, inv] : dates_) {
+    if (static_cast<int>(inv.reserved.size()) > capacity_) {
+      return false;
+    }
+    if (!inv.waitlist.empty() &&
+        static_cast<int>(inv.reserved.size()) < capacity_) {
+      return false;  // nobody waits while seats are free
+    }
+    if (static_cast<int>(inv.waitlist.size()) > waitlist_limit_) {
+      return false;
+    }
+    for (const auto& passenger : inv.waitlist) {
+      if (inv.reserved.count(passenger) > 0) {
+        return false;  // holds a seat and waits
+      }
+    }
+    std::set<std::string> unique_wait(inv.waitlist.begin(),
+                                      inv.waitlist.end());
+    if (unique_wait.size() != inv.waitlist.size()) {
+      return false;  // duplicate wait-list entries
+    }
+  }
+  return true;
+}
+
+void FlightDb::Apply(const std::string& op, const std::string& passenger,
+                     const std::string& date) {
+  if (op == "reserve") {
+    Reserve(passenger, date);
+  } else if (op == "cancel") {
+    Cancel(passenger, date);
+  } else if (op == "archive") {
+    // passenger is unused; date is the archive threshold.
+    Archive(date);
+  }
+}
+
+Value FlightDb::ToSnapshot() const {
+  std::vector<Value> date_values;
+  for (const auto& [date, inv] : dates_) {
+    std::vector<Value> reserved;
+    for (const auto& passenger : inv.reserved) {
+      reserved.push_back(Value::Str(passenger));
+    }
+    std::vector<Value> waitlist;
+    for (const auto& passenger : inv.waitlist) {
+      waitlist.push_back(Value::Str(passenger));
+    }
+    date_values.push_back(
+        Value::Record({{"date", Value::Str(date)},
+                       {"reserved", Value::Array(std::move(reserved))},
+                       {"waitlist", Value::Array(std::move(waitlist))}}));
+  }
+  return Value::Record(
+      {{"flight", Value::Int(flight_no_)},
+       {"capacity", Value::Int(capacity_)},
+       {"waitlist_limit", Value::Int(waitlist_limit_)},
+       {"dates", Value::Array(std::move(date_values))}});
+}
+
+Result<FlightDb> FlightDb::FromSnapshot(const Value& snapshot) {
+  GUARDIANS_ASSIGN_OR_RETURN(Value flight, snapshot.field("flight"));
+  GUARDIANS_ASSIGN_OR_RETURN(Value capacity, snapshot.field("capacity"));
+  GUARDIANS_ASSIGN_OR_RETURN(Value limit, snapshot.field("waitlist_limit"));
+  GUARDIANS_ASSIGN_OR_RETURN(Value dates, snapshot.field("dates"));
+  FlightDb db(flight.int_value(), static_cast<int>(capacity.int_value()),
+              static_cast<int>(limit.int_value()));
+  for (const auto& entry : dates.items()) {
+    GUARDIANS_ASSIGN_OR_RETURN(Value date, entry.field("date"));
+    GUARDIANS_ASSIGN_OR_RETURN(Value reserved, entry.field("reserved"));
+    GUARDIANS_ASSIGN_OR_RETURN(Value waitlist, entry.field("waitlist"));
+    DateInventory& inv = db.dates_[date.string_value()];
+    for (const auto& passenger : reserved.items()) {
+      inv.reserved.insert(passenger.string_value());
+    }
+    for (const auto& passenger : waitlist.items()) {
+      inv.waitlist.push_back(passenger.string_value());
+    }
+  }
+  return db;
+}
+
+bool FlightDb::Equals(const FlightDb& other) const {
+  if (flight_no_ != other.flight_no_ || capacity_ != other.capacity_) {
+    return false;
+  }
+  if (dates_.size() != other.dates_.size()) {
+    return false;
+  }
+  for (const auto& [date, inv] : dates_) {
+    auto it = other.dates_.find(date);
+    if (it == other.dates_.end() || inv.reserved != it->second.reserved ||
+        inv.waitlist != it->second.waitlist) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace guardians

@@ -1,0 +1,102 @@
+// FlightDb: the guarded resource of one flight guardian — per-date seat
+// inventory with a waiting list. Pure data structure (no threads, no I/O)
+// so it can be tested exhaustively and replayed from a log.
+//
+// Reserve and cancel are *idempotent*, which Section 3.5 leans on: "a retry
+// may result in a reserve or cancel request being made more than once, no
+// problems result since they are idempotent (many performances are
+// equivalent to one)".
+#ifndef GUARDIANS_SRC_AIRLINE_FLIGHT_DB_H_
+#define GUARDIANS_SRC_AIRLINE_FLIGHT_DB_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/value/value.h"
+
+namespace guardians {
+
+enum class ReserveOutcome { kOk, kPreReserved, kFull, kWaitList };
+enum class CancelOutcome { kCanceled, kNotReserved };
+
+const char* OutcomeName(ReserveOutcome outcome);
+const char* OutcomeName(CancelOutcome outcome);
+
+class FlightDb {
+ public:
+  // `capacity` seats per date; `waitlist_limit` passengers may queue beyond
+  // that (0 disables wait-listing: a full flight refuses outright).
+  explicit FlightDb(int64_t flight_no, int capacity, int waitlist_limit = 4);
+
+  int64_t flight_no() const { return flight_no_; }
+  int capacity() const { return capacity_; }
+
+  // Idempotent: reserving an already-held seat is kPreReserved; reserving
+  // while wait-listed re-reports kWaitList.
+  ReserveOutcome Reserve(const std::string& passenger,
+                         const std::string& date);
+  // Idempotent: cancelling a non-reservation is kNotReserved. A freed seat
+  // promotes the head of the waiting list.
+  CancelOutcome Cancel(const std::string& passenger, const std::string& date);
+
+  bool IsReserved(const std::string& passenger,
+                  const std::string& date) const;
+  bool IsWaitListed(const std::string& passenger,
+                    const std::string& date) const;
+  std::vector<std::string> Passengers(const std::string& date) const;
+  int SeatsTaken(const std::string& date) const;
+
+  // Administration (Section 2.3: "deleting or archiving information about
+  // flights that have occurred, collecting statistics about flight usage").
+  // Removes every date strictly before `before_date`; returns dates freed.
+  int Archive(const std::string& before_date);
+  struct Stats {
+    int dates = 0;
+    int reservations = 0;
+    int wait_listed = 0;
+    uint64_t reserve_ops = 0;
+    uint64_t cancel_ops = 0;
+    // Operations that changed nothing because an identical performance had
+    // already happened (pre_reserved, repeated wait_list, not_reserved):
+    // exactly the "many performances are equivalent to one" absorptions the
+    // Section 3.5 retry story depends on.
+    uint64_t idempotent_noops = 0;
+  };
+  Stats GetStats() const;
+
+  // Every seat-holder set is within capacity; wait lists only exist when
+  // full; no passenger both holds a seat and waits. Used by property tests
+  // and the consistency checks of the FIG45 experiment.
+  bool CheckInvariants() const;
+
+  // --- Log replay / snapshot (Section 2.2 permanence) -----------------------
+  // Apply one logged operation without recording new log state.
+  void Apply(const std::string& op, const std::string& passenger,
+             const std::string& date);
+  Value ToSnapshot() const;
+  static Result<FlightDb> FromSnapshot(const Value& snapshot);
+
+  bool Equals(const FlightDb& other) const;
+
+ private:
+  struct DateInventory {
+    std::set<std::string> reserved;
+    std::vector<std::string> waitlist;
+  };
+
+  int64_t flight_no_;
+  int capacity_;
+  int waitlist_limit_;
+  std::map<std::string, DateInventory> dates_;
+  uint64_t reserve_ops_ = 0;
+  uint64_t cancel_ops_ = 0;
+  uint64_t idempotent_noops_ = 0;
+};
+
+}  // namespace guardians
+
+#endif  // GUARDIANS_SRC_AIRLINE_FLIGHT_DB_H_

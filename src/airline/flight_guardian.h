@@ -1,0 +1,100 @@
+// FlightGuardian: the guardian for a single flight (Sections 2.3 and 3.5).
+//
+// "A flight guardian might be organized in several different ways" —
+// Figure 1 gives three, all implemented here and selectable at creation:
+//
+//  1. kOneAtATime (Fig. 1a): "a single process handles requests one at a
+//     time."
+//  2. kSerializer (Fig. 1b): "a single process synchronizes requests; it
+//     hands them off to other processes that perform the actual work when
+//     the flight data of interest are available" — requests for different
+//     dates proceed in parallel.
+//  3. kMonitorFork (Fig. 1c): "a single process receives a request and
+//     immediately creates a process to handle it. The forked processes
+//     synchronize... using shared data, e.g., a monitor providing
+//     operations start_request(date) and end_request(date)."
+//
+// "Organizations 2 and 3 can provide concurrent manipulation of the data
+//  base, while organization 1 cannot." — the claim the FIG1 experiment
+//  measures.
+//
+// The guardian performs reserve and cancel as atomic operations and logs
+// them (Section 2.2); created persistent, it recovers its FlightDb from the
+// log after a node crash.
+#ifndef GUARDIANS_SRC_AIRLINE_FLIGHT_GUARDIAN_H_
+#define GUARDIANS_SRC_AIRLINE_FLIGHT_GUARDIAN_H_
+
+#include <atomic>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "src/airline/flight_db.h"
+#include "src/airline/types.h"
+#include "src/guardian/acl.h"
+#include "src/guardian/node_runtime.h"
+#include "src/runtime/monitor.h"
+#include "src/runtime/serializer.h"
+
+namespace guardians {
+
+enum class FlightOrganization : int {
+  kOneAtATime = 0,
+  kSerializer = 1,
+  kMonitorFork = 2,
+};
+
+struct FlightConfig {
+  int64_t flight_no = 0;
+  int capacity = 100;
+  FlightOrganization organization = FlightOrganization::kOneAtATime;
+  int workers = 4;          // q_i processes for kSerializer
+  Micros service_time{0};   // simulated per-request work on the date's data
+  bool logging = true;      // Section 2.2 permanence on/off (for ROBUST)
+  int checkpoint_every = 256;
+
+  ValueList ToArgs() const;
+  static Result<FlightConfig> FromArgs(const ValueList& args);
+};
+
+class FlightGuardian : public Guardian {
+ public:
+  Status Setup(const ValueList& args) override;
+  Status Recover(const ValueList& args) override;
+  void Main() override;
+
+  // Test/experiment access: a consistent copy of the guarded resource.
+  FlightDb SnapshotDb() const;
+  uint64_t handled() const { return handled_.load(); }
+
+  // The flight guardian's ACL: list_passengers is for managers only.
+  AccessControlList& acl() { return acl_; }
+
+ private:
+  Status InitCommon(const ValueList& args, bool recovering);
+  void ServeLoop();
+  void HandleRequest(Received request);
+  void DoReserve(const Received& request);
+  void DoCancel(const Received& request);
+  void DoListPassengers(const Received& request);
+  void DoArchive(const Received& request);
+  void DoStats(const Received& request);
+  void LogOp(const std::string& op, const std::string& passenger,
+             const std::string& date);
+  void MaybeCheckpoint();
+  void ReplySimple(const PortName& to, const char* command);
+
+  FlightConfig config_;
+  mutable std::mutex db_mu_;
+  std::optional<FlightDb> db_;
+  AccessControlList acl_;
+  Wal* log_ = nullptr;
+  std::unique_ptr<Serializer> serializer_;
+  KeyedMonitor<std::string> date_monitor_;
+  std::atomic<uint64_t> handled_{0};
+  std::atomic<uint64_t> forked_{0};
+};
+
+}  // namespace guardians
+
+#endif  // GUARDIANS_SRC_AIRLINE_FLIGHT_GUARDIAN_H_

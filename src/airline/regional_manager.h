@@ -1,0 +1,61 @@
+// RegionalManager: the regional guardian P_j of Figure 2, sketched in
+// Figure 4.
+//
+// "It simply looks up the guardian of the requested flight using a map, and
+//  forwards the request; the response will go directly from the flight
+//  guardian to the original requesting process, bypassing the regional
+//  manager."
+//
+// The manager creates its flight guardians locally (a guardian "must have
+// been created by a guardian at that node"), logs the directory so it can
+// be rebuilt after a crash, and answers administrative requests itself.
+#ifndef GUARDIANS_SRC_AIRLINE_REGIONAL_MANAGER_H_
+#define GUARDIANS_SRC_AIRLINE_REGIONAL_MANAGER_H_
+
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "src/airline/flight_guardian.h"
+#include "src/airline/types.h"
+#include "src/guardian/node_runtime.h"
+
+namespace guardians {
+
+struct RegionalConfig {
+  // Defaults applied to the flight guardians this region creates.
+  FlightOrganization organization = FlightOrganization::kOneAtATime;
+  int flight_workers = 4;
+  Micros flight_service_time{0};
+  bool logging = true;
+  int checkpoint_every = 256;
+
+  ValueList ToArgs() const;
+  static Result<RegionalConfig> FromArgs(const ValueList& args);
+};
+
+class RegionalManager : public Guardian {
+ public:
+  static constexpr char kTypeName[] = "regional_manager";
+  static constexpr char kFlightTypeName[] = "flight";
+
+  Status Setup(const ValueList& args) override;
+  Status Recover(const ValueList& args) override;
+  void Main() override;
+
+  size_t flight_count() const;
+
+ private:
+  Status InitCommon(const ValueList& args, bool recovering);
+  void HandleAddFlight(const Received& request);
+  void ForwardToFlight(const Received& request);
+
+  RegionalConfig config_;
+  mutable std::mutex mu_;
+  std::map<int64_t, PortName> directory_;  // the `map` of Figure 4
+  Wal* dir_log_ = nullptr;
+};
+
+}  // namespace guardians
+
+#endif  // GUARDIANS_SRC_AIRLINE_REGIONAL_MANAGER_H_

@@ -1,0 +1,101 @@
+// TransHistory: the `transhistory` data abstraction of Figure 5 — the
+// record of one clerk transaction.
+//
+// "The process keeps a history of the transaction; if the clerk wishes the
+//  transaction can be partially or totally undone. Cancellations are saved
+//  until the end of the transaction to permit the customer a late change of
+//  mind. An unwanted reservation can be undone by a cancel, but the reverse
+//  is not true since the seat may have been taken in the meantime."
+//
+// So: reserves are performed immediately and recorded; cancels are recorded
+// as pending; undoing a pending cancel simply drops it; undoing a performed
+// reserve schedules a compensating cancel for the end of the transaction.
+#ifndef GUARDIANS_SRC_AIRLINE_TRANS_HISTORY_H_
+#define GUARDIANS_SRC_AIRLINE_TRANS_HISTORY_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace guardians {
+
+class TransHistory {
+ public:
+  enum class Action { kReserve, kCancel };
+
+  struct Entry {
+    Action action;
+    int64_t flight;
+    std::string date;
+    bool undone = false;
+  };
+
+  // A reserve that was performed (the flight guardian said ok/wait_list).
+  void AddReserve(int64_t flight, const std::string& date) {
+    entries_.push_back(Entry{Action::kReserve, flight, date, false});
+  }
+
+  // A cancel, deferred to the end of the transaction.
+  void AddCancel(int64_t flight, const std::string& date) {
+    entries_.push_back(Entry{Action::kCancel, flight, date, false});
+  }
+
+  // Undo the most recent not-yet-undone entry. Returns it, or nullopt when
+  // there is nothing left to undo.
+  std::optional<Entry> UndoLast() {
+    for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+      if (!it->undone) {
+        it->undone = true;
+        return *it;
+      }
+    }
+    return std::nullopt;
+  }
+
+  // Undo everything; returns how many entries were newly undone.
+  int UndoAll() {
+    int count = 0;
+    for (auto& entry : entries_) {
+      if (!entry.undone) {
+        entry.undone = true;
+        ++count;
+      }
+    }
+    return count;
+  }
+
+  // The cancels to perform when the clerk says "done": every pending (not
+  // undone) cancel, plus a compensating cancel for every undone reserve.
+  std::vector<Entry> CancelsToPerform() const {
+    std::vector<Entry> cancels;
+    for (const auto& entry : entries_) {
+      if ((entry.action == Action::kCancel && !entry.undone) ||
+          (entry.action == Action::kReserve && entry.undone)) {
+        cancels.push_back(entry);
+      }
+    }
+    return cancels;
+  }
+
+  // Reserves that stand (performed, not undone).
+  int ActiveReserves() const {
+    int count = 0;
+    for (const auto& entry : entries_) {
+      if (entry.action == Action::kReserve && !entry.undone) {
+        ++count;
+      }
+    }
+    return count;
+  }
+
+  const std::vector<Entry>& entries() const { return entries_; }
+  bool Empty() const { return entries_.empty(); }
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+}  // namespace guardians
+
+#endif  // GUARDIANS_SRC_AIRLINE_TRANS_HISTORY_H_

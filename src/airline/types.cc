@@ -1,0 +1,104 @@
+#include "src/airline/types.h"
+
+namespace guardians {
+
+namespace {
+const ArgType kStr = ArgType::Of(TypeTag::kString);
+const ArgType kInt = ArgType::Of(TypeTag::kInt);
+
+std::vector<std::string> ReserveReplies() {
+  return {"ok", "full", "wait_list", "pre_reserved", "no_such_flight"};
+}
+
+std::vector<std::string> CancelReplies() {
+  return {"canceled", "not_reserved", "no_such_flight"};
+}
+}  // namespace
+
+PortType FlightPortType() {
+  return PortType(
+      "flight_port",
+      {MessageSig{"reserve", {kStr, kStr}, ReserveReplies()},
+       MessageSig{"cancel", {kStr, kStr}, CancelReplies()},
+       MessageSig{"list_passengers", {kStr, kStr}, {"info", "denied"}},
+       // Administration (Section 2.3): archiving flights that have
+       // occurred and collecting statistics about flight usage.
+       MessageSig{"archive", {kStr, kStr}, {"archived", "denied"}},
+       MessageSig{"flight_stats", {kStr}, {"stats_info", "denied"}}});
+}
+
+PortType RegionalPortType() {
+  return PortType(
+      "regional_port",
+      {MessageSig{"reserve", {kInt, kStr, kStr}, ReserveReplies()},
+       MessageSig{"cancel", {kInt, kStr, kStr}, CancelReplies()},
+       MessageSig{"list_passengers",
+                  {kInt, kStr, kStr},
+                  {"info", "denied", "no_such_flight"}},
+       MessageSig{"add_flight", {kInt, kInt}, {"added", "exists"}},
+       MessageSig{"archive", {kInt, kStr, kStr},
+                  {"archived", "denied", "no_such_flight"}},
+       MessageSig{"flight_stats", {kInt, kStr},
+                  {"stats_info", "denied", "no_such_flight"}},
+       MessageSig{"region_stats", {}, {"stats_info"}}});
+}
+
+PortType ReservationReplyType() {
+  return PortType(
+      "reservation_reply",
+      {MessageSig{"ok", {}, {}},
+       MessageSig{"full", {}, {}},
+       MessageSig{"wait_list", {}, {}},
+       MessageSig{"pre_reserved", {}, {}},
+       MessageSig{"no_such_flight", {}, {}},
+       MessageSig{"canceled", {}, {}},
+       MessageSig{"not_reserved", {}, {}},
+       MessageSig{"denied", {}, {}},
+       MessageSig{"info", {ArgType::Of(TypeTag::kArray)}, {}},
+       MessageSig{"added", {}, {}},
+       MessageSig{"exists", {}, {}},
+       MessageSig{"archived", {ArgType::Of(TypeTag::kInt)}, {}},
+       MessageSig{"stats_info", {ArgType::Of(TypeTag::kRecord)}, {}}});
+}
+
+PortType UserPortType() {
+  return PortType(
+      "user_port",
+      {MessageSig{"start_transaction",
+                  {kStr, ArgType::Of(TypeTag::kPortName)},
+                  {"trans_started"}}});
+}
+
+PortType TransPortType() {
+  return PortType("trans_port",
+                  {MessageSig{"reserve", {kInt, kStr}, {}},
+                   MessageSig{"cancel", {kInt, kStr}, {}},
+                   MessageSig{"undo_last", {}, {}},
+                   MessageSig{"undo_all", {}, {}},
+                   MessageSig{"done", {}, {}}});
+}
+
+PortType TermPortType() {
+  // Every message: (request ordinal, detail string).
+  const std::vector<ArgType> note = {kInt, kStr};
+  return PortType("term_port",
+                  {MessageSig{"ok", note, {}},
+                   MessageSig{"illegal", note, {}},
+                   MessageSig{"full", note, {}},
+                   MessageSig{"wait_list", note, {}},
+                   MessageSig{"pre_reserved", note, {}},
+                   MessageSig{"no_such_flight", note, {}},
+                   MessageSig{"deferred", note, {}},
+                   MessageSig{"undone", note, {}},
+                   MessageSig{"cant_communicate", note, {}},
+                   MessageSig{"trans_done", {ArgType::Of(TypeTag::kRecord)},
+                              {}}});
+}
+
+PortType TransStartedReplyType() {
+  return PortType(
+      "trans_started_reply",
+      {MessageSig{"trans_started", {ArgType::Of(TypeTag::kPortName)}, {}}});
+}
+
+}  // namespace guardians

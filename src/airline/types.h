@@ -1,0 +1,60 @@
+// Port types of the Airline Reservation System (Sections 2.3 and 3.5,
+// Figures 2, 4 and 5). These are the "guardian headers" of the example:
+// every send in the airline is checked against them.
+//
+// Dates are strings ("1979-09-01"), flight numbers are ints, passengers and
+// principals are strings — the paper's flight_no / passenger_id / date
+// types mapped onto the built-in value universe.
+#ifndef GUARDIANS_SRC_AIRLINE_TYPES_H_
+#define GUARDIANS_SRC_AIRLINE_TYPES_H_
+
+#include "src/value/port_type.h"
+
+namespace guardians {
+
+// Flight guardian port: reserve / cancel / list_passengers for one flight.
+//   reserve (passenger, date)   replies (ok, full, wait_list, pre_reserved)
+//   cancel  (passenger, date)   replies (canceled, not_reserved)
+//   list_passengers (date, principal)
+//                               replies (info(passenger_list), denied)
+PortType FlightPortType();
+
+// Regional guardian port (the P_j of Figure 2): the flight guardian's
+// requests plus a flight_no argument, plus administration.
+//   reserve (flight_no, passenger, date)  replies (..., no_such_flight)
+//   cancel  (flight_no, passenger, date)  replies (..., no_such_flight)
+//   list_passengers (flight_no, date, principal)
+//   add_flight (flight_no, capacity)      replies (added, exists)
+//   region_stats ()                       replies (stats_info)
+PortType RegionalPortType();
+
+// Replies to reservation-style requests flow to ports of this type (the
+// replyport of Figure 5).
+PortType ReservationReplyType();
+
+// User interface guardian port (the U_j of Figure 2):
+//   start_transaction (passenger, term_port) replies (trans_started)
+PortType UserPortType();
+
+// Transaction port (the transport of Figure 5): the clerk's requests for
+// one transaction.
+//   reserve (flight_no, date)
+//   cancel  (flight_no, date)
+//   undo_last ()
+//   undo_all ()
+//   done ()
+PortType TransPortType();
+
+// Terminal port (the termport of Figure 5): what the transaction process
+// tells the clerk's display. All commands carry the request ordinal they
+// answer plus detail.
+//   ok / illegal / full / wait_list / pre_reserved / no_such_flight /
+//   deferred / undone / cant_communicate / trans_done
+PortType TermPortType();
+
+// Reply type for start_transaction.
+PortType TransStartedReplyType();
+
+}  // namespace guardians
+
+#endif  // GUARDIANS_SRC_AIRLINE_TYPES_H_

@@ -1,0 +1,217 @@
+#include "src/airline/user_guardian.h"
+
+#include "src/common/log.h"
+#include "src/sendprims/remote_call.h"
+
+namespace guardians {
+
+ValueList UserConfig::ToArgs() const {
+  std::vector<Value> ports;
+  ports.reserve(regionals.size());
+  for (const auto& port : regionals) {
+    ports.push_back(Value::OfPort(port));
+  }
+  return {Value::Array(std::move(ports)),
+          Value::Int(reserve_timeout.count()),
+          Value::Int(idle_timeout.count()),
+          Value::Int(cancel_attempts)};
+}
+
+Result<UserConfig> UserConfig::FromArgs(const ValueList& args) {
+  if (args.size() != 4 || !args[0].is(TypeTag::kArray) ||
+      !args[1].is(TypeTag::kInt) || !args[2].is(TypeTag::kInt) ||
+      !args[3].is(TypeTag::kInt)) {
+    return Status(Code::kInvalidArgument,
+                  "user guardian takes 4 creation arguments");
+  }
+  UserConfig config;
+  for (const auto& port : args[0].items()) {
+    GUARDIANS_ASSIGN_OR_RETURN(PortName pn, port.AsPort());
+    config.regionals.push_back(pn);
+  }
+  config.reserve_timeout = Micros(args[1].int_value());
+  config.idle_timeout = Micros(args[2].int_value());
+  config.cancel_attempts = static_cast<int>(args[3].int_value());
+  return config;
+}
+
+Status UserGuardian::Setup(const ValueList& args) {
+  GUARDIANS_ASSIGN_OR_RETURN(config_, UserConfig::FromArgs(args));
+  if (config_.regionals.empty()) {
+    return Status(Code::kInvalidArgument,
+                  "user guardian needs at least one regional port");
+  }
+  AddPort(UserPortType(), /*capacity=*/256, /*provided=*/true);
+  return OkStatus();
+}
+
+void UserGuardian::Main() {
+  Port* requests = port(0);
+  uint64_t trans_seq = 0;
+  for (;;) {
+    auto received = Receive(requests, Micros::max());
+    if (!received.ok()) {
+      return;
+    }
+    if (received->command != "start_transaction") {
+      continue;  // failure(...) to the user port: nothing to do
+    }
+    std::string passenger = received->args[0].string_value();
+    PortName term = received->args[1].port_value();
+
+    // One fresh transaction port per conversation.
+    Port* trans_port = AddPort(TransPortType(), /*capacity=*/64);
+    started_.fetch_add(1);
+    Fork("dotrans-" + std::to_string(trans_seq++),
+         [this, trans_port, term, passenger = std::move(passenger)] {
+           DoTrans(trans_port, term, passenger);
+         });
+    if (trans_seq % 32 == 0) {
+      ReapProcesses();
+    }
+    if (!received->reply_to.IsNull()) {
+      Status st = Send(received->reply_to, "trans_started",
+                       {Value::OfPort(trans_port->name())});
+      (void)st;
+    }
+  }
+}
+
+Result<PortName> UserGuardian::RouteFlight(int64_t flight) const {
+  const int64_t region = flight / 1000;
+  if (region < 0 || region >= static_cast<int64_t>(config_.regionals.size())) {
+    return Status(Code::kNotFound, "no region for flight");
+  }
+  return config_.regionals[region];
+}
+
+void UserGuardian::DoTrans(Port* trans_port, PortName term,
+                           std::string passenger) {
+  TransHistory history;
+  int64_t ordinal = 0;
+
+  auto tell_clerk = [&](const char* command, const std::string& detail) {
+    if (term.IsNull()) {
+      return;
+    }
+    Status st = Send(term, command,
+                     {Value::Int(ordinal), Value::Str(detail)});
+    (void)st;
+  };
+
+  auto perform_cancel = [&](const TransHistory::Entry& entry) -> bool {
+    auto regional = RouteFlight(entry.flight);
+    if (!regional.ok()) {
+      return false;
+    }
+    RemoteCallOptions options;
+    options.timeout = config_.reserve_timeout;
+    options.max_attempts = config_.cancel_attempts;  // idempotent
+    auto reply = RemoteCall(
+        *this, *regional, "cancel",
+        {Value::Int(entry.flight), Value::Str(passenger),
+         Value::Str(entry.date)},
+        ReservationReplyType(), options);
+    return reply.ok() && (reply->command == "canceled" ||
+                          reply->command == "not_reserved");
+  };
+
+  for (;;) {
+    auto received = Receive(trans_port, config_.idle_timeout);
+    if (!received.ok()) {
+      // Node down or the clerk went silent. "We have chosen to forget
+      // transactions rather than to try and finish them after a crash" —
+      // and likewise for abandoned conversations.
+      RetirePort(trans_port);
+      return;
+    }
+    ++ordinal;
+
+    if (received->command == "reserve") {
+      const int64_t flight = received->args[0].int_value();
+      const std::string date = received->args[1].string_value();
+      auto regional = RouteFlight(flight);
+      if (!regional.ok()) {
+        tell_clerk("illegal", "no region serves flight " +
+                                  std::to_string(flight));
+        continue;
+      }
+      RemoteCallOptions options;
+      options.timeout = config_.reserve_timeout;
+      options.max_attempts = 1;  // the *clerk* decides whether to retry
+      auto reply = RemoteCall(*this, *regional, "reserve",
+                              {Value::Int(flight), Value::Str(passenger),
+                               Value::Str(date)},
+                              ReservationReplyType(), options);
+      if (!reply.ok()) {
+        // Timeout: nothing is known about the true state of affairs; the
+        // request may never be done, or it might already be done. The
+        // information is conveyed to the clerk, who may retry (reserve is
+        // idempotent).
+        tell_clerk("cant_communicate", "can't communicate");
+        continue;
+      }
+      if (reply->command == "ok" || reply->command == "wait_list" ||
+          reply->command == "pre_reserved") {
+        if (reply->command != "pre_reserved") {
+          history.AddReserve(flight, date);
+        }
+        tell_clerk(reply->command.c_str(), date);
+      } else if (reply->command == kFailureCommand) {
+        tell_clerk("cant_communicate",
+                   reply->args.empty() ? "failure"
+                                       : reply->args[0].string_value());
+      } else {  // full, no_such_flight
+        tell_clerk(reply->command.c_str(), date);
+      }
+
+    } else if (received->command == "cancel") {
+      const int64_t flight = received->args[0].int_value();
+      const std::string date = received->args[1].string_value();
+      // "Cancel requests are not done immediately, however, but are
+      //  processed at the time the transaction finishes."
+      history.AddCancel(flight, date);
+      tell_clerk("deferred", date);
+
+    } else if (received->command == "undo_last") {
+      auto undone = history.UndoLast();
+      if (undone.has_value()) {
+        tell_clerk("undone", undone->action == TransHistory::Action::kReserve
+                                 ? "reserve"
+                                 : "cancel");
+      } else {
+        tell_clerk("illegal", "nothing to undo");
+      }
+
+    } else if (received->command == "undo_all") {
+      const int count = history.UndoAll();
+      tell_clerk("undone", std::to_string(count));
+
+    } else if (received->command == "done") {
+      // Perform the saved cancels now (idempotent, with retries).
+      int performed = 0;
+      int failed = 0;
+      for (const auto& entry : history.CancelsToPerform()) {
+        if (perform_cancel(entry)) {
+          ++performed;
+        } else {
+          ++failed;
+        }
+      }
+      if (!term.IsNull()) {
+        Value summary = Value::Record(
+            {{"reserves", Value::Int(history.ActiveReserves())},
+             {"cancels", Value::Int(performed)},
+             {"cancel_failures", Value::Int(failed)},
+             {"requests", Value::Int(ordinal)}});
+        Status st = Send(term, "trans_done", {summary});
+        (void)st;
+      }
+      completed_.fetch_add(1);
+      RetirePort(trans_port);
+      return;
+    }
+  }
+}
+
+}  // namespace guardians

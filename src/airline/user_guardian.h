@@ -1,0 +1,67 @@
+// UserGuardian: the user-interface guardian U_j of Figure 2 and the
+// transaction process of Figure 5.
+//
+// "A possible organization for the U_j might be to fork a process to handle
+//  a transaction consisting of many requests; this process would carry out
+//  U_j's end of the coordination protocol... the 'state' of this
+//  conversation is captured naturally in the state of process q"
+//  (conversational continuity, Section 2.3).
+//
+// A clerk sends start_transaction(passenger, term_port); the guardian forks
+// a dotrans process with a fresh transaction port and replies with its
+// name. The process performs reserves immediately (reporting each result to
+// the clerk's terminal), defers cancels to the end, supports undo, retries
+// idempotent requests after timeouts, and — per Section 3.5 — *forgets*
+// the transaction on a crash rather than trying to finish it.
+#ifndef GUARDIANS_SRC_AIRLINE_USER_GUARDIAN_H_
+#define GUARDIANS_SRC_AIRLINE_USER_GUARDIAN_H_
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "src/airline/trans_history.h"
+#include "src/airline/types.h"
+#include "src/guardian/node_runtime.h"
+
+namespace guardians {
+
+struct UserConfig {
+  // The regional ports this U_j routes to. Flight numbers encode their
+  // region: flight f belongs to regionals[f / 1000].
+  std::vector<PortName> regionals;
+  // The Figure 5 timeout expression e: "a delay long enough to permit the
+  // request to complete under reasonable circumstances".
+  Micros reserve_timeout{Millis(500)};
+  // How long a transaction may sit idle before it is abandoned.
+  Micros idle_timeout{Millis(10000)};
+  // Retry budget for the end-of-transaction cancels (idempotent).
+  int cancel_attempts = 3;
+
+  ValueList ToArgs() const;
+  static Result<UserConfig> FromArgs(const ValueList& args);
+};
+
+class UserGuardian : public Guardian {
+ public:
+  static constexpr char kTypeName[] = "user_guardian";
+
+  Status Setup(const ValueList& args) override;
+  void Main() override;
+
+  uint64_t transactions_started() const { return started_.load(); }
+  uint64_t transactions_completed() const { return completed_.load(); }
+
+ private:
+  // The dotrans procedure of Figure 5.
+  void DoTrans(Port* trans_port, PortName term, std::string passenger);
+  Result<PortName> RouteFlight(int64_t flight) const;
+
+  UserConfig config_;
+  std::atomic<uint64_t> started_{0};
+  std::atomic<uint64_t> completed_{0};
+};
+
+}  // namespace guardians
+
+#endif  // GUARDIANS_SRC_AIRLINE_USER_GUARDIAN_H_

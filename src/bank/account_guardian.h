@@ -1,0 +1,71 @@
+// Banking guardians — the second application domain from the paper's
+// introduction ("banking systems, airline reservation systems, office
+// automation").
+//
+// AccountGuardian guards one account:
+//  - deposit/withdraw are atomic, logged before reply (Section 2.2
+//    permanence of effect), and *exactly-once* under retries: every request
+//    carries a transaction id and the guardian remembers applied ids, so
+//    the Section 3.5 retry-after-timeout pattern is safe even though the
+//    operations are not naturally idempotent;
+//  - the statement is reached through a token (Section 2.1): the guardian
+//    seals an index into its private statement table — guardian-dependent
+//    information that would be meaningless (and unusable) anywhere else.
+#ifndef GUARDIANS_SRC_BANK_ACCOUNT_GUARDIAN_H_
+#define GUARDIANS_SRC_BANK_ACCOUNT_GUARDIAN_H_
+
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/guardian/node_runtime.h"
+
+namespace guardians {
+
+// deposit (amount, txid)  replies (ok_balance, bad_amount)
+// withdraw (amount, txid) replies (ok_balance, insufficient, bad_amount)
+// balance ()              replies (balance_is)
+// statement_token ()      replies (the_token)
+// read_statement (token)  replies (statement, bad_token)
+PortType AccountPortType();
+// All replies an account client may receive.
+PortType BankReplyType();
+
+class AccountGuardian : public Guardian {
+ public:
+  static constexpr char kTypeName[] = "account";
+
+  // args: [owner string, initial_balance int]
+  Status Setup(const ValueList& args) override;
+  Status Recover(const ValueList& args) override;
+  void Main() override;
+
+  int64_t BalanceForTesting() const;
+
+ private:
+  struct Entry {
+    std::string txid;
+    std::string kind;  // "deposit" | "withdraw"
+    int64_t amount;
+    int64_t balance_after;
+  };
+
+  Status InitCommon(const ValueList& args, bool recovering);
+  void HandleRequest(const Received& request);
+  // Applies a mutation if its txid is new; returns the resulting balance
+  // (current balance when duplicate). Logs before applying.
+  Result<int64_t> ApplyOp(const std::string& kind, int64_t amount,
+                          const std::string& txid);
+
+  std::string owner_;
+  mutable std::mutex mu_;
+  int64_t balance_ = 0;
+  std::set<std::string> applied_;      // txids already applied
+  std::vector<Entry> statement_;       // private table; indexed via tokens
+  Wal* log_ = nullptr;
+};
+
+}  // namespace guardians
+
+#endif  // GUARDIANS_SRC_BANK_ACCOUNT_GUARDIAN_H_

@@ -1,0 +1,212 @@
+#include "src/bank/branch_guardian.h"
+
+#include "src/common/log.h"
+#include "src/sendprims/remote_call.h"
+
+namespace guardians {
+
+PortType BranchPortType() {
+  return PortType("branch_port",
+                  {MessageSig{"transfer",
+                              {ArgType::Of(TypeTag::kPortName),
+                               ArgType::Of(TypeTag::kPortName),
+                               ArgType::Of(TypeTag::kInt),
+                               ArgType::Of(TypeTag::kString)},
+                              {"transfer_done", "transfer_failed"}}});
+}
+
+Status BranchGuardian::Setup(const ValueList& args) {
+  return InitCommon(args, /*recovering=*/false);
+}
+
+Status BranchGuardian::Recover(const ValueList& args) {
+  return InitCommon(args, /*recovering=*/true);
+}
+
+Status BranchGuardian::InitCommon(const ValueList& args, bool recovering) {
+  if (args.size() != 2 || !args[0].is(TypeTag::kInt) ||
+      !args[1].is(TypeTag::kInt)) {
+    return Status(Code::kInvalidArgument,
+                  "branch takes (leg_timeout_us, attempts)");
+  }
+  leg_timeout_ = Micros(args[0].int_value());
+  attempts_ = static_cast<int>(args[1].int_value());
+  log_ = OpenLog("transfers");
+  AddPort(BranchPortType(), /*capacity=*/256, /*provided=*/true);
+
+  if (recovering) {
+    // Finish every transfer whose outcome is not yet decided. Both legs
+    // are exactly-once at the accounts (txid-deduplicated), so re-running
+    // a possibly-completed leg is always safe:
+    //  - "start" without "withdrawn": the withdraw may or may not have
+    //    landed; re-run it. A duplicate is absorbed; "insufficient" proves
+    //    it never landed and the transfer aborts having moved nothing.
+    //  - "withdrawn" without "done": re-run the deposit until confirmed.
+    GUARDIANS_ASSIGN_OR_RETURN(auto records, log_->RecoverValues());
+    struct Pending {
+      PortName from, to;
+      int64_t amount = 0;
+      bool started = false;
+      bool withdrawn = false;
+      bool decided = false;
+    };
+    std::map<std::string, Pending> transfers;
+    for (const auto& record : records) {
+      GUARDIANS_ASSIGN_OR_RETURN(Value txid, record.field("txid"));
+      GUARDIANS_ASSIGN_OR_RETURN(Value state, record.field("state"));
+      Pending& pending = transfers[txid.string_value()];
+      const std::string& s = state.string_value();
+      if (s == "start") {
+        GUARDIANS_ASSIGN_OR_RETURN(Value from, record.field("from"));
+        GUARDIANS_ASSIGN_OR_RETURN(Value to, record.field("to"));
+        GUARDIANS_ASSIGN_OR_RETURN(Value amount, record.field("amount"));
+        pending.from = from.port_value();
+        pending.to = to.port_value();
+        pending.amount = amount.int_value();
+        pending.started = true;
+      } else if (s == "withdrawn") {
+        pending.withdrawn = true;
+      } else if (s == "done" || s == "aborted") {
+        pending.decided = true;
+      }
+    }
+    for (auto& [txid, pending] : transfers) {
+      if (!pending.started || pending.decided) {
+        continue;
+      }
+      // Finish on a recovery process, not inline: the accounts may still
+      // be recovering themselves.
+      Fork("recover-" + txid, [this, txid = txid, pending] {
+        if (!pending.withdrawn) {
+          bool insufficient = false;
+          if (!WithdrawLeg(pending.from, pending.amount, txid,
+                           insufficient)) {
+            if (insufficient) {
+              LogState(txid, "aborted", {}, {}, 0);
+            }
+            return;  // still unreachable; a later recovery retries
+          }
+          LogState(txid, "withdrawn", {}, {}, 0);
+        }
+        if (DepositLeg(pending.to, pending.amount, txid)) {
+          LogState(txid, "done", {}, {}, 0);
+          recovered_.fetch_add(1);
+        }
+      });
+    }
+  }
+  return OkStatus();
+}
+
+void BranchGuardian::Main() {
+  Port* requests = port(0);
+  uint64_t seq = 0;
+  for (;;) {
+    auto received = Receive(requests, Micros::max());
+    if (!received.ok()) {
+      return;
+    }
+    if (received->command != "transfer") {
+      continue;
+    }
+    // One process per transfer: conversational continuity for the
+    // multi-step protocol.
+    Fork("transfer-" + std::to_string(seq++),
+         [this, request = std::move(*received)] { HandleTransfer(request); });
+    if (seq % 32 == 0) {
+      ReapProcesses();
+    }
+  }
+}
+
+void BranchGuardian::LogState(const std::string& txid,
+                              const std::string& state, const PortName& from,
+                              const PortName& to, int64_t amount) {
+  std::vector<Value::Field> fields = {{"txid", Value::Str(txid)},
+                                      {"state", Value::Str(state)}};
+  if (state == "start") {
+    fields.emplace_back("from", Value::OfPort(from));
+    fields.emplace_back("to", Value::OfPort(to));
+    fields.emplace_back("amount", Value::Int(amount));
+  }
+  Status st = log_->AppendValue(Value::Record(std::move(fields)));
+  if (!st.ok()) {
+    GLOG_ERROR << "branch log failed: " << st;
+  }
+}
+
+bool BranchGuardian::WithdrawLeg(const PortName& from, int64_t amount,
+                                 const std::string& txid,
+                                 bool& insufficient) {
+  RemoteCallOptions options;
+  options.timeout = leg_timeout_;
+  options.max_attempts = attempts_;  // safe: account dedups by txid
+  auto reply = RemoteCall(*this, from, "withdraw",
+                          {Value::Int(amount), Value::Str(txid + ":w")},
+                          BankReplyType(), options);
+  if (reply.ok() && reply->command == "insufficient") {
+    insufficient = true;
+    return false;
+  }
+  return reply.ok() && reply->command == "ok_balance";
+}
+
+bool BranchGuardian::DepositLeg(const PortName& to, int64_t amount,
+                                const std::string& txid) {
+  RemoteCallOptions options;
+  options.timeout = leg_timeout_;
+  options.max_attempts = attempts_;
+  auto reply = RemoteCall(*this, to, "deposit",
+                          {Value::Int(amount), Value::Str(txid + ":d")},
+                          BankReplyType(), options);
+  return reply.ok() && reply->command == "ok_balance";
+}
+
+void BranchGuardian::HandleTransfer(const Received& request) {
+  const PortName from = request.args[0].port_value();
+  const PortName to = request.args[1].port_value();
+  const int64_t amount = request.args[2].int_value();
+  const std::string txid = request.args[3].string_value();
+
+  auto reply = [&](const char* command, const std::string& detail) {
+    if (!request.reply_to.IsNull()) {
+      Status st = Send(request.reply_to, command, {Value::Str(detail)});
+      (void)st;
+    }
+  };
+
+  // Intent first (permanence): if this node crashes at ANY later point, or
+  // even if both withdraw replies are lost, the recovery process can finish
+  // or abort the transfer from this record — no money is ever stranded.
+  LogState(txid, "start", from, to, amount);
+
+  bool insufficient = false;
+  if (!WithdrawLeg(from, amount, txid, insufficient)) {
+    if (insufficient) {
+      LogState(txid, "aborted", {}, {}, 0);
+      reply("transfer_failed", "insufficient funds");
+    } else {
+      // Unknown outcome: the withdraw may have landed with its reply lost.
+      // Leave the transfer in "start"; recovery re-runs it (exactly-once
+      // at the account) and drives it to done or aborted.
+      reply("transfer_failed", "in doubt; will complete after recovery");
+    }
+    return;
+  }
+  LogState(txid, "withdrawn", {}, {}, 0);
+
+  if (DepositLeg(to, amount, txid)) {
+    LogState(txid, "done", {}, {}, 0);
+    completed_.fetch_add(1);
+    reply("transfer_done", txid);
+    return;
+  }
+  // Deposit unconfirmed. Compensating now could *create* money (the deposit
+  // may in fact have landed and only its reply was lost), so the transfer
+  // stays logged as "withdrawn": the forward deposit is exactly-once at the
+  // destination, and the recovery process re-runs it until confirmed.
+  // Money is conserved in every case.
+  reply("transfer_failed", "in doubt; will complete after recovery");
+}
+
+}  // namespace guardians

@@ -1,0 +1,56 @@
+// BranchGuardian: a transfer coordinator built from the paper's primitives.
+//
+// A transfer is the classic two-message protocol the paper's Section 3
+// discusses: withdraw from one account guardian, deposit to another, with
+// timeouts, idempotent retries (the account guardians deduplicate by txid),
+// compensation on failure, and a transfer log providing permanence: a
+// transfer that crashed between withdraw and deposit is *finished* by the
+// recovery process — deposits are exactly-once, so re-running is safe.
+#ifndef GUARDIANS_SRC_BANK_BRANCH_GUARDIAN_H_
+#define GUARDIANS_SRC_BANK_BRANCH_GUARDIAN_H_
+
+#include <atomic>
+#include <map>
+#include <string>
+
+#include "src/bank/account_guardian.h"
+
+namespace guardians {
+
+// transfer (from_port, to_port, amount, txid)
+//          replies (transfer_done, transfer_failed)
+PortType BranchPortType();
+
+class BranchGuardian : public Guardian {
+ public:
+  static constexpr char kTypeName[] = "branch";
+
+  // args: [withdraw/deposit timeout micros int, attempts int]
+  Status Setup(const ValueList& args) override;
+  Status Recover(const ValueList& args) override;
+  void Main() override;
+
+  uint64_t transfers_completed() const { return completed_.load(); }
+  uint64_t transfers_recovered() const { return recovered_.load(); }
+
+ private:
+  Status InitCommon(const ValueList& args, bool recovering);
+  void HandleTransfer(const Received& request);
+  // Runs the deposit leg; true on confirmed success.
+  bool DepositLeg(const PortName& to, int64_t amount,
+                  const std::string& txid);
+  bool WithdrawLeg(const PortName& from, int64_t amount,
+                   const std::string& txid, bool& insufficient);
+  void LogState(const std::string& txid, const std::string& state,
+                const PortName& from, const PortName& to, int64_t amount);
+
+  Micros leg_timeout_{Millis(500)};
+  int attempts_ = 3;
+  Wal* log_ = nullptr;
+  std::atomic<uint64_t> completed_{0};
+  std::atomic<uint64_t> recovered_{0};
+};
+
+}  // namespace guardians
+
+#endif  // GUARDIANS_SRC_BANK_BRANCH_GUARDIAN_H_

@@ -1,0 +1,36 @@
+#include "src/common/bytes.h"
+
+#include <cstdio>
+
+namespace guardians {
+
+std::string HexDump(const Bytes& bytes, size_t max_bytes) {
+  std::string out;
+  const size_t n = bytes.size() < max_bytes ? bytes.size() : max_bytes;
+  char buf[4];
+  for (size_t i = 0; i < n; ++i) {
+    std::snprintf(buf, sizeof(buf), "%02x", bytes[i]);
+    out += buf;
+    if (i % 2 == 1 && i + 1 < n) {
+      out += ' ';
+    }
+  }
+  if (bytes.size() > max_bytes) {
+    out += "...";
+  }
+  return out;
+}
+
+uint64_t Fnv1a64(const void* data, size_t size) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  uint64_t h = 0xCBF29CE484222325ull;
+  for (size_t i = 0; i < size; ++i) {
+    h ^= p[i];
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+uint64_t Fnv1a64(const std::string& s) { return Fnv1a64(s.data(), s.size()); }
+
+}  // namespace guardians

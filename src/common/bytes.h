@@ -1,0 +1,31 @@
+// Byte-buffer helpers shared by the wire format and stable storage.
+#ifndef GUARDIANS_SRC_COMMON_BYTES_H_
+#define GUARDIANS_SRC_COMMON_BYTES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace guardians {
+
+using Bytes = std::vector<uint8_t>;
+
+inline Bytes ToBytes(const std::string& s) {
+  return Bytes(s.begin(), s.end());
+}
+
+inline std::string ToString(const Bytes& b) {
+  return std::string(b.begin(), b.end());
+}
+
+// Short hex dump for logs: "4a6f 6521" style, capped.
+std::string HexDump(const Bytes& bytes, size_t max_bytes = 32);
+
+// FNV-1a 64-bit hash, used for port-type hashes (the analog of the compiled
+// guardian-header library key) and for deterministic ids.
+uint64_t Fnv1a64(const void* data, size_t size);
+uint64_t Fnv1a64(const std::string& s);
+
+}  // namespace guardians
+
+#endif  // GUARDIANS_SRC_COMMON_BYTES_H_

@@ -1,0 +1,49 @@
+// Time helpers. All latencies and timeouts in the library are
+// std::chrono::microseconds on the steady clock.
+#ifndef GUARDIANS_SRC_COMMON_CLOCK_H_
+#define GUARDIANS_SRC_COMMON_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace guardians {
+
+using Clock = std::chrono::steady_clock;
+using TimePoint = Clock::time_point;
+using Micros = std::chrono::microseconds;
+using Millis = std::chrono::milliseconds;
+
+inline TimePoint Now() { return Clock::now(); }
+
+inline int64_t ToMicros(Clock::duration d) {
+  return std::chrono::duration_cast<Micros>(d).count();
+}
+
+// A simple deadline: constructed from a timeout, queried for remaining time.
+class Deadline {
+ public:
+  explicit Deadline(Micros timeout) : at_(Now() + timeout) {}
+
+  static Deadline Infinite() { return Deadline(TimePoint::max()); }
+
+  bool Expired() const { return at_ != TimePoint::max() && Now() >= at_; }
+  bool IsInfinite() const { return at_ == TimePoint::max(); }
+  TimePoint at() const { return at_; }
+
+  Micros Remaining() const {
+    if (at_ == TimePoint::max()) {
+      return Micros::max();
+    }
+    const auto now = Now();
+    return now >= at_ ? Micros(0)
+                      : std::chrono::duration_cast<Micros>(at_ - now);
+  }
+
+ private:
+  explicit Deadline(TimePoint at) : at_(at) {}
+  TimePoint at_;
+};
+
+}  // namespace guardians
+
+#endif  // GUARDIANS_SRC_COMMON_CLOCK_H_

@@ -1,0 +1,47 @@
+#include "src/common/log.h"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+#include "src/common/clock.h"
+
+namespace guardians {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_mutex;
+const TimePoint g_start = Now();
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarn:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+    case LogLevel::kOff:
+      return "?";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level.store(level); }
+LogLevel GetLogLevel() { return g_level.load(); }
+
+void LogLine(LogLevel level, const std::string& line) {
+  if (level < g_level.load()) {
+    return;
+  }
+  const double ms = static_cast<double>(ToMicros(Now() - g_start)) / 1000.0;
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::fprintf(stderr, "[%s %10.3fms] %s\n", LevelTag(level), ms,
+               line.c_str());
+}
+
+}  // namespace guardians

@@ -1,0 +1,46 @@
+// Minimal leveled logging to stderr. Quiet by default so benchmarks and
+// tests stay readable; raise the level in examples to watch the system run.
+#ifndef GUARDIANS_SRC_COMMON_LOG_H_
+#define GUARDIANS_SRC_COMMON_LOG_H_
+
+#include <sstream>
+#include <string>
+
+namespace guardians {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+// Global threshold; messages below it are discarded. Thread-safe.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// Emit a single line, prefixed with level and a relative timestamp.
+void LogLine(LogLevel level, const std::string& line);
+
+namespace internal {
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { LogLine(level_, stream_.str()); }
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace internal
+
+#define GUARDIANS_LOG(level)                                           \
+  if (::guardians::GetLogLevel() > ::guardians::LogLevel::level) {     \
+  } else                                                               \
+    ::guardians::internal::LogMessage(::guardians::LogLevel::level)    \
+        .stream()
+
+#define GLOG_DEBUG GUARDIANS_LOG(kDebug)
+#define GLOG_INFO GUARDIANS_LOG(kInfo)
+#define GLOG_WARN GUARDIANS_LOG(kWarn)
+#define GLOG_ERROR GUARDIANS_LOG(kError)
+
+}  // namespace guardians
+
+#endif  // GUARDIANS_SRC_COMMON_LOG_H_

@@ -1,0 +1,83 @@
+// Result<T>: a value-or-Status, the library's return type for fallible
+// operations that produce a value.
+#ifndef GUARDIANS_SRC_COMMON_RESULT_H_
+#define GUARDIANS_SRC_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "src/common/status.h"
+
+namespace guardians {
+
+template <typename T>
+class Result {
+ public:
+  // Implicit from a value (the common, readable case: `return 42;`).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  // Implicit from a non-ok status: `return Status(Code::kTimeout);`.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "use Result(T) for success");
+  }
+  Result(Code code, std::string message)
+      : status_(code, std::move(message)) {}
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  T& value() {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const {
+    assert(ok());
+    return *value_;
+  }
+  T&& take() {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  T value_or(T fallback) const { return ok() ? *value_ : std::move(fallback); }
+
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // ok() status when value_ is set
+};
+
+// Propagate a non-ok Status from an expression.
+//
+//   GUARDIANS_RETURN_IF_ERROR(port.Check(msg));
+#define GUARDIANS_RETURN_IF_ERROR(expr)            \
+  do {                                             \
+    ::guardians::Status _st = (expr);              \
+    if (!_st.ok()) {                               \
+      return _st;                                  \
+    }                                              \
+  } while (false)
+
+// Assign a Result's value or propagate its Status.
+//
+//   GUARDIANS_ASSIGN_OR_RETURN(auto bytes, encoder.Finish());
+#define GUARDIANS_ASSIGN_OR_RETURN(lhs, expr)      \
+  GUARDIANS_ASSIGN_OR_RETURN_IMPL_(                \
+      GUARDIANS_CONCAT_(_res_, __LINE__), lhs, expr)
+
+#define GUARDIANS_CONCAT_INNER_(a, b) a##b
+#define GUARDIANS_CONCAT_(a, b) GUARDIANS_CONCAT_INNER_(a, b)
+#define GUARDIANS_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                     \
+  if (!tmp.ok()) {                                       \
+    return tmp.status();                                 \
+  }                                                      \
+  lhs = std::move(tmp.take())
+
+}  // namespace guardians
+
+#endif  // GUARDIANS_SRC_COMMON_RESULT_H_

@@ -1,0 +1,42 @@
+// Deterministic pseudo-random number generator (splitmix64 seeded
+// xoshiro256**). Used by the network simulator (loss, jitter, corruption),
+// workload generators and property tests so that every experiment is
+// reproducible from a seed.
+#ifndef GUARDIANS_SRC_COMMON_RNG_H_
+#define GUARDIANS_SRC_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace guardians {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  // Uniform 64-bit value.
+  uint64_t NextU64();
+  // Uniform in [0, bound). bound must be > 0.
+  uint64_t NextBelow(uint64_t bound);
+  // Uniform in [lo, hi] inclusive. lo <= hi.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+  // Uniform in [0, 1).
+  double NextDouble();
+  // True with probability p (clamped to [0,1]).
+  bool NextBool(double p);
+  // Exponential with the given mean (for inter-arrival times).
+  double NextExponential(double mean);
+  // Normal(mu, sigma) via Box-Muller (for latency jitter).
+  double NextNormal(double mu, double sigma);
+
+  // Derive an independent stream (e.g. one per node) from this one.
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+  bool have_gauss_ = false;
+  double gauss_ = 0.0;
+};
+
+}  // namespace guardians
+
+#endif  // GUARDIANS_SRC_COMMON_RNG_H_

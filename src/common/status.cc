@@ -1,0 +1,68 @@
+#include "src/common/status.h"
+
+#include <ostream>
+
+namespace guardians {
+
+std::string_view CodeName(Code code) {
+  switch (code) {
+    case Code::kOk:
+      return "ok";
+    case Code::kInvalidArgument:
+      return "invalid argument";
+    case Code::kNotFound:
+      return "not found";
+    case Code::kAlreadyExists:
+      return "already exists";
+    case Code::kOutOfRange:
+      return "out of range";
+    case Code::kUnimplemented:
+      return "unimplemented";
+    case Code::kInternal:
+      return "internal";
+    case Code::kTimeout:
+      return "timeout";
+    case Code::kPortFull:
+      return "port full";
+    case Code::kNoSuchPort:
+      return "no such port";
+    case Code::kNodeDown:
+      return "node down";
+    case Code::kUnreachable:
+      return "unreachable";
+    case Code::kCorrupt:
+      return "corrupt";
+    case Code::kTypeError:
+      return "type error";
+    case Code::kEncodeError:
+      return "encode error";
+    case Code::kDecodeError:
+      return "decode error";
+    case Code::kNotTransmittable:
+      return "not transmittable";
+    case Code::kPermissionDenied:
+      return "permission denied";
+    case Code::kBadToken:
+      return "bad token";
+    case Code::kStorageError:
+      return "storage error";
+    case Code::kLogCorrupt:
+      return "log corrupt";
+  }
+  return "unknown";
+}
+
+std::string Status::ToString() const {
+  std::string out(CodeName(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& status) {
+  return os << status.ToString();
+}
+
+}  // namespace guardians

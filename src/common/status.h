@@ -1,0 +1,83 @@
+// Status and error codes used throughout the guardians library.
+//
+// The library does not use exceptions: every operation that can fail returns
+// a Status or a Result<T> (see result.h). This mirrors the paper's treatment
+// of failures as values that flow to the program ("the send command
+// terminates and raises that exception" becomes a non-ok Status from Send).
+#ifndef GUARDIANS_SRC_COMMON_STATUS_H_
+#define GUARDIANS_SRC_COMMON_STATUS_H_
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+namespace guardians {
+
+// Error taxonomy. Codes are stable; they appear in logs and in system
+// failure(...) messages.
+enum class Code {
+  kOk = 0,
+  // Generic.
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+  // Communication (Section 3.4 of the paper).
+  kTimeout,          // receive timed out; nothing is known about true state
+  kPortFull,         // target port buffer had no room; message discarded
+  kNoSuchPort,       // target port or guardian doesn't exist
+  kNodeDown,         // local node crashed / shutting down
+  kUnreachable,      // network cannot deliver (partition, node down)
+  kCorrupt,          // error-detection bits rejected the data
+  // Typing (Section 3.2: compile-time checking analog).
+  kTypeError,        // message does not match the port's declared type
+  kEncodeError,      // encode operation of a transmittable type failed
+  kDecodeError,      // decode operation of a transmittable type failed
+  kNotTransmittable, // type forbids sending its values in messages
+  // Authority (Sections 1.1, 2.3).
+  kPermissionDenied, // ACL or node admission policy refused the request
+  kBadToken,         // token was not sealed by this guardian
+  // Storage (Section 2.2).
+  kStorageError,     // stable storage device failure
+  kLogCorrupt,       // WAL record failed its frame check
+};
+
+// Human-readable name of a code ("kTimeout" -> "timeout").
+std::string_view CodeName(Code code);
+
+// A success-or-error value: a code plus an optional context message.
+// Cheap to copy in the ok case.
+class Status {
+ public:
+  Status() : code_(Code::kOk) {}
+  explicit Status(Code code) : code_(code) {}
+  Status(Code code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == Code::kOk; }
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "timeout: no reply from regional manager" or "ok".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  Code code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+inline Status OkStatus() { return Status::Ok(); }
+
+}  // namespace guardians
+
+#endif  // GUARDIANS_SRC_COMMON_STATUS_H_

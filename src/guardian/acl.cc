@@ -1,0 +1,40 @@
+#include "src/guardian/acl.h"
+
+namespace guardians {
+
+void AccessControlList::Grant(const std::string& principal,
+                              const std::string& right) {
+  std::lock_guard<std::mutex> lock(mu_);
+  grants_[principal].insert(right);
+}
+
+void AccessControlList::Revoke(const std::string& principal,
+                               const std::string& right) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = grants_.find(principal);
+  if (it != grants_.end()) {
+    it->second.erase(right);
+  }
+}
+
+bool AccessControlList::Allows(const std::string& principal,
+                               const std::string& right) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = grants_.find(principal);
+  if (it != grants_.end() && it->second.count(right) > 0) {
+    return true;
+  }
+  auto any = grants_.find("*");
+  return any != grants_.end() && any->second.count(right) > 0;
+}
+
+Status AccessControlList::Check(const std::string& principal,
+                                const std::string& right) const {
+  if (Allows(principal, right)) {
+    return OkStatus();
+  }
+  return Status(Code::kPermissionDenied,
+                "principal '" + principal + "' lacks right '" + right + "'");
+}
+
+}  // namespace guardians

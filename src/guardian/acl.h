@@ -1,0 +1,42 @@
+// Access control lists (Section 2.3): a guardian "checks that the requester
+// has the right to request the access (perhaps using some sort of access
+// control list mechanism). For example, only a manager can request a
+// passenger list, or a reservation request from some other airline might
+// not be permitted to reserve the last seat on a flight."
+//
+// Principals are names carried in requests; rights are free-form strings
+// ("reserve", "list_passengers", ...). A guardian owns its ACL and consults
+// it before acting — guarding the resource is the guardian's job, not the
+// system's.
+#ifndef GUARDIANS_SRC_GUARDIAN_ACL_H_
+#define GUARDIANS_SRC_GUARDIAN_ACL_H_
+
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/common/status.h"
+
+namespace guardians {
+
+class AccessControlList {
+ public:
+  // Grant `right` to `principal`. The wildcard principal "*" grants the
+  // right to everyone.
+  void Grant(const std::string& principal, const std::string& right);
+  void Revoke(const std::string& principal, const std::string& right);
+
+  bool Allows(const std::string& principal, const std::string& right) const;
+
+  // kPermissionDenied with a useful message when not allowed.
+  Status Check(const std::string& principal, const std::string& right) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::unordered_set<std::string>> grants_;
+};
+
+}  // namespace guardians
+
+#endif  // GUARDIANS_SRC_GUARDIAN_ACL_H_

@@ -1,0 +1,220 @@
+#include "src/guardian/guardian.h"
+
+#include <cassert>
+
+#include "src/common/bytes.h"
+#include "src/common/log.h"
+#include "src/guardian/node_runtime.h"
+#include "src/guardian/system.h"
+
+namespace guardians {
+
+void Guardian::Attach(NodeRuntime* rt, GuardianId gid, std::string gname,
+                      uint64_t seal) {
+  runtime_ = rt;
+  id_ = gid;
+  name_ = std::move(gname);
+  seal_ = seal;
+}
+
+NodeId Guardian::node() const { return runtime_->id(); }
+
+Port* Guardian::AddPort(const PortType& type, size_t capacity,
+                        bool provided) {
+  std::lock_guard<std::mutex> lock(ports_mu_);
+  PortName pn;
+  pn.node = runtime_->id();
+  pn.guardian = id_;
+  pn.port_index = static_cast<uint32_t>(ports_.size());
+  pn.type_hash = type.hash();
+  // "Compile" the header into the system-wide library so any sender can
+  // check against it.
+  Status registered = runtime_->system().port_types().Register(type);
+  if (!registered.ok()) {
+    GLOG_ERROR << "port type registration failed: " << registered;
+  }
+  ports_.push_back(std::make_unique<Port>(pn, type, &mailbox_, capacity));
+  if (provided) {
+    provided_.push_back(pn.port_index);
+  }
+  return ports_.back().get();
+}
+
+void Guardian::RetirePort(Port* p) { p->Retire(); }
+
+std::vector<PortName> Guardian::ProvidedPorts() const {
+  std::lock_guard<std::mutex> lock(ports_mu_);
+  std::vector<PortName> names;
+  names.reserve(provided_.size());
+  for (uint32_t index : provided_) {
+    names.push_back(ports_[index]->name());
+  }
+  return names;
+}
+
+Port* Guardian::port(size_t i) const {
+  std::lock_guard<std::mutex> lock(ports_mu_);
+  assert(i < ports_.size());
+  return ports_[i].get();
+}
+
+size_t Guardian::port_count() const {
+  std::lock_guard<std::mutex> lock(ports_mu_);
+  return ports_.size();
+}
+
+Port* Guardian::FindPort(uint32_t index) const {
+  std::lock_guard<std::mutex> lock(ports_mu_);
+  if (index >= ports_.size()) {
+    return nullptr;
+  }
+  return ports_[index].get();
+}
+
+Status Guardian::Send(const PortName& to, const std::string& command,
+                      ValueList args) {
+  return SendFull(to, command, std::move(args), PortName{}, PortName{})
+      .status();
+}
+
+Status Guardian::Send(const PortName& to, const std::string& command,
+                      ValueList args, const PortName& reply_to) {
+  return SendFull(to, command, std::move(args), reply_to, PortName{})
+      .status();
+}
+
+Result<uint64_t> Guardian::SendFull(const PortName& to,
+                                    const std::string& command,
+                                    ValueList args, const PortName& reply_to,
+                                    const PortName& ack_to) {
+  Envelope env;
+  env.msg_id = runtime_->NextMsgId();
+  env.src_node = runtime_->id();
+  env.target = to;
+  env.reply_to = reply_to;
+  env.ack_to = ack_to;
+  env.command = command;
+  env.args = std::move(args);
+  const uint64_t msg_id = env.msg_id;
+  GUARDIANS_RETURN_IF_ERROR(runtime_->Transmit(std::move(env)));
+  return msg_id;
+}
+
+Result<Received> Guardian::Receive(const std::vector<Port*>& ports,
+                                   Micros timeout) {
+  assert(!ports.empty());
+  for (Port* p : ports) {
+    assert(p->mailbox() == &mailbox_ &&
+           "only processes within a guardian can receive from its ports");
+    (void)p;
+  }
+  const bool infinite = timeout == Micros::max();
+  const Deadline deadline = infinite ? Deadline::Infinite()
+                                     : Deadline(timeout);
+  std::unique_lock<std::mutex> lock(mailbox_.mu);
+  for (;;) {
+    if (mailbox_.closed) {
+      return Status(Code::kNodeDown, "guardian's node is down");
+    }
+    // Priority: scan the port list in order.
+    for (Port* p : ports) {
+      if (p->HasMessageLocked()) {
+        Received message = p->PopLocked();
+        lock.unlock();
+        if (!message.ack_to.IsNull()) {
+          // The synchronization send's receipt notification: the message
+          // has now been received by the target process.
+          runtime_->SendAck(message);
+        }
+        return message;
+      }
+    }
+    if (infinite) {
+      mailbox_.cv.wait(lock);
+    } else {
+      if (deadline.Expired() ||
+          mailbox_.cv.wait_until(lock, deadline.at()) ==
+              std::cv_status::timeout) {
+        // Check once more: a message may have arrived with the timeout.
+        for (Port* p : ports) {
+          if (p->HasMessageLocked()) {
+            Received message = p->PopLocked();
+            lock.unlock();
+            if (!message.ack_to.IsNull()) {
+              runtime_->SendAck(message);
+            }
+            return message;
+          }
+        }
+        if (mailbox_.closed) {
+          return Status(Code::kNodeDown, "guardian's node is down");
+        }
+        return Status(Code::kTimeout,
+                      "receive timed out; nothing is known about the true "
+                      "state of affairs");
+      }
+    }
+  }
+}
+
+namespace {
+// Authenticator over a sealed handle: without the guardian-private seal,
+// neither the handle nor the check field can be forged consistently.
+uint64_t TokenMac(GuardianId owner, uint64_t seal, uint64_t sealed_handle) {
+  uint64_t material[3] = {owner, seal, sealed_handle};
+  return Fnv1a64(material, sizeof(material));
+}
+}  // namespace
+
+Token Guardian::Seal(uint64_t handle) {
+  Token t;
+  t.owner = id_;
+  t.handle = handle ^ seal_;  // hidden from everyone without the seal
+  t.seal = TokenMac(id_, seal_, t.handle);
+  return t;
+}
+
+Result<uint64_t> Guardian::Unseal(const Token& token) const {
+  if (token.owner != id_ || token.seal != TokenMac(id_, seal_, token.handle)) {
+    return Status(Code::kBadToken,
+                  "token was not sealed by this guardian (or was sealed by a "
+                  "previous incarnation)");
+  }
+  return token.handle ^ seal_;
+}
+
+void Guardian::Fork(std::string process_name, std::function<void()> body) {
+  processes_.Fork(name_ + "/" + process_name, std::move(body));
+}
+
+void Guardian::ReapProcesses() { processes_.Reap(); }
+
+bool Guardian::Closed() const {
+  std::lock_guard<std::mutex> lock(mailbox_.mu);
+  return mailbox_.closed;
+}
+
+Wal* Guardian::OpenLog(const std::string& resource) {
+  std::lock_guard<std::mutex> lock(wals_mu_);
+  auto it = wals_.find(resource);
+  if (it != wals_.end()) {
+    return it->second.get();
+  }
+  auto wal = std::make_unique<Wal>(&runtime_->stable_store(),
+                                   "g/" + name_ + "/" + resource);
+  Wal* raw = wal.get();
+  wals_.emplace(resource, std::move(wal));
+  return raw;
+}
+
+void Guardian::CloseMailbox() {
+  {
+    std::lock_guard<std::mutex> lock(mailbox_.mu);
+    mailbox_.closed = true;
+  }
+  mailbox_.cv.notify_all();
+}
+
+void Guardian::JoinProcesses() { processes_.JoinAll(); }
+
+}  // namespace guardians

@@ -1,0 +1,577 @@
+#include "src/guardian/node_runtime.h"
+
+#include <cassert>
+
+#include "src/common/log.h"
+#include "src/guardian/system.h"
+#include "src/wire/codec.h"
+
+namespace guardians {
+
+namespace {
+
+constexpr GuardianId kPrimordialId = 1;
+constexpr char kMetaLogName[] = "node/meta";
+constexpr char kNextIdCell[] = "node/next_guardian_id";
+
+// The primordial guardian: created with the node, never persistent-logged
+// (it is always re-created on restart). It creates guardians at its node in
+// response to messages arriving from guardians at other nodes, subject to
+// the owner's admission policy.
+class PrimordialGuardian : public Guardian {
+ public:
+  Status Setup(const ValueList& args) override {
+    (void)args;
+    AddPort(PrimordialPortType(), Port::kDefaultCapacity, /*provided=*/true);
+    return OkStatus();
+  }
+
+  void Main() override {
+    Port* requests = port(0);
+    for (;;) {
+      auto received = Receive(requests, Micros::max());
+      if (!received.ok()) {
+        return;  // node down
+      }
+      if (received->command == "create_guardian") {
+        HandleCreate(*received);
+      } else if (received->command == "ping") {
+        if (!received->reply_to.IsNull()) {
+          Status ignored = Send(received->reply_to, "pong", {});
+          (void)ignored;
+        }
+      }
+      // failure(...) messages to the primordial port are ignored.
+    }
+  }
+
+ private:
+  void HandleCreate(const Received& request) {
+    const std::string type_name = request.args[0].string_value();
+    const std::string guardian_name = request.args[1].string_value();
+    const ValueList creation_args = request.args[2].items();
+    const bool persistent = request.args[3].bool_value();
+
+    auto refuse = [&](const std::string& why) {
+      if (!request.reply_to.IsNull()) {
+        Status ignored =
+            Send(request.reply_to, "refused", {Value::Str(why)});
+        (void)ignored;
+      }
+    };
+
+    auto created = runtime().CreateGuardianForRemote(
+        type_name, guardian_name, creation_args, persistent,
+        request.src_node);
+    if (!created.ok()) {
+      refuse(created.status().ToString());
+      return;
+    }
+    std::vector<Value> port_values;
+    for (const PortName& pn : (*created)->ProvidedPorts()) {
+      port_values.push_back(Value::OfPort(pn));
+    }
+    if (!request.reply_to.IsNull()) {
+      Status ignored = Send(request.reply_to, "created",
+                            {Value::Array(std::move(port_values))});
+      (void)ignored;
+    }
+  }
+};
+
+}  // namespace
+
+PortType PrimordialPortType() {
+  return PortType(
+      "primordial",
+      {MessageSig{"create_guardian",
+                  {ArgType::Of(TypeTag::kString),  // guardian type name
+                   ArgType::Of(TypeTag::kString),  // instance name
+                   ArgType::Of(TypeTag::kArray),   // creation arguments
+                   ArgType::Of(TypeTag::kBool)},   // persistent?
+                  {"created", "refused"}},
+       MessageSig{"ping", {}, {"pong"}}});
+}
+
+PortType CreationReplyPortType() {
+  return PortType("creation_reply",
+                  {MessageSig{"created", {ArgType::Of(TypeTag::kArray)}, {}},
+                   MessageSig{"refused", {ArgType::Of(TypeTag::kString)}, {}},
+                   MessageSig{"pong", {}, {}}});
+}
+
+PortType AckPortType() {
+  return PortType("sys_ack",
+                  {MessageSig{"ack", {ArgType::Of(TypeTag::kString)}, {}}});
+}
+
+NodeRuntime::NodeRuntime(System* system, NodeId id, std::string name,
+                         uint64_t seed)
+    : system_(system), id_(id), name_(std::move(name)), rng_(seed) {}
+
+NodeRuntime::~NodeRuntime() { Crash(); }
+
+void NodeRuntime::RegisterGuardianType(const std::string& type_name,
+                                       Factory factory) {
+  std::lock_guard<std::mutex> lock(mu_);
+  factories_[type_name] = std::move(factory);
+}
+
+bool NodeRuntime::KnowsGuardianType(const std::string& type_name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return factories_.count(type_name) > 0;
+}
+
+void NodeRuntime::SetAdmissionPolicy(AdmissionPolicy policy) {
+  std::lock_guard<std::mutex> lock(mu_);
+  admission_policy_ = std::move(policy);
+}
+
+Result<Guardian*> NodeRuntime::CreateGuardian(const std::string& type_name,
+                                              const std::string& guardian_name,
+                                              const ValueList& args,
+                                              bool persistent) {
+  if (!up_.load()) {
+    return Status(Code::kNodeDown, "node is down");
+  }
+  Factory factory;
+  GuardianId gid;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = factories_.find(type_name);
+    if (it == factories_.end()) {
+      return Status(Code::kNotFound,
+                    "guardian type '" + type_name +
+                        "' is not registered at node '" + name_ + "'");
+    }
+    factory = it->second;
+    gid = next_guardian_id_++;
+  }
+  PersistNextId();
+
+  std::unique_ptr<Guardian> guardian = factory();
+  Guardian* raw = guardian.get();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    guardians_.emplace(gid, std::move(guardian));
+  }
+  raw->MarkPersistent(persistent);
+  Status started = StartGuardian(raw, type_name, guardian_name, gid, args,
+                                 /*recovering=*/false);
+  if (!started.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    guardians_.erase(gid);
+    return started;
+  }
+  if (persistent) {
+    PersistCreation(type_name, guardian_name, gid, args);
+  }
+  return raw;
+}
+
+Result<Guardian*> NodeRuntime::CreateGuardianForRemote(
+    const std::string& type_name, const std::string& guardian_name,
+    const ValueList& args, bool persistent, NodeId requester) {
+  AdmissionPolicy policy;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    policy = admission_policy_;
+  }
+  if (policy && !policy(type_name, requester)) {
+    return Status(Code::kPermissionDenied,
+                  "node '" + name_ + "' refused creation of '" + type_name +
+                      "' for node " + std::to_string(requester));
+  }
+  return CreateGuardian(type_name, guardian_name, args, persistent);
+}
+
+Status NodeRuntime::DestroyGuardian(GuardianId gid) {
+  std::unique_ptr<Guardian> victim;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = guardians_.find(gid);
+    if (it == guardians_.end()) {
+      return Status(Code::kNotFound, "no such guardian");
+    }
+    victim = std::move(it->second);
+    guardians_.erase(it);
+  }
+  victim->CloseMailbox();
+  victim->JoinProcesses();
+  // Remove any persistent-creation record so it is not recovered.
+  // (Scan-and-rewrite of the meta log; rare operation.)
+  Wal meta(&stable_store_, kMetaLogName);
+  auto recovery = meta.RecoverValues();
+  if (recovery.ok()) {
+    std::vector<Value> keep;
+    for (const auto& record : *recovery) {
+      auto id_field = record.field("id");
+      if (id_field.ok() && id_field->is(TypeTag::kInt) &&
+          static_cast<GuardianId>(id_field->int_value()) == gid) {
+        continue;
+      }
+      keep.push_back(record);
+    }
+    Status st = meta.Checkpoint({});
+    (void)st;
+    for (const auto& record : keep) {
+      Status appended = meta.AppendValue(record);
+      (void)appended;
+    }
+  }
+  return OkStatus();
+}
+
+Guardian* NodeRuntime::FindGuardian(GuardianId gid) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = guardians_.find(gid);
+  return it != guardians_.end() ? it->second.get() : nullptr;
+}
+
+PortName NodeRuntime::PrimordialPort() const {
+  PortName pn;
+  pn.node = id_;
+  pn.guardian = kPrimordialId;
+  pn.port_index = 0;
+  pn.type_hash = PrimordialPortType().hash();
+  return pn;
+}
+
+Status NodeRuntime::StartGuardian(Guardian* guardian,
+                                  const std::string& type_name,
+                                  const std::string& guardian_name,
+                                  GuardianId gid, const ValueList& args,
+                                  bool recovering) {
+  (void)type_name;
+  uint64_t seal;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    seal = rng_.NextU64() | 1;  // nonzero
+  }
+  guardian->Attach(this, gid, guardian_name, seal);
+  Status init = recovering ? guardian->Recover(args) : guardian->Setup(args);
+  if (!init.ok()) {
+    return init;
+  }
+  guardian->Fork("main", [guardian] { guardian->Main(); });
+  return OkStatus();
+}
+
+void NodeRuntime::PersistCreation(const std::string& type_name,
+                                  const std::string& guardian_name,
+                                  GuardianId gid, const ValueList& args) {
+  Wal meta(&stable_store_, kMetaLogName);
+  Value record = Value::Record({{"type", Value::Str(type_name)},
+                                {"name", Value::Str(guardian_name)},
+                                {"id", Value::Int(static_cast<int64_t>(gid))},
+                                {"args", Value::Array(args)}});
+  Status st = meta.AppendValue(record);
+  if (!st.ok()) {
+    GLOG_ERROR << "failed to persist creation of '" << guardian_name
+               << "': " << st;
+  }
+}
+
+void NodeRuntime::PersistNextId() {
+  GuardianId next;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    next = next_guardian_id_;
+  }
+  WireEncoder enc;
+  enc.PutU64(next);
+  stable_store_.PutCell(kNextIdCell, enc.bytes());
+}
+
+void NodeRuntime::Crash() {
+  if (!up_.exchange(false)) {
+    return;
+  }
+  system_->network().SetNodeUp(id_, false);
+
+  // Close every mailbox so blocked receives return kNodeDown...
+  std::vector<Guardian*> gs;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    gs.reserve(guardians_.size());
+    for (auto& [gid, guardian] : guardians_) {
+      gs.push_back(guardian.get());
+    }
+  }
+  for (Guardian* g : gs) {
+    g->CloseMailbox();
+  }
+  // ...then wait for every process to observe the crash and exit...
+  for (Guardian* g : gs) {
+    g->JoinProcesses();
+  }
+  // ...then retire them. Their volatile state is unreachable from the new
+  // incarnation (the map is emptied), but the objects stay alive so
+  // application threads blocked on them fail cleanly with kNodeDown.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [gid, guardian] : guardians_) {
+      graveyard_.push_back(std::move(guardian));
+    }
+    guardians_.clear();
+  }
+  {
+    std::lock_guard<std::mutex> lock(reassembler_mu_);
+    reassembler_ = Reassembler();
+  }
+}
+
+Status NodeRuntime::Restart() {
+  if (up_.load()) {
+    return Status(Code::kInvalidArgument, "node is already up");
+  }
+  // Recover the creation counter first so recreated and new guardians get
+  // non-colliding ids.
+  {
+    auto cell = stable_store_.GetCell(kNextIdCell);
+    std::lock_guard<std::mutex> lock(mu_);
+    next_guardian_id_ = 2;
+    if (cell.ok()) {
+      WireDecoder dec(*cell);
+      auto next = dec.GetU64();
+      if (next.ok()) {
+        next_guardian_id_ = *next;
+      }
+    }
+  }
+  up_.store(true);
+  system_->network().SetNodeUp(id_, true);
+
+  // The primordial guardian comes into existence with the node.
+  {
+    auto primordial = std::make_unique<PrimordialGuardian>();
+    Guardian* raw = primordial.get();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      guardians_.emplace(kPrimordialId, std::move(primordial));
+    }
+    Status started = StartGuardian(raw, "primordial", "primordial",
+                                   kPrimordialId, {}, /*recovering=*/false);
+    if (!started.ok()) {
+      return started;
+    }
+  }
+
+  // Re-create persistent guardians and run their recovery processes.
+  Wal meta(&stable_store_, kMetaLogName);
+  auto recovery = meta.RecoverValues();
+  if (!recovery.ok()) {
+    return recovery.status();
+  }
+  for (const auto& record : *recovery) {
+    GUARDIANS_ASSIGN_OR_RETURN(Value type_field, record.field("type"));
+    GUARDIANS_ASSIGN_OR_RETURN(Value name_field, record.field("name"));
+    GUARDIANS_ASSIGN_OR_RETURN(Value id_field, record.field("id"));
+    GUARDIANS_ASSIGN_OR_RETURN(Value args_field, record.field("args"));
+    const std::string type_name = type_field.string_value();
+    const std::string guardian_name = name_field.string_value();
+    const GuardianId gid = static_cast<GuardianId>(id_field.int_value());
+    const ValueList creation_args = args_field.items();
+
+    Factory factory;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = factories_.find(type_name);
+      if (it == factories_.end()) {
+        GLOG_ERROR << "cannot recover guardian '" << guardian_name
+                   << "': type '" << type_name << "' not registered";
+        continue;
+      }
+      factory = it->second;
+    }
+    std::unique_ptr<Guardian> guardian = factory();
+    Guardian* raw = guardian.get();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      guardians_.emplace(gid, std::move(guardian));
+    }
+    raw->MarkPersistent(true);
+    Status started = StartGuardian(raw, type_name, guardian_name, gid,
+                                   creation_args, /*recovering=*/true);
+    if (!started.ok()) {
+      GLOG_ERROR << "recovery of guardian '" << guardian_name
+                 << "' failed: " << started;
+      std::lock_guard<std::mutex> lock(mu_);
+      guardians_.erase(gid);
+    }
+  }
+  return OkStatus();
+}
+
+NodeStats NodeRuntime::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+uint64_t NodeRuntime::NextMsgId() {
+  // Node id in the high bits keeps ids globally unique.
+  return (static_cast<uint64_t>(id_) << 40) | (msg_counter_.fetch_add(1) + 1);
+}
+
+Rng NodeRuntime::ForkRng() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rng_.Fork();
+}
+
+Status NodeRuntime::Transmit(Envelope env) {
+  if (!up_.load()) {
+    return Status(Code::kNodeDown, "node is down");
+  }
+  if (env.target.IsNull()) {
+    return Status(Code::kInvalidArgument, "send to null port");
+  }
+  // Type check against the guardian-header library — the moved-to-send-time
+  // analog of the paper's compile-time checking. The implicit failure
+  // message is always legal.
+  if (env.command != kFailureCommand) {
+    auto port_type = system_->port_types().Lookup(env.target.type_hash);
+    if (!port_type.ok()) {
+      return port_type.status();
+    }
+    GUARDIANS_RETURN_IF_ERROR(
+        port_type->Check(env.command, env.args, env.HasReply()));
+  }
+  // Steps 1+2 of the send semantics: encode arguments left to right, then
+  // construct the message. An encode failure terminates the send here.
+  auto bytes = EncodeEnvelope(env, system_->limits());
+  if (!bytes.ok()) {
+    return bytes.status();
+  }
+  // Step 3: fragment and hand to the network. The sender continues as soon
+  // as this returns; delivery is not guaranteed.
+  auto packets = Fragment(*bytes, env.msg_id, id_, env.target.node,
+                          system_->limits().max_packet_payload);
+  for (auto& packet : packets) {
+    system_->network().Send(std::move(packet));
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.messages_sent;
+  }
+  return OkStatus();
+}
+
+void NodeRuntime::SendSystemFailure(const PortName& to,
+                                    const std::string& reason) {
+  if (to.IsNull()) {
+    return;
+  }
+  Envelope env;
+  env.msg_id = NextMsgId();
+  env.src_node = id_;
+  env.target = to;
+  env.command = kFailureCommand;
+  env.args = {Value::Str(reason)};
+  // Failure envelopes carry no reply port, so they can never loop.
+  Status st = Transmit(std::move(env));
+  (void)st;
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++stats_.failures_synthesized;
+}
+
+void NodeRuntime::SendAck(const Received& message) {
+  Envelope env;
+  env.msg_id = NextMsgId();
+  env.src_node = id_;
+  env.target = message.ack_to;
+  env.command = "ack";
+  env.args = {Value::Str(std::to_string(message.msg_id))};
+  Status st = Transmit(std::move(env));
+  (void)st;
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++stats_.acks_sent;
+}
+
+void NodeRuntime::DeliverPacket(const Packet& packet) {
+  if (!up_.load()) {
+    return;
+  }
+  std::optional<Bytes> message;
+  {
+    std::lock_guard<std::mutex> lock(reassembler_mu_);
+    auto added = reassembler_.Add(packet);
+    if (!added.ok()) {
+      std::lock_guard<std::mutex> stats_lock(stats_mu_);
+      ++stats_.discarded_corrupt;
+      return;
+    }
+    message = added.take();
+  }
+  if (!message.has_value()) {
+    return;  // more fragments needed
+  }
+
+  auto env = DecodeEnvelope(*message, system_->limits(),
+                            transmit_registry_.AsDecodeFn());
+  if (!env.ok()) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.discarded_decode_error;
+    }
+    // The header may still be readable; if the sender asked for replies,
+    // tell it the message was thrown away.
+    auto header = DecodeEnvelopeHeader(*message, system_->limits());
+    if (header.ok() && header->HasReply()) {
+      SendSystemFailure(header->reply_to,
+                        "message could not be decoded at target node: " +
+                            env.status().message());
+    }
+    return;
+  }
+  DeliverEnvelope(env.take());
+}
+
+void NodeRuntime::DeliverEnvelope(Envelope env) {
+  Guardian* guardian = FindGuardian(env.target.guardian);
+  if (guardian == nullptr) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.discarded_no_guardian;
+    }
+    SendSystemFailure(env.reply_to, "target guardian doesn't exist");
+    return;
+  }
+  Port* port = guardian->FindPort(env.target.port_index);
+  if (port == nullptr || port->retired()) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.discarded_no_port;
+    }
+    SendSystemFailure(env.reply_to, "target port doesn't exist");
+    return;
+  }
+  if (port->type().hash() != env.target.type_hash) {
+    // A stale name: the guardian was re-created with different ports.
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.discarded_type_mismatch;
+    }
+    SendSystemFailure(env.reply_to, "target port type mismatch");
+    return;
+  }
+
+  Received message;
+  message.command = std::move(env.command);
+  message.args = std::move(env.args);
+  message.reply_to = env.reply_to;
+  message.ack_to = env.ack_to;
+  message.src_node = env.src_node;
+  message.msg_id = env.msg_id;
+  if (!port->Push(std::move(message))) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.discarded_port_full;
+    }
+    SendSystemFailure(env.reply_to, "no room at target port");
+    return;
+  }
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++stats_.messages_delivered;
+}
+
+}  // namespace guardians

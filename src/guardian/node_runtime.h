@@ -1,0 +1,204 @@
+// NodeRuntime: the abstract machine of one node — the part of the paper's
+// system that "bears a strong resemblance to that provided by an operating
+// system kernel".
+//
+// It owns the node's guardians, the primordial guardian ("each node comes
+// into existence with a primordial guardian, which can create guardians at
+// its node in response to messages arriving from guardians at other
+// nodes"), the node's stable store, its transmittable-type registry, and
+// the send/deliver paths with the exact Section 3.4 semantics:
+//
+//  - send: type-check against the guardian-header library, encode
+//    arguments (left to right; an encode failure terminates the send),
+//    construct the message, fragment into packets, hand to the network;
+//    the sender continues immediately.
+//  - deliver: reassemble, verify error-detection bits, decode with this
+//    node's representations; if the target port or guardian doesn't exist
+//    or the port has no room, throw the message away and — when it carried
+//    a replyto port — send the system failure(...) message there.
+//
+// Crash() and Restart() implement the Section 2.2 fault model.
+#ifndef GUARDIANS_SRC_GUARDIAN_NODE_RUNTIME_H_
+#define GUARDIANS_SRC_GUARDIAN_NODE_RUNTIME_H_
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/rng.h"
+#include "src/guardian/guardian.h"
+#include "src/guardian/port_registry.h"
+#include "src/net/network.h"
+#include "src/store/stable_store.h"
+#include "src/transmit/registry.h"
+#include "src/wire/envelope.h"
+#include "src/wire/packet.h"
+
+namespace guardians {
+
+class System;
+
+// Messages delivered, discarded, synthesized — the observable behaviour of
+// the Section 3.4 semantics, countable for experiments.
+struct NodeStats {
+  uint64_t messages_sent = 0;
+  uint64_t messages_delivered = 0;
+  uint64_t discarded_no_guardian = 0;
+  uint64_t discarded_no_port = 0;
+  uint64_t discarded_port_full = 0;
+  uint64_t discarded_type_mismatch = 0;
+  uint64_t discarded_decode_error = 0;
+  uint64_t discarded_corrupt = 0;
+  uint64_t failures_synthesized = 0;
+  uint64_t acks_sent = 0;
+};
+
+class NodeRuntime {
+ public:
+  // Constructed by System::AddNode.
+  NodeRuntime(System* system, NodeId id, std::string name, uint64_t seed);
+  ~NodeRuntime();
+
+  NodeRuntime(const NodeRuntime&) = delete;
+  NodeRuntime& operator=(const NodeRuntime&) = delete;
+
+  // --- Identity & components -------------------------------------------------
+  NodeId id() const { return id_; }
+  const std::string& name() const { return name_; }
+  System& system() { return *system_; }
+  StableStore& stable_store() { return stable_store_; }
+  TransmitRegistry& transmit_registry() { return transmit_registry_; }
+
+  // --- Guardian types & autonomy ----------------------------------------------
+  // The owner of the node declares which guardian programs may run here.
+  using Factory = std::function<std::unique_ptr<Guardian>()>;
+  void RegisterGuardianType(const std::string& type_name, Factory factory);
+  bool KnowsGuardianType(const std::string& type_name) const;
+
+  // Owner policy consulted by the primordial guardian for remote creation
+  // requests (Section 1.1 autonomy). Default: allow all registered types.
+  using AdmissionPolicy =
+      std::function<bool(const std::string& type_name, NodeId requester)>;
+  void SetAdmissionPolicy(AdmissionPolicy policy);
+
+  // --- Guardian creation (local) -----------------------------------------------
+  // "The node at which a guardian is created is the node where it will
+  //  exist for its lifetime. It must have been created by a guardian at
+  //  that node." This API is only reachable from code running at this
+  //  node; remote parties go through the primordial guardian.
+  // Persistent guardians are re-created (via Recover) after a crash.
+  Result<Guardian*> CreateGuardian(const std::string& type_name,
+                                   const std::string& guardian_name,
+                                   const ValueList& args,
+                                   bool persistent = false);
+  template <typename T>
+  Result<T*> Create(const std::string& type_name,
+                    const std::string& guardian_name, const ValueList& args,
+                    bool persistent = false) {
+    auto g = CreateGuardian(type_name, guardian_name, args, persistent);
+    if (!g.ok()) {
+      return g.status();
+    }
+    return static_cast<T*>(*g);
+  }
+
+  // Creation on behalf of a remote requester; consults the admission
+  // policy. Called by the primordial guardian.
+  Result<Guardian*> CreateGuardianForRemote(const std::string& type_name,
+                                            const std::string& guardian_name,
+                                            const ValueList& args,
+                                            bool persistent, NodeId requester);
+
+  // A guardian may self-destruct or be destroyed by a co-located guardian.
+  Status DestroyGuardian(GuardianId gid);
+
+  Guardian* FindGuardian(GuardianId gid) const;
+  // The port other nodes use to reach this node's primordial guardian.
+  PortName PrimordialPort() const;
+
+  // --- Crash & recovery (Section 2.2) -------------------------------------------
+  // Power-fail: volatile state of every guardian is destroyed, processes
+  // stop, in-flight traffic to the node is lost. The stable store survives.
+  void Crash();
+  // Boot: recreate the primordial guardian, then every persistent guardian
+  // (same ids), running their recovery processes.
+  Status Restart();
+  bool IsUp() const { return up_.load(); }
+
+  NodeStats stats() const;
+
+  // --- Transport internals (used by Guardian and the send primitives) ----------
+  Status Transmit(Envelope env);
+  uint64_t NextMsgId();
+  void SendSystemFailure(const PortName& to, const std::string& reason);
+  void SendAck(const Received& message);
+  Rng ForkRng();
+
+ private:
+  friend class System;
+
+  void DeliverPacket(const Packet& packet);
+  void DeliverEnvelope(Envelope env);
+  Status StartGuardian(Guardian* guardian, const std::string& type_name,
+                       const std::string& guardian_name, GuardianId gid,
+                       const ValueList& args, bool recovering);
+  void PersistCreation(const std::string& type_name,
+                       const std::string& guardian_name, GuardianId gid,
+                       const ValueList& args);
+  void PersistNextId();
+
+  System* system_;
+  const NodeId id_;
+  const std::string name_;
+
+  StableStore stable_store_;
+  TransmitRegistry transmit_registry_;
+
+  mutable std::mutex mu_;
+  std::map<std::string, Factory> factories_;
+  AdmissionPolicy admission_policy_;
+  std::map<GuardianId, std::unique_ptr<Guardian>> guardians_;
+  // Crashed guardians are retired here rather than destroyed: application
+  // threads may still hold pointers and be blocked in Receive on them (they
+  // observe kNodeDown). Volatile *state* is what a crash destroys; the
+  // husk objects are reclaimed when the node itself goes away.
+  std::vector<std::unique_ptr<Guardian>> graveyard_;
+  GuardianId next_guardian_id_ = 2;  // 1 is the primordial guardian
+  Rng rng_;
+
+  std::mutex reassembler_mu_;
+  Reassembler reassembler_;
+
+  std::atomic<bool> up_{false};
+  std::atomic<uint64_t> msg_counter_{0};
+
+  mutable std::mutex stats_mu_;
+  NodeStats stats_;
+};
+
+// Factory helper: MakeFactory<MyGuardian>() for RegisterGuardianType.
+template <typename T>
+NodeRuntime::Factory MakeFactory() {
+  return [] { return std::make_unique<T>(); };
+}
+
+// A guardian with no behaviour of its own; used to *drive* a node from
+// application or test code (every send must come from some guardian at some
+// node — there is no thin air in this system).
+class ShellGuardian : public Guardian {};
+
+// Port type of every primordial guardian.
+PortType PrimordialPortType();
+// Port type for replies to create_guardian / ping.
+PortType CreationReplyPortType();
+// Port type of the hidden acknowledgement port of the synchronization send.
+PortType AckPortType();
+
+}  // namespace guardians
+
+#endif  // GUARDIANS_SRC_GUARDIAN_NODE_RUNTIME_H_

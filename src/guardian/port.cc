@@ -1,0 +1,52 @@
+#include "src/guardian/port.h"
+
+namespace guardians {
+
+bool Port::Push(Received message) {
+  {
+    std::lock_guard<std::mutex> lock(mailbox_->mu);
+    if (retired_ || mailbox_->closed || queue_.size() >= capacity_) {
+      ++discarded_full_;
+      return false;
+    }
+    message.port = this;
+    queue_.push_back(std::move(message));
+    ++enqueued_;
+  }
+  mailbox_->cv.notify_all();
+  return true;
+}
+
+void Port::Retire() {
+  std::lock_guard<std::mutex> lock(mailbox_->mu);
+  retired_ = true;
+  queue_.clear();
+}
+
+bool Port::retired() const {
+  std::lock_guard<std::mutex> lock(mailbox_->mu);
+  return retired_;
+}
+
+Received Port::PopLocked() {
+  Received message = std::move(queue_.front());
+  queue_.pop_front();
+  return message;
+}
+
+uint64_t Port::enqueued() const {
+  std::lock_guard<std::mutex> lock(mailbox_->mu);
+  return enqueued_;
+}
+
+uint64_t Port::discarded_full() const {
+  std::lock_guard<std::mutex> lock(mailbox_->mu);
+  return discarded_full_;
+}
+
+size_t Port::depth() const {
+  std::lock_guard<std::mutex> lock(mailbox_->mu);
+  return queue_.size();
+}
+
+}  // namespace guardians

@@ -1,0 +1,99 @@
+// Ports (Section 3.2): one-directional, typed, buffered gateways into a
+// guardian.
+//
+// "There can be many ports on a single guardian; each port belongs to a
+//  guardian, and only processes within that guardian can receive messages
+//  from it... We assume that ports provide some buffer space so that
+//  messages may be queued if necessary."
+//
+// All ports of one guardian share the guardian's mailbox (one mutex and
+// condition variable), so `receive on <port list>` is a priority-ordered
+// scan plus a single wait — no polling. Port buffer capacity is bounded:
+// when there is no room, the incoming message is thrown away and, if it
+// carried a replyto port, the system sends a failure message there
+// (Section 3.4).
+#ifndef GUARDIANS_SRC_GUARDIAN_PORT_H_
+#define GUARDIANS_SRC_GUARDIAN_PORT_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+
+#include "src/value/port_type.h"
+#include "src/value/value.h"
+
+namespace guardians {
+
+// A message as handed to a receiving process: the decoded arguments plus
+// the singled-out extra ports.
+struct Received {
+  std::string command;
+  ValueList args;
+  PortName reply_to;  // null when the sender expects no response
+  PortName ack_to;    // null unless the sender used the synchronization send
+  NodeId src_node = 0;
+  uint64_t msg_id = 0;
+  const class Port* port = nullptr;  // which port it arrived on
+};
+
+// Shared mailbox of one guardian: closed on crash/shutdown so every blocked
+// receive returns kNodeDown.
+struct Mailbox {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool closed = false;
+};
+
+class Port {
+ public:
+  static constexpr size_t kDefaultCapacity = 64;
+
+  Port(PortName name, PortType type, Mailbox* mailbox, size_t capacity)
+      : name_(name), type_(std::move(type)), mailbox_(mailbox),
+        capacity_(capacity) {}
+
+  Port(const Port&) = delete;
+  Port& operator=(const Port&) = delete;
+
+  const PortName& name() const { return name_; }
+  const PortType& type() const { return type_; }
+  size_t capacity() const { return capacity_; }
+
+  // --- Runtime side (delivery thread) --------------------------------------
+  // Enqueue a delivered message. False when the buffer is full or the port
+  // is dead; the caller throws the message away (and synthesizes the system
+  // failure reply).
+  bool Push(Received message);
+
+  // Mark dead: no further pushes succeed, pending messages are dropped.
+  // Used when an ephemeral reply port is retired.
+  void Retire();
+  bool retired() const;
+
+  // --- Receiving side (guardian processes); called with mailbox.mu held ---
+  bool HasMessageLocked() const { return !queue_.empty(); }
+  Received PopLocked();
+
+  // --- Stats ----------------------------------------------------------------
+  uint64_t enqueued() const;
+  uint64_t discarded_full() const;
+  size_t depth() const;
+
+  Mailbox* mailbox() const { return mailbox_; }
+
+ private:
+  const PortName name_;
+  const PortType type_;
+  Mailbox* mailbox_;
+  const size_t capacity_;
+  std::deque<Received> queue_;   // guarded by mailbox_->mu
+  bool retired_ = false;         // guarded by mailbox_->mu
+  uint64_t enqueued_ = 0;        // guarded by mailbox_->mu
+  uint64_t discarded_full_ = 0;  // guarded by mailbox_->mu
+};
+
+}  // namespace guardians
+
+#endif  // GUARDIANS_SRC_GUARDIAN_PORT_H_

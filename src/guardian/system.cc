@@ -1,0 +1,48 @@
+#include "src/guardian/system.h"
+
+#include <cassert>
+
+namespace guardians {
+
+System::System(SystemConfig config)
+    : config_(config), rng_(config.seed), network_(config.seed ^ 0xA5A5A5A5ull) {
+  network_.SetDefaultLink(config_.default_link);
+  // System-defined port types every node may rely on.
+  Status st = port_types_.Register(PrimordialPortType());
+  assert(st.ok());
+  st = port_types_.Register(CreationReplyPortType());
+  assert(st.ok());
+  st = port_types_.Register(AckPortType());
+  assert(st.ok());
+  (void)st;
+}
+
+System::~System() {
+  // Stop nodes (joins all guardian processes) before the network dies.
+  for (auto& node : nodes_) {
+    node->Crash();
+  }
+}
+
+NodeRuntime& System::AddNode(const std::string& name) {
+  const NodeId id = network_.AddNode(name);
+  auto runtime = std::make_unique<NodeRuntime>(this, id, name, rng_.NextU64());
+  NodeRuntime* raw = runtime.get();
+  nodes_.push_back(std::move(runtime));
+  network_.SetSink(id, [raw](const Packet& packet) {
+    raw->DeliverPacket(packet);
+  });
+  Status booted = raw->Restart();
+  assert(booted.ok());
+  (void)booted;
+  return *raw;
+}
+
+NodeRuntime& System::node(NodeId id) {
+  assert(id >= 1 && id <= nodes_.size());
+  return *nodes_[id - 1];
+}
+
+size_t System::node_count() const { return nodes_.size(); }
+
+}  // namespace guardians

@@ -1,0 +1,58 @@
+// System: a whole distributed system — the network plus its nodes, the
+// shared guardian-header library (port types), and the system-wide wire
+// limits (Section 3.3: "the meaning of a type must be fixed and invariant
+// over all the nodes").
+//
+// In the paper this is the world itself; here it is the root object an
+// application or experiment constructs. Everything inside is deterministic
+// given the seed and the interleaving of real threads.
+#ifndef GUARDIANS_SRC_GUARDIAN_SYSTEM_H_
+#define GUARDIANS_SRC_GUARDIAN_SYSTEM_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/guardian/node_runtime.h"
+#include "src/guardian/port_registry.h"
+#include "src/net/network.h"
+#include "src/wire/limits.h"
+
+namespace guardians {
+
+struct SystemConfig {
+  uint64_t seed = 1;
+  WireLimits limits;
+  LinkParams default_link;
+};
+
+class System {
+ public:
+  explicit System(SystemConfig config = {});
+  ~System();
+
+  System(const System&) = delete;
+  System& operator=(const System&) = delete;
+
+  // Boots a node (with its primordial guardian already running).
+  NodeRuntime& AddNode(const std::string& name);
+
+  NodeRuntime& node(NodeId id);
+  size_t node_count() const;
+
+  Network& network() { return network_; }
+  PortTypeRegistry& port_types() { return port_types_; }
+  const WireLimits& limits() const { return config_.limits; }
+
+ private:
+  SystemConfig config_;
+  Rng rng_;
+  Network network_;
+  PortTypeRegistry port_types_;
+  std::vector<std::unique_ptr<NodeRuntime>> nodes_;
+};
+
+}  // namespace guardians
+
+#endif  // GUARDIANS_SRC_GUARDIAN_SYSTEM_H_

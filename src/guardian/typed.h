@@ -1,0 +1,68 @@
+// Compile-time argument construction for sends.
+//
+// CLU checks every send against the port's header at compile time. The
+// runtime library checks at send time; this header restores the
+// compile-time half for C++ callers: the mapping from C++ types to wire
+// value kinds is fixed by overload resolution, so `TypedSend(g, p, "reserve",
+// 12, "smith")` cannot build an argument of the wrong kind — and a C++ type
+// with no mapping fails to compile rather than at run time.
+#ifndef GUARDIANS_SRC_GUARDIAN_TYPED_H_
+#define GUARDIANS_SRC_GUARDIAN_TYPED_H_
+
+#include <string>
+#include <type_traits>
+#include <utility>
+
+#include "src/guardian/guardian.h"
+
+namespace guardians {
+
+// One fixed mapping per supported C++ type; anything else is a compile
+// error mentioning this function.
+inline Value ToValue(bool b) { return Value::Bool(b); }
+inline Value ToValue(int v) { return Value::Int(v); }
+inline Value ToValue(int64_t v) { return Value::Int(v); }
+inline Value ToValue(uint32_t v) { return Value::Int(v); }
+inline Value ToValue(double v) { return Value::Real(v); }
+inline Value ToValue(const char* s) { return Value::Str(s); }
+inline Value ToValue(std::string s) { return Value::Str(std::move(s)); }
+inline Value ToValue(Bytes b) { return Value::Blob(std::move(b)); }
+inline Value ToValue(const PortName& p) { return Value::OfPort(p); }
+inline Value ToValue(const Token& t) { return Value::OfToken(t); }
+inline Value ToValue(AbstractPtr obj) {
+  return Value::Abstract(std::move(obj));
+}
+inline Value ToValue(Value v) { return v; }
+inline Value ToValue(ValueList items) {
+  return Value::Array(std::move(items));
+}
+
+// Build an argument list with compile-time type mapping:
+//   MakeArgs(12, "smith", DateString(3))
+template <typename... Args>
+ValueList MakeArgs(Args&&... args) {
+  ValueList out;
+  out.reserve(sizeof...(args));
+  (out.push_back(ToValue(std::forward<Args>(args))), ...);
+  return out;
+}
+
+// send C(args...) to <port>
+template <typename... Args>
+Status TypedSend(Guardian& guardian, const PortName& to,
+                 const std::string& command, Args&&... args) {
+  return guardian.Send(to, command, MakeArgs(std::forward<Args>(args)...));
+}
+
+// send C(args...) to <port> replyto <port>
+template <typename... Args>
+Status TypedSendReply(Guardian& guardian, const PortName& to,
+                      const PortName& reply_to, const std::string& command,
+                      Args&&... args) {
+  return guardian.Send(to, command, MakeArgs(std::forward<Args>(args)...),
+                       reply_to);
+}
+
+}  // namespace guardians
+
+#endif  // GUARDIANS_SRC_GUARDIAN_TYPED_H_

@@ -1,0 +1,202 @@
+#include "src/net/network.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/common/log.h"
+
+namespace guardians {
+
+Network::Network(uint64_t seed) : rng_(seed) {
+  delivery_thread_ = std::thread([this] { DeliveryLoop(); });
+}
+
+Network::~Network() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  delivery_thread_.join();
+}
+
+NodeId Network::AddNode(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  node_names_.push_back(name);
+  node_up_.push_back(true);
+  sinks_.emplace_back();
+  return static_cast<NodeId>(node_names_.size());
+}
+
+const std::string& Network::NodeName(NodeId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  static const std::string kUnknown = "?";
+  if (id == 0 || id > node_names_.size()) {
+    return kUnknown;
+  }
+  return node_names_[id - 1];
+}
+
+size_t Network::node_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return node_names_.size();
+}
+
+void Network::SetSink(NodeId node, PacketSink sink) {
+  std::lock_guard<std::mutex> lock(mu_);
+  assert(node >= 1 && node <= sinks_.size());
+  sinks_[node - 1] = std::move(sink);
+}
+
+void Network::SetNodeUp(NodeId node, bool up) {
+  std::lock_guard<std::mutex> lock(mu_);
+  assert(node >= 1 && node <= node_up_.size());
+  node_up_[node - 1] = up;
+}
+
+bool Network::IsNodeUp(NodeId node) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return node >= 1 && node <= node_up_.size() && node_up_[node - 1];
+}
+
+void Network::SetDefaultLink(const LinkParams& params) {
+  std::lock_guard<std::mutex> lock(mu_);
+  default_link_ = params;
+}
+
+void Network::SetLink(NodeId a, NodeId b, const LinkParams& params) {
+  std::lock_guard<std::mutex> lock(mu_);
+  links_[LinkKey(a, b)] = params;
+  links_[LinkKey(b, a)] = params;
+}
+
+LinkParams Network::GetLink(NodeId from, NodeId to) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = links_.find(LinkKey(from, to));
+  return it != links_.end() ? it->second : default_link_;
+}
+
+void Network::SetPartitioned(NodeId a, NodeId b, bool cut) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (cut) {
+    partitions_.insert(LinkKey(a, b));
+    partitions_.insert(LinkKey(b, a));
+  } else {
+    partitions_.erase(LinkKey(a, b));
+    partitions_.erase(LinkKey(b, a));
+  }
+}
+
+void Network::Send(Packet packet) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.packets_sent;
+  stats_.bytes_sent += packet.WireSize();
+
+  const bool src_ok =
+      packet.src >= 1 && packet.src <= node_up_.size() && node_up_[packet.src - 1];
+  const bool partitioned =
+      packet.src != packet.dst &&
+      partitions_.count(LinkKey(packet.src, packet.dst)) > 0;
+  if (!src_ok || partitioned) {
+    ++stats_.packets_dropped;
+    return;
+  }
+
+  LinkParams link = default_link_;
+  if (packet.src != packet.dst) {
+    auto it = links_.find(LinkKey(packet.src, packet.dst));
+    if (it != links_.end()) {
+      link = it->second;
+    }
+  } else {
+    link = LinkParams{Micros(0), Micros(0), 0.0, 0.0, 0.0};
+  }
+
+  if (rng_.NextBool(link.drop_prob)) {
+    ++stats_.packets_dropped;
+    return;
+  }
+  if (!packet.payload.empty() && rng_.NextBool(link.corrupt_prob)) {
+    // Flip one byte; the error-detection bits will reject the packet at the
+    // receiving node (it keeps its stale CRC on purpose).
+    const size_t at = rng_.NextBelow(packet.payload.size());
+    packet.payload[at] ^= static_cast<uint8_t>(1 + rng_.NextBelow(255));
+    ++stats_.packets_corrupted;
+  }
+
+  int64_t delay_us = ToMicros(link.latency);
+  if (link.jitter.count() > 0) {
+    delay_us += static_cast<int64_t>(rng_.NextNormal(
+        0.0, static_cast<double>(link.jitter.count())));
+  }
+  if (link.bytes_per_micro > 0.0) {
+    delay_us += static_cast<int64_t>(
+        static_cast<double>(packet.WireSize()) / link.bytes_per_micro);
+  }
+  delay_us = std::max<int64_t>(delay_us, 0);
+
+  InFlight entry;
+  entry.deliver_at = Now() + Micros(delay_us);
+  entry.seq = seq_++;
+  entry.packet = std::move(packet);
+  queue_.push(std::move(entry));
+  cv_.notify_all();
+}
+
+void Network::DrainForTesting() {
+  std::unique_lock<std::mutex> lock(mu_);
+  drained_cv_.wait(lock,
+                   [this] { return queue_.empty() && !delivering_; });
+}
+
+NetworkStats Network::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void Network::DeliveryLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (stopping_) {
+      return;
+    }
+    if (queue_.empty()) {
+      drained_cv_.notify_all();
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      continue;
+    }
+    const TimePoint next = queue_.top().deliver_at;
+    if (Now() < next) {
+      cv_.wait_until(lock, next);
+      continue;
+    }
+
+    Packet packet = queue_.top().packet;
+    queue_.pop();
+
+    const NodeId dst = packet.dst;
+    PacketSink sink;
+    bool deliverable = dst >= 1 && dst <= node_up_.size() &&
+                       node_up_[dst - 1] && sinks_[dst - 1];
+    if (deliverable) {
+      sink = sinks_[dst - 1];
+      ++stats_.packets_delivered;
+    } else {
+      ++stats_.packets_dropped;
+    }
+    if (sink) {
+      // Deliver outside the lock: the sink may immediately Send (e.g. a
+      // system failure reply) or hand off to guardian processes.
+      delivering_ = true;
+      lock.unlock();
+      sink(packet);
+      lock.lock();
+      delivering_ = false;
+    }
+    if (queue_.empty() && !delivering_) {
+      drained_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace guardians

@@ -1,0 +1,138 @@
+// Simulated communications network (Section 1.1 assumptions).
+//
+// "The nodes may communicate only via the network; there is no (other)
+//  shared memory. We make no assumptions about the network itself other
+//  than that it supports communication between any pair of nodes."
+//
+// The simulator delivers packets point-to-point with per-link latency,
+// jitter (which reorders packets, as Section 3.4 permits), loss, corruption
+// (caught later by the error-detection bits) and optional bandwidth-based
+// serialization delay. Links may be partitioned, and nodes marked down lose
+// all packets addressed to them — exactly what a peer observes of a crash.
+//
+// The substitution for the paper's physical network is documented in
+// DESIGN.md: every failure mode the paper reasons about (loss, reordering,
+// corruption, unreachable nodes) is reproduced with controllable,
+// seed-deterministic parameters.
+#ifndef GUARDIANS_SRC_NET_NETWORK_H_
+#define GUARDIANS_SRC_NET_NETWORK_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/rng.h"
+#include "src/wire/packet.h"
+
+namespace guardians {
+
+// Transmission characteristics of one directed link. Defaults model a
+// quiet short-haul network; experiments override them.
+struct LinkParams {
+  Micros latency{100};        // propagation delay
+  Micros jitter{0};           // stddev of normal jitter (reorders packets)
+  double drop_prob = 0.0;     // silent loss probability per packet
+  double corrupt_prob = 0.0;  // bit-error probability per packet
+  double bytes_per_micro = 0.0;  // bandwidth; 0 means unlimited
+};
+
+// Counters for experiments; all monotically increasing.
+struct NetworkStats {
+  uint64_t packets_sent = 0;
+  uint64_t packets_delivered = 0;
+  uint64_t packets_dropped = 0;     // loss + partitions + down nodes
+  uint64_t packets_corrupted = 0;   // delivered with flipped bits
+  uint64_t bytes_sent = 0;
+};
+
+// Receives reassembly-ready packets at a node. Called on the network's
+// delivery thread; implementations must be quick and must not block.
+using PacketSink = std::function<void(const Packet&)>;
+
+class Network {
+ public:
+  explicit Network(uint64_t seed = 1);
+  ~Network();
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  // Registers a node; ids start at 1 (0 is "no node").
+  NodeId AddNode(const std::string& name);
+  const std::string& NodeName(NodeId id) const;
+  size_t node_count() const;
+
+  // Delivery callback for a node. Replaces any previous sink.
+  void SetSink(NodeId node, PacketSink sink);
+
+  // A down node neither sends nor receives; packets in flight to it are
+  // lost at delivery time.
+  void SetNodeUp(NodeId node, bool up);
+  bool IsNodeUp(NodeId node) const;
+
+  // Link characteristics. SetLink applies to both directions.
+  void SetDefaultLink(const LinkParams& params);
+  void SetLink(NodeId a, NodeId b, const LinkParams& params);
+  LinkParams GetLink(NodeId from, NodeId to) const;
+
+  // Cut or restore connectivity between two nodes (both directions).
+  void SetPartitioned(NodeId a, NodeId b, bool cut);
+
+  // Inject one packet. Loss/corruption/latency are decided here; delivery
+  // happens later on the delivery thread. Local (src == dst) delivery still
+  // goes through the queue but with zero link cost.
+  void Send(Packet packet);
+
+  // Block until no packets remain in flight (useful in tests).
+  void DrainForTesting();
+
+  NetworkStats stats() const;
+
+ private:
+  struct InFlight {
+    TimePoint deliver_at;
+    uint64_t seq;  // tie-break so the heap is deterministic
+    Packet packet;
+    bool operator>(const InFlight& other) const {
+      if (deliver_at != other.deliver_at) {
+        return deliver_at > other.deliver_at;
+      }
+      return seq > other.seq;
+    }
+  };
+
+  static uint64_t LinkKey(NodeId a, NodeId b) {
+    return (static_cast<uint64_t>(a) << 32) | b;
+  }
+
+  void DeliveryLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable drained_cv_;
+  bool stopping_ = false;
+  bool delivering_ = false;  // a sink callback is running right now
+  uint64_t seq_ = 0;
+  Rng rng_;
+  LinkParams default_link_;
+  NetworkStats stats_;
+  std::vector<std::string> node_names_;     // index = id - 1
+  std::vector<bool> node_up_;               // index = id - 1
+  std::vector<PacketSink> sinks_;           // index = id - 1
+  std::unordered_map<uint64_t, LinkParams> links_;
+  std::unordered_set<uint64_t> partitions_;
+  std::priority_queue<InFlight, std::vector<InFlight>, std::greater<>> queue_;
+  std::thread delivery_thread_;
+};
+
+}  // namespace guardians
+
+#endif  // GUARDIANS_SRC_NET_NETWORK_H_

@@ -1,0 +1,54 @@
+#include "src/net/topology.h"
+
+namespace guardians {
+
+int CampusTopology::CampusOf(NodeId node) const {
+  for (size_t c = 0; c < campuses.size(); ++c) {
+    for (NodeId member : campuses[c]) {
+      if (member == node) {
+        return static_cast<int>(c);
+      }
+    }
+  }
+  return -1;
+}
+
+bool CampusTopology::SameCampus(NodeId a, NodeId b) const {
+  const int ca = CampusOf(a);
+  return ca >= 0 && ca == CampusOf(b);
+}
+
+CampusTopology BuildCampuses(Network& network,
+                             const std::vector<int>& campus_of,
+                             const LinkParams& shorthaul,
+                             const LinkParams& longhaul) {
+  CampusTopology topology;
+  int max_campus = -1;
+  for (int campus : campus_of) {
+    max_campus = campus > max_campus ? campus : max_campus;
+  }
+  topology.campuses.resize(max_campus + 1);
+  for (size_t i = 0; i < campus_of.size(); ++i) {
+    topology.campuses[campus_of[i]].push_back(static_cast<NodeId>(i + 1));
+  }
+  for (size_t i = 0; i < campus_of.size(); ++i) {
+    for (size_t j = i + 1; j < campus_of.size(); ++j) {
+      const NodeId a = static_cast<NodeId>(i + 1);
+      const NodeId b = static_cast<NodeId>(j + 1);
+      network.SetLink(a, b,
+                      campus_of[i] == campus_of[j] ? shorthaul : longhaul);
+    }
+  }
+  return topology;
+}
+
+void PartitionCampuses(Network& network, const CampusTopology& topology,
+                       int campus_a, int campus_b, bool cut) {
+  for (NodeId a : topology.campuses[campus_a]) {
+    for (NodeId b : topology.campuses[campus_b]) {
+      network.SetPartitioned(a, b, cut);
+    }
+  }
+}
+
+}  // namespace guardians

@@ -1,0 +1,42 @@
+// Topology helpers (Section 1.1): "the network may be longhaul or
+// shorthaul, or some combination with gateways in between; these details
+// are invisible at the programmer level."
+//
+// The simulator exposes per-pair link parameters; these helpers configure
+// whole shapes so experiments can say "three campuses, fast LANs, slow
+// WAN" in one call. Programs are untouched — only latencies change, which
+// is exactly the invisibility the paper requires.
+#ifndef GUARDIANS_SRC_NET_TOPOLOGY_H_
+#define GUARDIANS_SRC_NET_TOPOLOGY_H_
+
+#include <string>
+#include <vector>
+
+#include "src/net/network.h"
+
+namespace guardians {
+
+struct CampusTopology {
+  // campus index -> node ids on that campus.
+  std::vector<std::vector<NodeId>> campuses;
+
+  int CampusOf(NodeId node) const;
+  bool SameCampus(NodeId a, NodeId b) const;
+};
+
+// Configure every existing pair of nodes: intra-campus pairs get
+// `shorthaul`, inter-campus pairs get `longhaul` (the gateway hop is folded
+// into the longhaul figure, as it is invisible to programs anyway).
+// `campus_of[i]` is the campus of node id i+1.
+CampusTopology BuildCampuses(Network& network,
+                             const std::vector<int>& campus_of,
+                             const LinkParams& shorthaul,
+                             const LinkParams& longhaul);
+
+// Cut (or restore) every link between two campuses — a WAN partition.
+void PartitionCampuses(Network& network, const CampusTopology& topology,
+                       int campus_a, int campus_b, bool cut);
+
+}  // namespace guardians
+
+#endif  // GUARDIANS_SRC_NET_TOPOLOGY_H_

@@ -1,0 +1,50 @@
+// CountdownLatch: small synchronization helper used by tests, examples and
+// workload drivers to wait for N completions.
+#ifndef GUARDIANS_SRC_RUNTIME_LATCH_H_
+#define GUARDIANS_SRC_RUNTIME_LATCH_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+#include "src/common/clock.h"
+
+namespace guardians {
+
+class CountdownLatch {
+ public:
+  explicit CountdownLatch(uint64_t count) : count_(count) {}
+
+  void CountDown(uint64_t n = 1) {
+    std::lock_guard<std::mutex> lock(mu_);
+    count_ = count_ > n ? count_ - n : 0;
+    if (count_ == 0) {
+      cv_.notify_all();
+    }
+  }
+
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return count_ == 0; });
+  }
+
+  // False on timeout.
+  bool WaitFor(Micros timeout) {
+    std::unique_lock<std::mutex> lock(mu_);
+    return cv_.wait_for(lock, timeout, [this] { return count_ == 0; });
+  }
+
+  uint64_t count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return count_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  uint64_t count_;
+};
+
+}  // namespace guardians
+
+#endif  // GUARDIANS_SRC_RUNTIME_LATCH_H_

@@ -1,0 +1,75 @@
+#include "src/runtime/process.h"
+
+namespace guardians {
+
+Process::Process(std::string name, std::function<void()> body)
+    : name_(std::move(name)) {
+  auto done = done_;
+  thread_ = std::thread([done, body = std::move(body)] {
+    body();
+    done->store(true);
+  });
+}
+
+Process::~Process() {
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+}
+
+void Process::Join() {
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+}
+
+ProcessGroup::~ProcessGroup() { JoinAll(); }
+
+void ProcessGroup::Fork(std::string name, std::function<void()> body) {
+  auto process = std::make_unique<Process>(std::move(name), std::move(body));
+  std::lock_guard<std::mutex> lock(mu_);
+  processes_.push_back(std::move(process));
+}
+
+void ProcessGroup::JoinAll() {
+  // Joining may race with forks from the processes being joined; keep
+  // draining until no process remains.
+  for (;;) {
+    std::unique_ptr<Process> next;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (processes_.empty()) {
+        return;
+      }
+      next = std::move(processes_.back());
+      processes_.pop_back();
+    }
+    next->Join();
+  }
+}
+
+void ProcessGroup::Reap() {
+  std::vector<std::unique_ptr<Process>> finished;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto keep_end = processes_.begin();
+    for (auto& process : processes_) {
+      if (process->Done()) {
+        finished.push_back(std::move(process));
+      } else {
+        *keep_end++ = std::move(process);
+      }
+    }
+    processes_.erase(keep_end, processes_.end());
+  }
+  for (auto& process : finished) {
+    process->Join();
+  }
+}
+
+size_t ProcessGroup::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return processes_.size();
+}
+
+}  // namespace guardians

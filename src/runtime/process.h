@@ -1,0 +1,69 @@
+// Process: "the execution of a sequential program" (Section 2.1). Within a
+// guardian, the actual work is performed by one or many processes; they
+// share the guardian's objects and communicate through them.
+//
+// Processes are cooperative: there is no way to kill a thread, so a crash
+// or shutdown closes the guardian's ports, every blocked receive returns
+// kNodeDown, and the process function is expected to return. ProcessGroup
+// joins them all.
+#ifndef GUARDIANS_SRC_RUNTIME_PROCESS_H_
+#define GUARDIANS_SRC_RUNTIME_PROCESS_H_
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace guardians {
+
+class Process {
+ public:
+  Process(std::string name, std::function<void()> body);
+  ~Process();
+
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+
+  const std::string& name() const { return name_; }
+  bool Joinable() const { return thread_.joinable(); }
+  // True once the body has returned (the thread may not be joined yet).
+  bool Done() const { return done_->load(); }
+  void Join();
+
+ private:
+  std::string name_;
+  std::shared_ptr<std::atomic<bool>> done_ =
+      std::make_shared<std::atomic<bool>>(false);
+  std::thread thread_;
+};
+
+// The set of processes of one guardian. Fork adds a process; JoinAll joins
+// every process forked so far (processes may fork further processes while
+// JoinAll runs; those are joined too).
+class ProcessGroup {
+ public:
+  ProcessGroup() = default;
+  ~ProcessGroup();
+
+  ProcessGroup(const ProcessGroup&) = delete;
+  ProcessGroup& operator=(const ProcessGroup&) = delete;
+
+  void Fork(std::string name, std::function<void()> body);
+  void JoinAll();
+  // Join and release processes whose bodies have returned. Guardians that
+  // fork one process per request (Figure 1c) call this periodically so the
+  // group doesn't grow without bound.
+  void Reap();
+  size_t count() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Process>> processes_;
+};
+
+}  // namespace guardians
+
+#endif  // GUARDIANS_SRC_RUNTIME_PROCESS_H_

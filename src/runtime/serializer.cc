@@ -1,0 +1,87 @@
+#include "src/runtime/serializer.h"
+
+namespace guardians {
+
+Serializer::Serializer(size_t workers) {
+  for (size_t i = 0; i < workers; ++i) {
+    workers_.Fork("serializer-worker-" + std::to_string(i),
+                  [this] { WorkerLoop(); });
+  }
+}
+
+Serializer::~Serializer() {
+  Drain();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  workers_.JoinAll();
+}
+
+void Serializer::Enqueue(uint64_t key, Task task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(Request{key, std::move(task)});
+    if (queue_.size() > max_queue_depth_) {
+      max_queue_depth_ = queue_.size();
+    }
+  }
+  work_cv_.notify_one();
+}
+
+void Serializer::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  drain_cv_.wait(lock, [this] { return queue_.empty() && running_ == 0; });
+}
+
+uint64_t Serializer::executed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return executed_;
+}
+
+uint64_t Serializer::max_queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_queue_depth_;
+}
+
+bool Serializer::PopRunnable(Request& out) {
+  // First request in arrival order whose key is available; skipping a busy
+  // key preserves per-key FIFO because the skipped request stays in place.
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (busy_keys_.count(it->key) == 0) {
+      out = std::move(*it);
+      queue_.erase(it);
+      busy_keys_.insert(out.key);
+      ++running_;
+      return true;
+    }
+  }
+  return false;
+}
+
+void Serializer::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    Request request;
+    if (PopRunnable(request)) {
+      lock.unlock();
+      request.task();
+      lock.lock();
+      busy_keys_.erase(request.key);
+      --running_;
+      ++executed_;
+      // A freed key may make a skipped request runnable for other workers,
+      // and quiescence may have been reached.
+      work_cv_.notify_all();
+      drain_cv_.notify_all();
+      continue;
+    }
+    if (stopping_) {
+      return;
+    }
+    work_cv_.wait(lock);
+  }
+}
+
+}  // namespace guardians

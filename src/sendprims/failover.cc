@@ -1,0 +1,38 @@
+#include "src/sendprims/failover.h"
+
+namespace guardians {
+
+Result<FailoverResult> FailoverCall(Guardian& caller,
+                                    const std::vector<PortName>& targets,
+                                    const std::string& command,
+                                    const ValueList& args,
+                                    const PortType& reply_type,
+                                    const RemoteCallOptions& per_target) {
+  Status last(Code::kUnreachable, "no targets");
+  for (size_t i = 0; i < targets.size(); ++i) {
+    auto reply =
+        RemoteCall(caller, targets[i], command, args, reply_type,
+                   per_target);
+    if (!reply.ok()) {
+      if (reply.status().code() == Code::kTypeError ||
+          reply.status().code() == Code::kEncodeError) {
+        return reply.status();  // local problem; no replica will differ
+      }
+      last = reply.status();
+      continue;
+    }
+    if (reply->command == kFailureCommand) {
+      last = Status(Code::kUnreachable,
+                    reply->args.empty() ? "failure"
+                                        : reply->args[0].string_value());
+      continue;
+    }
+    FailoverResult out;
+    out.reply = reply.take();
+    out.target_index = static_cast<int>(i);
+    return out;
+  }
+  return last;
+}
+
+}  // namespace guardians

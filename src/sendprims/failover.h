@@ -1,0 +1,37 @@
+// FailoverCall: availability from redundant guardians.
+//
+// The paper's introduction lists "the potential for better reliability and
+// higher availability" among the advantages of distribution: a service
+// offered by guardians at several nodes stays reachable when a node is
+// down. Nothing new is needed from the system — port names are values, so
+// a client simply holds several and tries them in order, exactly the kind
+// of application protocol the no-wait send + timeout was chosen to permit.
+//
+// Only sound for idempotent requests: an earlier target may have performed
+// the request even though its reply was lost.
+#ifndef GUARDIANS_SRC_SENDPRIMS_FAILOVER_H_
+#define GUARDIANS_SRC_SENDPRIMS_FAILOVER_H_
+
+#include <vector>
+
+#include "src/sendprims/remote_call.h"
+
+namespace guardians {
+
+struct FailoverResult {
+  RemoteReply reply;
+  int target_index = -1;  // which replica answered
+};
+
+// Try `targets` in order with the given per-target options; the first
+// non-failure reply wins. kUnreachable when every replica failed.
+Result<FailoverResult> FailoverCall(Guardian& caller,
+                                    const std::vector<PortName>& targets,
+                                    const std::string& command,
+                                    const ValueList& args,
+                                    const PortType& reply_type,
+                                    const RemoteCallOptions& per_target);
+
+}  // namespace guardians
+
+#endif  // GUARDIANS_SRC_SENDPRIMS_FAILOVER_H_

@@ -1,0 +1,27 @@
+#include "src/sendprims/reliable_send.h"
+
+#include "src/sendprims/sync_send.h"
+
+namespace guardians {
+
+Result<ReliableSendResult> ReliableSend(Guardian& sender, const PortName& to,
+                                        const std::string& command,
+                                        const ValueList& args,
+                                        const ReliableSendOptions& options) {
+  ReliableSendResult result;
+  Status last(Code::kTimeout, "no attempts made");
+  for (int attempt = 1; attempt <= options.max_attempts; ++attempt) {
+    result.attempts = attempt;
+    Status st = SyncSend(sender, to, command, args, options.ack_timeout);
+    if (st.ok()) {
+      return result;
+    }
+    if (st.code() != Code::kTimeout) {
+      return st;  // type error, node down, ...: retrying cannot help
+    }
+    last = st;
+  }
+  return last;
+}
+
+}  // namespace guardians

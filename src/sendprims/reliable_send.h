@@ -1,0 +1,41 @@
+// ReliableSend: at-least-once delivery built above the primitives.
+//
+// Section 3: "The no-wait send can usually ensure message delivery. The
+// synchronization send can guarantee delivery (if it terminates)." Neither
+// survives loss by itself; the guarantee the paper wants applications to
+// build is this loop — send, await the receipt, resend on timeout — which
+// is possible precisely because the chosen primitive composes.
+//
+// Delivery becomes at-least-once: the receiving process may see duplicates
+// (a resend racing a delayed ack), so reliable sends are for idempotent or
+// receiver-deduplicated messages — the same discipline as every retry in
+// this system.
+#ifndef GUARDIANS_SRC_SENDPRIMS_RELIABLE_SEND_H_
+#define GUARDIANS_SRC_SENDPRIMS_RELIABLE_SEND_H_
+
+#include <string>
+
+#include "src/guardian/guardian.h"
+
+namespace guardians {
+
+struct ReliableSendOptions {
+  Micros ack_timeout{Millis(100)};  // per-attempt wait for the receipt
+  int max_attempts = 10;
+};
+
+struct ReliableSendResult {
+  int attempts = 0;  // sends performed (≥1 extra wire message each: the ack)
+};
+
+// Blocks until the target process has received (one copy of) the message,
+// or attempts are exhausted (kTimeout: the guarantee is conditional on
+// termination, exactly as the paper says).
+Result<ReliableSendResult> ReliableSend(Guardian& sender, const PortName& to,
+                                        const std::string& command,
+                                        const ValueList& args,
+                                        const ReliableSendOptions& options);
+
+}  // namespace guardians
+
+#endif  // GUARDIANS_SRC_SENDPRIMS_RELIABLE_SEND_H_

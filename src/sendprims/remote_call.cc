@@ -1,0 +1,86 @@
+#include "src/sendprims/remote_call.h"
+
+#include "src/guardian/node_runtime.h"
+
+namespace guardians {
+
+Result<RemoteReply> RemoteCall(Guardian& caller, const PortName& to,
+                               const std::string& command, ValueList args,
+                               const PortType& reply_type,
+                               const RemoteCallOptions& options) {
+  Port* reply_port = caller.AddPort(reply_type, /*capacity=*/8);
+  Status last(Code::kTimeout, "no attempts made");
+  RemoteReply reply;
+  for (int attempt = 1; attempt <= options.max_attempts; ++attempt) {
+    reply.attempts = attempt;
+    auto sent =
+        caller.SendFull(to, command, args, reply_port->name(), PortName{});
+    if (!sent.ok()) {
+      // Local errors (type error, encode failure, node down) will not be
+      // cured by retrying.
+      caller.RetirePort(reply_port);
+      return sent.status();
+    }
+    auto received = caller.Receive(reply_port, options.timeout);
+    if (!received.ok()) {
+      last = received.status();  // timeout or node down
+      if (received.status().code() == Code::kNodeDown) {
+        break;
+      }
+      continue;
+    }
+    if (received->command == kFailureCommand &&
+        attempt < options.max_attempts) {
+      // e.g. "target port doesn't exist" because the server is recovering;
+      // retrying is as sound as retrying after a timeout.
+      last = Status(Code::kUnreachable, received->args.empty()
+                                            ? "failure"
+                                            : received->args[0].ToString());
+      continue;
+    }
+    reply.command = received->command;
+    reply.args = std::move(received->args);
+    caller.RetirePort(reply_port);
+    return reply;
+  }
+  caller.RetirePort(reply_port);
+  return last;
+}
+
+Result<std::vector<PortName>> CreateGuardianAt(
+    Guardian& caller, const PortName& primordial,
+    const std::string& type_name, const std::string& guardian_name,
+    ValueList creation_args, bool persistent, Micros timeout) {
+  RemoteCallOptions options;
+  options.timeout = timeout;
+  options.max_attempts = 1;  // creation is not idempotent
+  GUARDIANS_ASSIGN_OR_RETURN(
+      RemoteReply reply,
+      RemoteCall(caller, primordial, "create_guardian",
+                 {Value::Str(type_name), Value::Str(guardian_name),
+                  Value::Array(std::move(creation_args)),
+                  Value::Bool(persistent)},
+                 CreationReplyPortType(), options));
+  if (reply.command == "refused") {
+    return Status(Code::kPermissionDenied,
+                  reply.args.empty() ? "refused"
+                                     : reply.args[0].string_value());
+  }
+  if (reply.command == kFailureCommand) {
+    return Status(Code::kUnreachable,
+                  reply.args.empty() ? "failure"
+                                     : reply.args[0].string_value());
+  }
+  if (reply.command != "created" || reply.args.size() != 1 ||
+      !reply.args[0].is(TypeTag::kArray)) {
+    return Status(Code::kInternal, "malformed creation reply");
+  }
+  std::vector<PortName> ports;
+  for (const auto& v : reply.args[0].items()) {
+    GUARDIANS_ASSIGN_OR_RETURN(PortName pn, v.AsPort());
+    ports.push_back(pn);
+  }
+  return ports;
+}
+
+}  // namespace guardians

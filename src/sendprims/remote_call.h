@@ -1,0 +1,58 @@
+// The remote transaction send (Section 3, primitive 3): "The sending
+// process waits for a response from the receiving process that the command
+// has been carried out" — Brinch Hansen's primitive, and the shape of
+// remote invocation.
+//
+// Built on the no-wait send: the request carries an ephemeral reply port;
+// the caller blocks on it with a timeout. On timeout "nothing is known
+// about the true state of affairs: the request may never be done, or it
+// might already be done" (Section 3.5) — so retries are sound only for
+// idempotent requests, which the options make explicit.
+#ifndef GUARDIANS_SRC_SENDPRIMS_REMOTE_CALL_H_
+#define GUARDIANS_SRC_SENDPRIMS_REMOTE_CALL_H_
+
+#include <string>
+
+#include "src/common/clock.h"
+#include "src/common/result.h"
+#include "src/guardian/guardian.h"
+
+namespace guardians {
+
+struct RemoteCallOptions {
+  // Per-attempt receive timeout ("the expression e would cause a delay long
+  // enough to permit the request to complete under reasonable
+  // circumstances").
+  Micros timeout{Millis(500)};
+  // Total attempts. >1 is only sound when the request is idempotent ("many
+  // performances are equivalent to one"); non-idempotent callers keep 1 and
+  // surface the uncertainty, as the Figure 5 transaction process does.
+  int max_attempts = 1;
+};
+
+struct RemoteReply {
+  std::string command;  // one of the declared replies, or "failure"
+  ValueList args;
+  int attempts = 0;     // how many sends it took
+};
+
+// Send `command` to `to` and wait for any reply on a fresh reply port of
+// `reply_type`. System failure(...) messages count as replies (command
+// "failure") on the final attempt but trigger a retry while attempts
+// remain, like timeouts do.
+Result<RemoteReply> RemoteCall(Guardian& caller, const PortName& to,
+                               const std::string& command, ValueList args,
+                               const PortType& reply_type,
+                               const RemoteCallOptions& options = {});
+
+// Convenience for the common remote-creation flow: ask `primordial` (the
+// primordial port of another node) to create a guardian there, returning
+// the provided ports. Creation is NOT idempotent, so this never retries.
+Result<std::vector<PortName>> CreateGuardianAt(
+    Guardian& caller, const PortName& primordial,
+    const std::string& type_name, const std::string& guardian_name,
+    ValueList creation_args, bool persistent, Micros timeout);
+
+}  // namespace guardians
+
+#endif  // GUARDIANS_SRC_SENDPRIMS_REMOTE_CALL_H_

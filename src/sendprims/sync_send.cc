@@ -1,0 +1,39 @@
+#include "src/sendprims/sync_send.h"
+
+#include "src/guardian/node_runtime.h"
+
+namespace guardians {
+
+Status SyncSend(Guardian& sender, const PortName& to,
+                const std::string& command, ValueList args, Micros timeout) {
+  Port* ack_port = sender.AddPort(AckPortType(), /*capacity=*/4);
+  auto sent = sender.SendFull(to, command, std::move(args), PortName{},
+                              ack_port->name());
+  if (!sent.ok()) {
+    sender.RetirePort(ack_port);
+    return sent.status();
+  }
+  const std::string want = std::to_string(*sent);
+
+  const Deadline deadline(timeout);
+  for (;;) {
+    auto received = sender.Receive(ack_port, deadline.Remaining());
+    if (!received.ok()) {
+      sender.RetirePort(ack_port);
+      return received.status();
+    }
+    if (received->command == "ack" && !received->args.empty() &&
+        received->args[0].is(TypeTag::kString) &&
+        received->args[0].string_value() == want) {
+      sender.RetirePort(ack_port);
+      return OkStatus();
+    }
+    // A stale or foreign ack; keep waiting until the deadline.
+    if (deadline.Expired()) {
+      sender.RetirePort(ack_port);
+      return Status(Code::kTimeout, "no receipt acknowledgement");
+    }
+  }
+}
+
+}  // namespace guardians

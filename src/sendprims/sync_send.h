@@ -1,0 +1,33 @@
+// The synchronization send (Section 3, primitive 2): "The sending process
+// waits until the message has been received by the target process" — the
+// primitive of Hoare's CSP.
+//
+// The paper chooses the no-wait send precisely because the others "can be
+// implemented by it, but not vice versa (if extra message passing is to be
+// avoided)". This module is that construction: a no-wait send carrying a
+// hidden acknowledgement port; the system acks when (and only when) a
+// receive in the target guardian dequeues the message. The extra wire
+// message is intrinsic to the primitive, which the SEND experiment
+// measures.
+#ifndef GUARDIANS_SRC_SENDPRIMS_SYNC_SEND_H_
+#define GUARDIANS_SRC_SENDPRIMS_SYNC_SEND_H_
+
+#include <string>
+
+#include "src/common/clock.h"
+#include "src/common/result.h"
+#include "src/guardian/guardian.h"
+
+namespace guardians {
+
+// Blocks the calling process until the target process has received the
+// message, or the timeout expires (a node failure would otherwise block the
+// caller forever — "a subsequent node failure will disrupt communication").
+// A kTimeout result leaves the true state unknown: the message may yet be
+// received.
+Status SyncSend(Guardian& sender, const PortName& to,
+                const std::string& command, ValueList args, Micros timeout);
+
+}  // namespace guardians
+
+#endif  // GUARDIANS_SRC_SENDPRIMS_SYNC_SEND_H_

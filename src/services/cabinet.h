@@ -1,0 +1,56 @@
+// CabinetGuardian: a persistent filing cabinet for the office-automation
+// domain of the paper's introduction.
+//
+// It exercises three primitives together:
+//  - transmittable abstract values: documents arrive and leave as abstract
+//    values (Section 3.3), whatever representation each node uses;
+//  - tokens: filing returns a sealed token — the drawer index is
+//    guardian-dependent information that never leaves in the clear
+//    (Section 2.1);
+//  - permanence: filed documents are logged and survive a node crash
+//    (Section 2.2). Tokens do NOT survive: a new incarnation re-seals, and
+//    "the system makes no guarantee that the object named by the token
+//    continues to exist; only the guardian can provide such a guarantee" —
+//    this guardian provides lookup-by-title as the recovery path.
+#ifndef GUARDIANS_SRC_SERVICES_CABINET_H_
+#define GUARDIANS_SRC_SERVICES_CABINET_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/guardian/node_runtime.h"
+#include "src/transmit/document.h"
+
+namespace guardians {
+
+// file_doc (document)      replies (filed)
+// fetch (token)            replies (doc_is, bad_token)
+// find_title (title)       replies (filed, unknown_title)   [fresh token]
+// doc_count ()             replies (doc_count_is)
+PortType CabinetPortType();
+PortType CabinetReplyType();
+
+class CabinetGuardian : public Guardian {
+ public:
+  static constexpr char kTypeName[] = "cabinet";
+
+  Status Setup(const ValueList& args) override;
+  Status Recover(const ValueList& args) override;
+  void Main() override;
+
+  size_t DocCountForTesting() const;
+
+ private:
+  Status InitCommon(bool recovering);
+  void HandleRequest(const Received& request);
+
+  mutable std::mutex mu_;
+  std::vector<std::shared_ptr<const Document>> docs_;
+  Wal* log_ = nullptr;
+};
+
+}  // namespace guardians
+
+#endif  // GUARDIANS_SRC_SERVICES_CABINET_H_

@@ -1,0 +1,60 @@
+// CatalogGuardian: a name service built from the primitives.
+//
+// Port names are the only global names (Section 3.2), and they propagate by
+// being "sent in messages". Something must bootstrap that propagation: a
+// well-known guardian that maps human names to port names, itself reachable
+// via a port name obtained at creation. (The Argus system that grew out of
+// this paper acquired exactly such a catalog.)
+//
+// The catalog is persistent: registrations are logged, so the names survive
+// a node crash — a name service that forgot everything on failure would
+// undermine the recovery story of every guardian registered in it.
+#ifndef GUARDIANS_SRC_SERVICES_CATALOG_H_
+#define GUARDIANS_SRC_SERVICES_CATALOG_H_
+
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "src/guardian/node_runtime.h"
+
+namespace guardians {
+
+// register_name (name, port)  replies (registered, name_taken)
+// lookup (name)               replies (found, unknown_name)
+// unregister (name)           replies (removed, unknown_name)
+// list_names (prefix)         replies (names)
+PortType CatalogPortType();
+// Reply port type used by catalog clients.
+PortType CatalogReplyType();
+
+class CatalogGuardian : public Guardian {
+ public:
+  static constexpr char kTypeName[] = "catalog";
+
+  Status Setup(const ValueList& args) override;
+  Status Recover(const ValueList& args) override;
+  void Main() override;
+
+  size_t size() const;
+
+ private:
+  Status InitCommon(bool recovering);
+  void HandleRequest(const Received& request);
+
+  mutable std::mutex mu_;
+  std::map<std::string, PortName> names_;
+  Wal* log_ = nullptr;
+};
+
+// Client helpers (each is one remote invocation from `caller`).
+Result<PortName> CatalogLookup(Guardian& caller, const PortName& catalog,
+                               const std::string& name, Micros timeout,
+                               int attempts = 3);
+Status CatalogRegister(Guardian& caller, const PortName& catalog,
+                       const std::string& name, const PortName& port,
+                       Micros timeout);
+
+}  // namespace guardians
+
+#endif  // GUARDIANS_SRC_SERVICES_CATALOG_H_

@@ -1,0 +1,121 @@
+#include "src/store/stable_store.h"
+
+#include <thread>
+
+namespace guardians {
+
+Status StableStore::Append(const std::string& name, const Bytes& data) {
+  Micros latency{0};
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (failed_) {
+      return Status(Code::kStorageError, "stable storage device failed");
+    }
+    Bytes& stream = streams_[name];
+    stream.insert(stream.end(), data.begin(), data.end());
+    ++append_count_;
+    latency = write_latency_;
+  }
+  if (latency.count() > 0) {
+    // Model the synchronous wait for the write to reach stable media.
+    std::this_thread::sleep_for(latency);
+  }
+  return OkStatus();
+}
+
+Bytes StableStore::Read(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = streams_.find(name);
+  return it != streams_.end() ? it->second : Bytes{};
+}
+
+size_t StableStore::StreamSize(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = streams_.find(name);
+  return it != streams_.end() ? it->second.size() : 0;
+}
+
+Status StableStore::Truncate(const std::string& name, size_t new_size) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = streams_.find(name);
+  if (it == streams_.end()) {
+    return Status(Code::kNotFound, "no stream '" + name + "'");
+  }
+  if (new_size < it->second.size()) {
+    it->second.resize(new_size);
+  }
+  return OkStatus();
+}
+
+void StableStore::Delete(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  streams_.erase(name);
+}
+
+void StableStore::PutCell(const std::string& name, const Bytes& data) {
+  std::lock_guard<std::mutex> lock(mu_);
+  cells_[name] = data;
+}
+
+Result<Bytes> StableStore::GetCell(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = cells_.find(name);
+  if (it == cells_.end()) {
+    return Status(Code::kNotFound, "no cell '" + name + "'");
+  }
+  return it->second;
+}
+
+void StableStore::DeleteCell(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  cells_.erase(name);
+}
+
+std::vector<std::string> StableStore::ListStreams() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(streams_.size());
+  for (const auto& [name, stream] : streams_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+size_t StableStore::TotalBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t total = 0;
+  for (const auto& [name, stream] : streams_) {
+    total += stream.size();
+  }
+  for (const auto& [name, cell] : cells_) {
+    total += cell.size();
+  }
+  return total;
+}
+
+void StableStore::SetWriteLatency(Micros latency) {
+  std::lock_guard<std::mutex> lock(mu_);
+  write_latency_ = latency;
+}
+
+void StableStore::ChopTail(const std::string& name, size_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = streams_.find(name);
+  if (it == streams_.end()) {
+    return;
+  }
+  Bytes& stream = it->second;
+  stream.resize(stream.size() > n ? stream.size() - n : 0);
+}
+
+void StableStore::SetFailed(bool failed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  failed_ = failed;
+}
+
+uint64_t StableStore::append_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return append_count_;
+}
+
+}  // namespace guardians

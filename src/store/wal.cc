@@ -1,0 +1,90 @@
+#include "src/store/wal.h"
+
+#include "src/wire/codec.h"
+#include "src/wire/crc32.h"
+#include "src/wire/value_codec.h"
+
+namespace guardians {
+
+Wal::Wal(StableStore* store, std::string name)
+    : store_(store), name_(std::move(name)) {}
+
+Status Wal::Append(const Bytes& payload) {
+  WireEncoder enc;
+  enc.PutU32(static_cast<uint32_t>(payload.size()));
+  enc.PutU32(Crc32(payload));
+  Bytes frame = enc.Take();
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  GUARDIANS_RETURN_IF_ERROR(store_->Append(LogStream(), frame));
+  appended_.fetch_add(1);
+  return OkStatus();
+}
+
+Status Wal::AppendValue(const Value& v) {
+  WireEncoder enc;
+  GUARDIANS_RETURN_IF_ERROR(EncodeValue(v, DefaultLimits(), enc));
+  return Append(enc.Take());
+}
+
+Status Wal::Checkpoint(const Bytes& snapshot) {
+  store_->PutCell(SnapCell(), snapshot);
+  GUARDIANS_RETURN_IF_ERROR(store_->Truncate(LogStream(), 0));
+  return OkStatus();
+}
+
+Result<WalRecovery> Wal::Recover() const {
+  WalRecovery out;
+  auto snap = store_->GetCell(SnapCell());
+  if (snap.ok()) {
+    out.snapshot = snap.take();
+  }
+
+  const Bytes raw = store_->Read(LogStream());
+  size_t pos = 0;
+  while (pos < raw.size()) {
+    if (raw.size() - pos < 8) {
+      out.torn_tail = true;  // incomplete frame header at the tail
+      break;
+    }
+    uint32_t len = 0;
+    uint32_t crc = 0;
+    for (int i = 0; i < 4; ++i) {
+      len |= static_cast<uint32_t>(raw[pos + i]) << (8 * i);
+      crc |= static_cast<uint32_t>(raw[pos + 4 + i]) << (8 * i);
+    }
+    if (raw.size() - pos - 8 < len) {
+      out.torn_tail = true;  // incomplete payload at the tail
+      break;
+    }
+    Bytes payload(raw.begin() + static_cast<long>(pos + 8),
+                  raw.begin() + static_cast<long>(pos + 8 + len));
+    if (Crc32(payload) != crc) {
+      if (pos + 8 + len == raw.size()) {
+        out.torn_tail = true;  // garbage only in the final frame
+        break;
+      }
+      return Status(Code::kLogCorrupt,
+                    "log '" + name_ + "' has a bad frame mid-stream");
+    }
+    out.records.push_back(std::move(payload));
+    pos += 8 + len;
+  }
+  return out;
+}
+
+Result<std::vector<Value>> Wal::RecoverValues() const {
+  GUARDIANS_ASSIGN_OR_RETURN(WalRecovery rec, Recover());
+  std::vector<Value> values;
+  values.reserve(rec.records.size());
+  for (const auto& record : rec.records) {
+    WireDecoder dec(record);
+    GUARDIANS_ASSIGN_OR_RETURN(Value v,
+                               DecodeValue(dec, DefaultLimits(), nullptr));
+    values.push_back(std::move(v));
+  }
+  return values;
+}
+
+size_t Wal::SizeBytes() const { return store_->StreamSize(LogStream()); }
+
+}  // namespace guardians

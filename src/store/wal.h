@@ -1,0 +1,71 @@
+// Wal: a write-ahead log over StableStore, the mechanism behind
+// "permanence of effect" (Section 2.2). A guardian logs each completed
+// atomic operation before replying; its recovery process replays the log
+// after a node crash.
+//
+// Frame format per record: [u32 length][u32 crc32(payload)][payload].
+// Recovery tolerates a torn tail (a crash mid-append): the incomplete or
+// CRC-failing final frame is discarded, everything before it is returned.
+// A bad frame *followed by* more valid data indicates device corruption and
+// fails with kLogCorrupt.
+#ifndef GUARDIANS_SRC_STORE_WAL_H_
+#define GUARDIANS_SRC_STORE_WAL_H_
+
+#include <atomic>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/store/stable_store.h"
+#include "src/value/value.h"
+#include "src/wire/limits.h"
+
+namespace guardians {
+
+struct WalRecovery {
+  std::optional<Bytes> snapshot;  // most recent checkpoint, if any
+  std::vector<Bytes> records;     // records appended after the checkpoint
+  bool torn_tail = false;         // an incomplete final record was discarded
+};
+
+class Wal {
+ public:
+  // `store` must outlive the Wal. `name` scopes the log's streams within
+  // the node's stable store (one WAL per guardian resource).
+  Wal(StableStore* store, std::string name);
+
+  // Append one record; returns only after it is stable.
+  Status Append(const Bytes& payload);
+  // Convenience: wire-encode a Value as the record payload.
+  Status AppendValue(const Value& v);
+
+  // Replace the checkpoint with `snapshot` and truncate the record log.
+  // Crash-safe ordering: the new snapshot is written before the log is
+  // truncated, so recovery always sees a consistent pair.
+  Status Checkpoint(const Bytes& snapshot);
+
+  // Read everything back (the recovery process's input).
+  Result<WalRecovery> Recover() const;
+  // Value-decoding variant for logs written with AppendValue.
+  Result<std::vector<Value>> RecoverValues() const;
+
+  // Number of records appended since construction (not counting recovered
+  // ones); for experiments. Appends may come from several processes.
+  uint64_t appended() const { return appended_.load(); }
+  size_t SizeBytes() const;
+
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string LogStream() const { return name_ + ".log"; }
+  std::string SnapCell() const { return name_ + ".snap"; }
+
+  StableStore* store_;
+  std::string name_;
+  std::atomic<uint64_t> appended_{0};
+};
+
+}  // namespace guardians
+
+#endif  // GUARDIANS_SRC_STORE_WAL_H_

@@ -1,0 +1,135 @@
+#include "src/transmit/assoc_memory.h"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+namespace guardians {
+
+Result<Value> AssocMemoryObject::Encode() const {
+  std::vector<Value> pairs;
+  pairs.reserve(Size());
+  VisitSorted([&pairs](const std::string& key, const std::string& item) {
+    pairs.push_back(Value::Record(
+        {{"key", Value::Str(key)}, {"item", Value::Str(item)}}));
+  });
+  return Value::Array(std::move(pairs));
+}
+
+bool AssocMemoryObject::AbstractEquals(const AbstractObject& other) const {
+  if (other.TypeName() != kAssocMemoryTypeName) {
+    return false;
+  }
+  const auto& b = static_cast<const AssocMemoryObject&>(other);
+  if (Size() != b.Size()) {
+    return false;
+  }
+  std::vector<std::pair<std::string, std::string>> mine;
+  std::vector<std::pair<std::string, std::string>> theirs;
+  VisitSorted([&mine](const std::string& k, const std::string& v) {
+    mine.emplace_back(k, v);
+  });
+  b.VisitSorted([&theirs](const std::string& k, const std::string& v) {
+    theirs.emplace_back(k, v);
+  });
+  return mine == theirs;
+}
+
+std::string AssocMemoryObject::DebugString() const {
+  std::ostringstream os;
+  os << Size() << " entries";
+  return os.str();
+}
+
+void HashAssocMemory::AddItem(const std::string& key,
+                              const std::string& item) {
+  map_[key] = item;
+}
+
+Result<std::string> HashAssocMemory::GetItem(const std::string& key) const {
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    return Status(Code::kNotFound, "no item for key '" + key + "'");
+  }
+  return it->second;
+}
+
+void HashAssocMemory::VisitSorted(
+    const std::function<void(const std::string&, const std::string&)>& fn)
+    const {
+  // Hash order is representation-private; encode must produce the canonical
+  // external rep, so sort first.
+  std::vector<const std::pair<const std::string, std::string>*> entries;
+  entries.reserve(map_.size());
+  for (const auto& entry : map_) {
+    entries.push_back(&entry);
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const auto* a, const auto* b) { return a->first < b->first; });
+  for (const auto* entry : entries) {
+    fn(entry->first, entry->second);
+  }
+}
+
+void TreeAssocMemory::AddItem(const std::string& key,
+                              const std::string& item) {
+  map_[key] = item;
+}
+
+Result<std::string> TreeAssocMemory::GetItem(const std::string& key) const {
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    return Status(Code::kNotFound, "no item for key '" + key + "'");
+  }
+  return it->second;
+}
+
+void TreeAssocMemory::VisitSorted(
+    const std::function<void(const std::string&, const std::string&)>& fn)
+    const {
+  for (const auto& [key, item] : map_) {
+    fn(key, item);
+  }
+}
+
+std::shared_ptr<HashAssocMemory> MakeHashAssocMemory() {
+  return std::make_shared<HashAssocMemory>();
+}
+
+std::shared_ptr<TreeAssocMemory> MakeTreeAssocMemory() {
+  return std::make_shared<TreeAssocMemory>();
+}
+
+namespace {
+
+template <typename Rep>
+Result<AbstractPtr> DecodeInto(const Value& external) {
+  if (!external.is(TypeTag::kArray)) {
+    return Status(Code::kDecodeError, "assoc_memory external rep not array");
+  }
+  auto rep = std::make_shared<Rep>();
+  for (const auto& pair : external.items()) {
+    GUARDIANS_ASSIGN_OR_RETURN(Value key_field, pair.field("key"));
+    GUARDIANS_ASSIGN_OR_RETURN(Value item_field, pair.field("item"));
+    GUARDIANS_ASSIGN_OR_RETURN(std::string key, key_field.AsString());
+    GUARDIANS_ASSIGN_OR_RETURN(std::string item, item_field.AsString());
+    rep->AddItem(key, item);
+  }
+  return AbstractPtr(rep);
+}
+
+}  // namespace
+
+TransmitRegistry::DecodeFn HashAssocMemoryDecoder() {
+  return [](const Value& external) {
+    return DecodeInto<HashAssocMemory>(external);
+  };
+}
+
+TransmitRegistry::DecodeFn TreeAssocMemoryDecoder() {
+  return [](const Value& external) {
+    return DecodeInto<TreeAssocMemory>(external);
+  };
+}
+
+}  // namespace guardians

@@ -1,0 +1,82 @@
+// Associative memory: the paper's second transmittable-type example.
+//
+// "Suppose that on node A the representation makes use of a hash table,
+//  while on node B the representation uses a tree. A possible external rep
+//  might be a sequence of items with associated keys. Then encode on node A
+//  would build a sequence of key-item pairs from the hash table
+//  representation, and decode on node B would construct a tree
+//  representation from such a sequence."
+//
+// External rep (system-wide): array of record{key: string, item: string},
+// sorted by key so the external form is canonical.
+#ifndef GUARDIANS_SRC_TRANSMIT_ASSOC_MEMORY_H_
+#define GUARDIANS_SRC_TRANSMIT_ASSOC_MEMORY_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "src/transmit/registry.h"
+#include "src/value/value.h"
+
+namespace guardians {
+
+inline constexpr char kAssocMemoryTypeName[] = "assoc_memory";
+
+// Abstract operations of the type (add-item, get-item) shared by both
+// representations. Objects are used copy-on-build here: construct, fill,
+// then treat as a value.
+class AssocMemoryObject : public AbstractObject {
+ public:
+  virtual void AddItem(const std::string& key, const std::string& item) = 0;
+  virtual Result<std::string> GetItem(const std::string& key) const = 0;
+  virtual size_t Size() const = 0;
+  // Visit pairs in canonical (sorted-key) order, for encode and equality.
+  virtual void VisitSorted(
+      const std::function<void(const std::string&, const std::string&)>& fn)
+      const = 0;
+
+  std::string TypeName() const override { return kAssocMemoryTypeName; }
+  Result<Value> Encode() const override;
+  bool AbstractEquals(const AbstractObject& other) const override;
+  std::string DebugString() const override;
+};
+
+// Node-A representation: hash table.
+class HashAssocMemory : public AssocMemoryObject {
+ public:
+  void AddItem(const std::string& key, const std::string& item) override;
+  Result<std::string> GetItem(const std::string& key) const override;
+  size_t Size() const override { return map_.size(); }
+  void VisitSorted(
+      const std::function<void(const std::string&, const std::string&)>& fn)
+      const override;
+
+ private:
+  std::unordered_map<std::string, std::string> map_;
+};
+
+// Node-B representation: ordered tree.
+class TreeAssocMemory : public AssocMemoryObject {
+ public:
+  void AddItem(const std::string& key, const std::string& item) override;
+  Result<std::string> GetItem(const std::string& key) const override;
+  size_t Size() const override { return map_.size(); }
+  void VisitSorted(
+      const std::function<void(const std::string&, const std::string&)>& fn)
+      const override;
+
+ private:
+  std::map<std::string, std::string> map_;
+};
+
+std::shared_ptr<HashAssocMemory> MakeHashAssocMemory();
+std::shared_ptr<TreeAssocMemory> MakeTreeAssocMemory();
+
+TransmitRegistry::DecodeFn HashAssocMemoryDecoder();
+TransmitRegistry::DecodeFn TreeAssocMemoryDecoder();
+
+}  // namespace guardians
+
+#endif  // GUARDIANS_SRC_TRANSMIT_ASSOC_MEMORY_H_

@@ -1,0 +1,66 @@
+#include "src/transmit/complex.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace guardians {
+
+Result<Value> ComplexObject::Encode() const {
+  return Value::Record({{"re", Value::Real(Re())}, {"im", Value::Real(Im())}});
+}
+
+bool ComplexObject::AbstractEquals(const AbstractObject& other) const {
+  if (other.TypeName() != kComplexTypeName) {
+    return false;
+  }
+  const auto& c = static_cast<const ComplexObject&>(other);
+  constexpr double kEps = 1e-9;
+  return std::fabs(Re() - c.Re()) < kEps && std::fabs(Im() - c.Im()) < kEps;
+}
+
+std::string ComplexObject::DebugString() const {
+  std::ostringstream os;
+  os << Re() << (Im() < 0 ? "" : "+") << Im() << "i";
+  return os.str();
+}
+
+double PolarComplex::Re() const { return r_ * std::cos(theta_); }
+double PolarComplex::Im() const { return r_ * std::sin(theta_); }
+
+AbstractPtr MakeRectComplex(double re, double im) {
+  return std::make_shared<RectComplex>(re, im);
+}
+
+AbstractPtr MakePolarComplex(double r, double theta) {
+  return std::make_shared<PolarComplex>(r, theta);
+}
+
+namespace {
+
+Result<std::pair<double, double>> ParseExternal(const Value& external) {
+  GUARDIANS_ASSIGN_OR_RETURN(Value re_field, external.field("re"));
+  GUARDIANS_ASSIGN_OR_RETURN(Value im_field, external.field("im"));
+  GUARDIANS_ASSIGN_OR_RETURN(double re, re_field.AsReal());
+  GUARDIANS_ASSIGN_OR_RETURN(double im, im_field.AsReal());
+  return std::make_pair(re, im);
+}
+
+}  // namespace
+
+TransmitRegistry::DecodeFn RectComplexDecoder() {
+  return [](const Value& external) -> Result<AbstractPtr> {
+    GUARDIANS_ASSIGN_OR_RETURN(auto coords, ParseExternal(external));
+    return MakeRectComplex(coords.first, coords.second);
+  };
+}
+
+TransmitRegistry::DecodeFn PolarComplexDecoder() {
+  return [](const Value& external) -> Result<AbstractPtr> {
+    GUARDIANS_ASSIGN_OR_RETURN(auto coords, ParseExternal(external));
+    const double r = std::hypot(coords.first, coords.second);
+    const double theta = std::atan2(coords.second, coords.first);
+    return MakePolarComplex(r, theta);
+  };
+}
+
+}  // namespace guardians

@@ -1,0 +1,68 @@
+// Complex numbers: the paper's first transmittable-type example.
+//
+// "A simple example is complex numbers, where on one node the
+//  representation might be real/imaginary coordinates, while on another
+//  polar coordinates might be used; the external rep might be the
+//  real/imaginary coordinates."
+//
+// External rep (system-wide): record{re: real, im: real}.
+#ifndef GUARDIANS_SRC_TRANSMIT_COMPLEX_H_
+#define GUARDIANS_SRC_TRANSMIT_COMPLEX_H_
+
+#include <memory>
+
+#include "src/transmit/registry.h"
+#include "src/value/value.h"
+
+namespace guardians {
+
+inline constexpr char kComplexTypeName[] = "complex";
+
+// Abstract interface shared by both representations.
+class ComplexObject : public AbstractObject {
+ public:
+  virtual double Re() const = 0;
+  virtual double Im() const = 0;
+
+  std::string TypeName() const override { return kComplexTypeName; }
+  Result<Value> Encode() const override;
+  bool AbstractEquals(const AbstractObject& other) const override;
+  std::string DebugString() const override;
+};
+
+// Rectangular (real/imaginary) representation.
+class RectComplex : public ComplexObject {
+ public:
+  RectComplex(double re, double im) : re_(re), im_(im) {}
+  double Re() const override { return re_; }
+  double Im() const override { return im_; }
+
+ private:
+  double re_;
+  double im_;
+};
+
+// Polar (magnitude/angle) representation.
+class PolarComplex : public ComplexObject {
+ public:
+  PolarComplex(double r, double theta) : r_(r), theta_(theta) {}
+  double Re() const override;
+  double Im() const override;
+  double Magnitude() const { return r_; }
+  double Angle() const { return theta_; }
+
+ private:
+  double r_;
+  double theta_;
+};
+
+AbstractPtr MakeRectComplex(double re, double im);
+AbstractPtr MakePolarComplex(double r, double theta);
+
+// Per-node decode operations: external rep -> this node's representation.
+TransmitRegistry::DecodeFn RectComplexDecoder();
+TransmitRegistry::DecodeFn PolarComplexDecoder();
+
+}  // namespace guardians
+
+#endif  // GUARDIANS_SRC_TRANSMIT_COMPLEX_H_

@@ -1,0 +1,87 @@
+#include "src/transmit/document.h"
+
+#include <sstream>
+
+namespace guardians {
+
+size_t Document::WordCount() const {
+  size_t words = 0;
+  for (const auto& para : paragraphs_) {
+    bool in_word = false;
+    for (char c : para) {
+      const bool is_space = c == ' ' || c == '\t' || c == '\n';
+      if (!is_space && !in_word) {
+        ++words;
+      }
+      in_word = !is_space;
+    }
+  }
+  return words;
+}
+
+Result<Value> Document::Encode() const {
+  std::vector<Value> paras;
+  paras.reserve(paragraphs_.size());
+  for (const auto& para : paragraphs_) {
+    paras.push_back(Value::Str(para));
+  }
+  // local_cache_index_ is intentionally absent: it indexes a private table
+  // of the owning guardian and has no meaning elsewhere.
+  return Value::Record({{"title", Value::Str(title_)},
+                        {"paras", Value::Array(std::move(paras))}});
+}
+
+bool Document::AbstractEquals(const AbstractObject& other) const {
+  if (other.TypeName() != kDocumentTypeName) {
+    return false;
+  }
+  const auto& d = static_cast<const Document&>(other);
+  return title_ == d.title_ && paragraphs_ == d.paragraphs_;
+}
+
+std::string Document::DebugString() const {
+  std::ostringstream os;
+  os << '"' << title_ << "\", " << paragraphs_.size() << " para(s)";
+  return os.str();
+}
+
+Result<Value> SealedNote::Encode() const {
+  return Status(Code::kNotTransmittable,
+                "sealed_note values may not be sent in messages");
+}
+
+bool SealedNote::AbstractEquals(const AbstractObject& other) const {
+  if (other.TypeName() != kSealedNoteTypeName) {
+    return false;
+  }
+  return secret_ == static_cast<const SealedNote&>(other).secret_;
+}
+
+std::shared_ptr<Document> MakeDocument(std::string title,
+                                       std::vector<std::string> paragraphs) {
+  return std::make_shared<Document>(std::move(title), std::move(paragraphs));
+}
+
+AbstractPtr MakeSealedNote(std::string secret) {
+  return std::make_shared<SealedNote>(std::move(secret));
+}
+
+TransmitRegistry::DecodeFn DocumentDecoder() {
+  return [](const Value& external) -> Result<AbstractPtr> {
+    GUARDIANS_ASSIGN_OR_RETURN(Value title_field, external.field("title"));
+    GUARDIANS_ASSIGN_OR_RETURN(Value paras_field, external.field("paras"));
+    GUARDIANS_ASSIGN_OR_RETURN(std::string title, title_field.AsString());
+    if (!paras_field.is(TypeTag::kArray)) {
+      return Status(Code::kDecodeError, "document paras not an array");
+    }
+    std::vector<std::string> paras;
+    paras.reserve(paras_field.items().size());
+    for (const auto& para : paras_field.items()) {
+      GUARDIANS_ASSIGN_OR_RETURN(std::string text, para.AsString());
+      paras.push_back(std::move(text));
+    }
+    return AbstractPtr(MakeDocument(std::move(title), std::move(paras)));
+  };
+}
+
+}  // namespace guardians

@@ -1,0 +1,78 @@
+// Document: a transmittable type for the office-automation domain the
+// paper's introduction motivates. It demonstrates two more of Section 3.3's
+// reasons why transmission must be programmer-controlled:
+//
+//  - reason 3: an object may contain guardian-dependent information (here,
+//    a node-local cache index) "which should not be transmitted in a
+//    message since it would not be meaningful to any other guardian" — the
+//    encode operation deliberately omits it;
+//  - reason 4: "for some types it may be desirable to forbid sending the
+//    abstract values in messages" — SealedNote always refuses to encode.
+//
+// External rep of document: record{title: string, paras: array of string}.
+#ifndef GUARDIANS_SRC_TRANSMIT_DOCUMENT_H_
+#define GUARDIANS_SRC_TRANSMIT_DOCUMENT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/transmit/registry.h"
+#include "src/value/value.h"
+
+namespace guardians {
+
+inline constexpr char kDocumentTypeName[] = "document";
+inline constexpr char kSealedNoteTypeName[] = "sealed_note";
+
+class Document : public AbstractObject {
+ public:
+  Document(std::string title, std::vector<std::string> paragraphs)
+      : title_(std::move(title)), paragraphs_(std::move(paragraphs)) {}
+
+  const std::string& title() const { return title_; }
+  const std::vector<std::string>& paragraphs() const { return paragraphs_; }
+  size_t WordCount() const;
+
+  // Guardian-dependent information: meaningful only inside the guardian
+  // that set it; never transmitted (Section 3.3 reason 3).
+  void SetLocalCacheIndex(int64_t index) { local_cache_index_ = index; }
+  int64_t local_cache_index() const { return local_cache_index_; }
+
+  std::string TypeName() const override { return kDocumentTypeName; }
+  Result<Value> Encode() const override;
+  bool AbstractEquals(const AbstractObject& other) const override;
+  std::string DebugString() const override;
+
+ private:
+  std::string title_;
+  std::vector<std::string> paragraphs_;
+  int64_t local_cache_index_ = -1;
+};
+
+// A type whose values may never leave the guardian: Encode always fails
+// with kNotTransmittable, so any send containing one terminates.
+class SealedNote : public AbstractObject {
+ public:
+  explicit SealedNote(std::string secret) : secret_(std::move(secret)) {}
+
+  const std::string& secret() const { return secret_; }
+
+  std::string TypeName() const override { return kSealedNoteTypeName; }
+  Result<Value> Encode() const override;
+  bool AbstractEquals(const AbstractObject& other) const override;
+  std::string DebugString() const override { return "<sealed>"; }
+
+ private:
+  std::string secret_;
+};
+
+std::shared_ptr<Document> MakeDocument(std::string title,
+                                       std::vector<std::string> paragraphs);
+AbstractPtr MakeSealedNote(std::string secret);
+
+TransmitRegistry::DecodeFn DocumentDecoder();
+
+}  // namespace guardians
+
+#endif  // GUARDIANS_SRC_TRANSMIT_DOCUMENT_H_

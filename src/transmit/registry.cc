@@ -1,0 +1,54 @@
+#include "src/transmit/registry.h"
+
+namespace guardians {
+
+Status TransmitRegistry::Register(const std::string& type_name,
+                                  DecodeFn decode) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (decoders_.count(type_name) > 0) {
+    return Status(Code::kAlreadyExists,
+                  "type '" + type_name + "' already registered");
+  }
+  decoders_[type_name] = std::move(decode);
+  return OkStatus();
+}
+
+void TransmitRegistry::Forbid(const std::string& type_name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  forbidden_[type_name] = true;
+  decoders_.erase(type_name);
+}
+
+bool TransmitRegistry::Knows(const std::string& type_name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return decoders_.count(type_name) > 0;
+}
+
+Result<AbstractPtr> TransmitRegistry::Decode(const std::string& type_name,
+                                             const Value& external) const {
+  DecodeFn decode;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto forbidden = forbidden_.find(type_name);
+    if (forbidden != forbidden_.end() && forbidden->second) {
+      return Status(Code::kNotTransmittable,
+                    "type '" + type_name + "' is forbidden at this node");
+    }
+    auto it = decoders_.find(type_name);
+    if (it == decoders_.end()) {
+      return Status(Code::kNotTransmittable,
+                    "no decode operation for type '" + type_name +
+                        "' at this node");
+    }
+    decode = it->second;
+  }
+  return decode(external);
+}
+
+AbstractDecodeFn TransmitRegistry::AsDecodeFn() const {
+  return [this](const std::string& type_name, const Value& external) {
+    return Decode(type_name, external);
+  };
+}
+
+}  // namespace guardians

@@ -1,0 +1,56 @@
+// TransmitRegistry: the per-node table of transmittable abstract types
+// (Section 3.3).
+//
+// "It is desirable to permit different representations of types on
+//  different nodes... Each implementation of a transmittable type must
+//  provide two operations, encode and decode."
+//
+// Encode lives on the object itself (AbstractObject::Encode); the registry
+// supplies the *receiving* side: for each type name, the decode operation
+// that maps the system-wide external rep into this node's internal
+// representation. Nodes may register different decoders for the same type
+// name — that is the point. A type name absent from the registry is not
+// transmittable at this node; a type may also be explicitly forbidden
+// (reason 4 of Section 3.3).
+#ifndef GUARDIANS_SRC_TRANSMIT_REGISTRY_H_
+#define GUARDIANS_SRC_TRANSMIT_REGISTRY_H_
+
+#include <functional>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "src/common/result.h"
+#include "src/value/value.h"
+#include "src/wire/value_codec.h"
+
+namespace guardians {
+
+class TransmitRegistry {
+ public:
+  using DecodeFn = std::function<Result<AbstractPtr>(const Value& external)>;
+
+  // Install this node's decode operation for `type_name`.
+  Status Register(const std::string& type_name, DecodeFn decode);
+
+  // Mark a type as deliberately non-transmittable at this node; decoding a
+  // value of it fails with kNotTransmittable.
+  void Forbid(const std::string& type_name);
+
+  bool Knows(const std::string& type_name) const;
+
+  Result<AbstractPtr> Decode(const std::string& type_name,
+                             const Value& external) const;
+
+  // Adapter handed to the wire layer's DecodeEnvelope.
+  AbstractDecodeFn AsDecodeFn() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, DecodeFn> decoders_;
+  std::unordered_map<std::string, bool> forbidden_;
+};
+
+}  // namespace guardians
+
+#endif  // GUARDIANS_SRC_TRANSMIT_REGISTRY_H_

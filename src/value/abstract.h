@@ -1,0 +1,49 @@
+// AbstractObject: the in-computer form of a value of a user-defined
+// transmittable type (Section 3.3).
+//
+// Every transmittable type has one system-wide *external rep* (a built-in
+// Value shape) and per-implementation encode/decode operations. Encode maps
+// the node-local internal representation to the external rep; decode maps
+// the external rep to the receiving node's internal representation. Encode
+// and decode do not construct messages — the wire layer does that from the
+// external rep.
+#ifndef GUARDIANS_SRC_VALUE_ABSTRACT_H_
+#define GUARDIANS_SRC_VALUE_ABSTRACT_H_
+
+#include <memory>
+#include <string>
+
+#include "src/common/result.h"
+
+namespace guardians {
+
+class Value;
+
+// Interface implemented by every node-local representation of a
+// transmittable abstract type.
+class AbstractObject {
+ public:
+  virtual ~AbstractObject() = default;
+
+  // The system-wide type name; part of the fixed meaning of the type.
+  virtual std::string TypeName() const = 0;
+
+  // encode: internal representation -> external rep (a built-in Value).
+  // May fail, in which case the enclosing send terminates with the error
+  // ("some encode invocation may raise an exception; in this case the send
+  //  command terminates and raises that exception").
+  virtual Result<Value> Encode() const = 0;
+
+  // Structural equality on the abstract value (used by tests; the paper's
+  // fixed type meaning implies equality is representation-independent).
+  virtual bool AbstractEquals(const AbstractObject& other) const = 0;
+
+  // Debug rendering.
+  virtual std::string DebugString() const = 0;
+};
+
+using AbstractPtr = std::shared_ptr<const AbstractObject>;
+
+}  // namespace guardians
+
+#endif  // GUARDIANS_SRC_VALUE_ABSTRACT_H_

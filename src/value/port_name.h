@@ -1,0 +1,52 @@
+// PortName: the global name of a port (Section 3.2). Ports are the only
+// entities with global names; a port name can be sent in messages, so many
+// sources may come to hold it.
+//
+// The name is location-bearing (node + guardian + port index), matching the
+// paper's requirement that the programmer, not the system, controls where
+// things reside. It also carries the hash of the port's type so that every
+// send can be checked against the declared port type (the analog of CLU's
+// compile-time checking against a library of guardian headers).
+#ifndef GUARDIANS_SRC_VALUE_PORT_NAME_H_
+#define GUARDIANS_SRC_VALUE_PORT_NAME_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace guardians {
+
+using NodeId = uint32_t;
+using GuardianId = uint64_t;
+
+struct PortName {
+  NodeId node = 0;
+  GuardianId guardian = 0;
+  uint32_t port_index = 0;
+  uint64_t type_hash = 0;
+
+  bool IsNull() const { return node == 0 && guardian == 0; }
+
+  // "port(n2/g5.1)" for logs.
+  std::string ToString() const;
+
+  friend bool operator==(const PortName& a, const PortName& b) {
+    return a.node == b.node && a.guardian == b.guardian &&
+           a.port_index == b.port_index;
+  }
+  friend bool operator!=(const PortName& a, const PortName& b) {
+    return !(a == b);
+  }
+};
+
+struct PortNameHash {
+  size_t operator()(const PortName& p) const {
+    return std::hash<uint64_t>()(
+        (static_cast<uint64_t>(p.node) << 40) ^ (p.guardian << 8) ^
+        p.port_index);
+  }
+};
+
+}  // namespace guardians
+
+#endif  // GUARDIANS_SRC_VALUE_PORT_NAME_H_

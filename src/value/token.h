@@ -1,0 +1,37 @@
+// Token: a sealed capability for an object inside a guardian (Section 2.1).
+//
+// "It is possible to send a token for an object in a message; a token is an
+//  external name for the object, which can be returned to the guardian that
+//  owns the object to request some manipulation of the object. (A token is a
+//  sealed capability that can be unsealed only by the creating guardian.)"
+//
+// The seal is an unforgeable (random, guardian-private) value; only the
+// guardian whose seal matches can recover the handle. The system makes no
+// guarantee the named object still exists — only the guardian can.
+#ifndef GUARDIANS_SRC_VALUE_TOKEN_H_
+#define GUARDIANS_SRC_VALUE_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/value/port_name.h"
+
+namespace guardians {
+
+struct Token {
+  GuardianId owner = 0;   // the guardian that sealed it
+  uint64_t seal = 0;      // sealing value; opaque to everyone else
+  uint64_t handle = 0;    // owner-private object handle, hidden by the seal
+
+  bool IsNull() const { return owner == 0 && seal == 0 && handle == 0; }
+
+  std::string ToString() const;
+
+  friend bool operator==(const Token& a, const Token& b) {
+    return a.owner == b.owner && a.seal == b.seal && a.handle == b.handle;
+  }
+};
+
+}  // namespace guardians
+
+#endif  // GUARDIANS_SRC_VALUE_TOKEN_H_

@@ -1,0 +1,30 @@
+// Type tags for the built-in value universe (Section 3.1: messages carry
+// the *values* of objects, never addresses).
+#ifndef GUARDIANS_SRC_VALUE_TYPE_TAG_H_
+#define GUARDIANS_SRC_VALUE_TYPE_TAG_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace guardians {
+
+enum class TypeTag : uint8_t {
+  kNull = 0,
+  kBool = 1,
+  kInt = 2,       // 64-bit signed, subject to system-wide WireLimits (§3.3)
+  kReal = 3,      // IEEE double
+  kString = 4,
+  kBytes = 5,
+  kArray = 6,     // homogeneous or heterogeneous sequence of values
+  kRecord = 7,    // ordered named fields
+  kPortName = 8,  // global name of a port (§3.2) — the only global names
+  kToken = 9,     // sealed capability for an object (§2.1)
+  kAbstract = 10, // user-defined transmittable type (§3.3)
+  kAny = 11,      // wildcard in port-type signatures only; never on the wire
+};
+
+std::string_view TypeTagName(TypeTag tag);
+
+}  // namespace guardians
+
+#endif  // GUARDIANS_SRC_VALUE_TYPE_TAG_H_

@@ -1,0 +1,111 @@
+// Value: the dynamic, CLU-like value universe carried in messages.
+//
+// Messages contain the values of objects ("2", or the value of a bank
+// account object), never their addresses (Section 2.1). A Value is a deep,
+// immutable-in-spirit tree over the built-in types plus port names, tokens
+// and abstract (user-defined transmittable) values.
+#ifndef GUARDIANS_SRC_VALUE_VALUE_H_
+#define GUARDIANS_SRC_VALUE_VALUE_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/common/result.h"
+#include "src/value/abstract.h"
+#include "src/value/port_name.h"
+#include "src/value/token.h"
+#include "src/value/type_tag.h"
+
+namespace guardians {
+
+class Value {
+ public:
+  using Field = std::pair<std::string, Value>;
+
+  // --- Constructors --------------------------------------------------------
+  Value() : tag_(TypeTag::kNull) {}
+
+  static Value Null() { return Value(); }
+  static Value Bool(bool b);
+  static Value Int(int64_t i);
+  static Value Real(double d);
+  static Value Str(std::string s);
+  static Value Blob(Bytes b);
+  static Value Array(std::vector<Value> items);
+  static Value Record(std::vector<Field> fields);
+  static Value OfPort(const PortName& p);
+  static Value OfToken(const Token& t);
+  static Value Abstract(AbstractPtr obj);
+
+  // --- Inspection ----------------------------------------------------------
+  TypeTag tag() const { return tag_; }
+  bool is(TypeTag t) const { return tag_ == t; }
+
+  // Checked accessors: Result-returning, used when handling untrusted
+  // (wire-decoded) values.
+  Result<bool> AsBool() const;
+  Result<int64_t> AsInt() const;
+  Result<double> AsReal() const;
+  Result<std::string> AsString() const;
+  Result<Bytes> AsBytes() const;
+  Result<PortName> AsPort() const;
+  Result<Token> AsToken() const;
+  Result<AbstractPtr> AsAbstract() const;
+
+  // Unchecked accessors: assert on tag mismatch; for values whose shape the
+  // caller has already validated against a port type.
+  bool bool_value() const;
+  int64_t int_value() const;
+  double real_value() const;
+  const std::string& string_value() const;
+  const Bytes& bytes_value() const;
+  const PortName& port_value() const;
+  const Token& token_value() const;
+  const AbstractPtr& abstract_value() const;
+
+  // Array access.
+  const std::vector<Value>& items() const;
+  size_t size() const;
+  const Value& at(size_t i) const;
+
+  // Record access.
+  const std::vector<Field>& fields() const;
+  // Field by name; kNotFound if absent.
+  Result<Value> field(const std::string& name) const;
+  bool HasField(const std::string& name) const;
+
+  // Deep structural equality. Abstract values compare via AbstractEquals.
+  bool Equals(const Value& other) const;
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.Equals(b);
+  }
+
+  // Total bytes of payload data (rough size, used for port buffer budgets).
+  size_t ApproxSize() const;
+
+  // Debug rendering: `record{flight: 12, date: "1979-09-01"}`.
+  std::string ToString() const;
+
+ private:
+  TypeTag tag_;
+  bool bool_ = false;
+  int64_t int_ = 0;
+  double real_ = 0.0;
+  std::string string_;
+  Bytes bytes_;
+  std::vector<Value> items_;
+  std::vector<Field> fields_;
+  PortName port_;
+  Token token_;
+  AbstractPtr abstract_;
+};
+
+using ValueList = std::vector<Value>;
+
+}  // namespace guardians
+
+#endif  // GUARDIANS_SRC_VALUE_VALUE_H_

@@ -1,0 +1,134 @@
+#include "src/wire/codec.h"
+
+#include <cstring>
+
+namespace guardians {
+
+void WireEncoder::PutU32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void WireEncoder::PutU64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void WireEncoder::PutVarU64(uint64_t v) {
+  while (v >= 0x80) {
+    out_.push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out_.push_back(static_cast<uint8_t>(v));
+}
+
+void WireEncoder::PutVarI64(int64_t v) {
+  const uint64_t zz =
+      (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+  PutVarU64(zz);
+}
+
+void WireEncoder::PutDouble(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(bits);
+}
+
+void WireEncoder::PutString(const std::string& s) {
+  PutVarU64(s.size());
+  out_.insert(out_.end(), s.begin(), s.end());
+}
+
+void WireEncoder::PutBlob(const Bytes& b) {
+  PutVarU64(b.size());
+  out_.insert(out_.end(), b.begin(), b.end());
+}
+
+Status WireDecoder::Need(size_t n) {
+  if (in_.size() - pos_ < n) {
+    return Status(Code::kCorrupt, "truncated wire data");
+  }
+  return OkStatus();
+}
+
+Result<uint8_t> WireDecoder::GetU8() {
+  GUARDIANS_RETURN_IF_ERROR(Need(1));
+  return in_[pos_++];
+}
+
+Result<uint32_t> WireDecoder::GetU32() {
+  GUARDIANS_RETURN_IF_ERROR(Need(4));
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(in_[pos_ + i]) << (8 * i);
+  }
+  pos_ += 4;
+  return v;
+}
+
+Result<uint64_t> WireDecoder::GetU64() {
+  GUARDIANS_RETURN_IF_ERROR(Need(8));
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(in_[pos_ + i]) << (8 * i);
+  }
+  pos_ += 8;
+  return v;
+}
+
+Result<uint64_t> WireDecoder::GetVarU64() {
+  uint64_t v = 0;
+  int shift = 0;
+  for (;;) {
+    GUARDIANS_RETURN_IF_ERROR(Need(1));
+    const uint8_t byte = in_[pos_++];
+    if (shift >= 64 || (shift == 63 && (byte & 0x7E) != 0)) {
+      return Status(Code::kCorrupt, "varint overflow");
+    }
+    v |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      return v;
+    }
+    shift += 7;
+  }
+}
+
+Result<int64_t> WireDecoder::GetVarI64() {
+  GUARDIANS_ASSIGN_OR_RETURN(uint64_t zz, GetVarU64());
+  return static_cast<int64_t>((zz >> 1) ^ (~(zz & 1) + 1));
+}
+
+Result<double> WireDecoder::GetDouble() {
+  GUARDIANS_ASSIGN_OR_RETURN(uint64_t bits, GetU64());
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+Result<std::string> WireDecoder::GetString(uint64_t max_len) {
+  GUARDIANS_ASSIGN_OR_RETURN(uint64_t len, GetVarU64());
+  if (len > max_len) {
+    return Status(Code::kCorrupt, "string length exceeds limit");
+  }
+  GUARDIANS_RETURN_IF_ERROR(Need(len));
+  std::string s(in_.begin() + static_cast<long>(pos_),
+                in_.begin() + static_cast<long>(pos_ + len));
+  pos_ += len;
+  return s;
+}
+
+Result<Bytes> WireDecoder::GetBlob(uint64_t max_len) {
+  GUARDIANS_ASSIGN_OR_RETURN(uint64_t len, GetVarU64());
+  if (len > max_len) {
+    return Status(Code::kCorrupt, "blob length exceeds limit");
+  }
+  GUARDIANS_RETURN_IF_ERROR(Need(len));
+  Bytes b(in_.begin() + static_cast<long>(pos_),
+          in_.begin() + static_cast<long>(pos_ + len));
+  pos_ += len;
+  return b;
+}
+
+}  // namespace guardians

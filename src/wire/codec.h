@@ -1,0 +1,60 @@
+// Low-level binary codec: little-endian fixed-width integers, LEB128
+// varints, zigzag signed varints, length-prefixed blobs. The decoder never
+// trusts its input: every read is bounds-checked and returns a Result.
+#ifndef GUARDIANS_SRC_WIRE_CODEC_H_
+#define GUARDIANS_SRC_WIRE_CODEC_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/bytes.h"
+#include "src/common/result.h"
+
+namespace guardians {
+
+class WireEncoder {
+ public:
+  void PutU8(uint8_t v) { out_.push_back(v); }
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  void PutVarU64(uint64_t v);
+  void PutVarI64(int64_t v);  // zigzag
+  void PutDouble(double v);
+  void PutString(const std::string& s);  // varint length + bytes
+  void PutBlob(const Bytes& b);          // varint length + bytes
+
+  const Bytes& bytes() const { return out_; }
+  Bytes Take() { return std::move(out_); }
+  size_t size() const { return out_.size(); }
+
+ private:
+  Bytes out_;
+};
+
+class WireDecoder {
+ public:
+  explicit WireDecoder(const Bytes& in) : in_(in) {}
+
+  Result<uint8_t> GetU8();
+  Result<uint32_t> GetU32();
+  Result<uint64_t> GetU64();
+  Result<uint64_t> GetVarU64();
+  Result<int64_t> GetVarI64();
+  Result<double> GetDouble();
+  // max_len guards length-prefixed reads against hostile lengths.
+  Result<std::string> GetString(uint64_t max_len);
+  Result<Bytes> GetBlob(uint64_t max_len);
+
+  bool AtEnd() const { return pos_ == in_.size(); }
+  size_t remaining() const { return in_.size() - pos_; }
+
+ private:
+  Status Need(size_t n);
+
+  const Bytes& in_;
+  size_t pos_ = 0;
+};
+
+}  // namespace guardians
+
+#endif  // GUARDIANS_SRC_WIRE_CODEC_H_

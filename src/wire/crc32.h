@@ -1,0 +1,21 @@
+// CRC-32 (IEEE 802.3 polynomial). The "redundant information for error
+// detection" of Section 3.3: every packet carries a CRC, and a packet whose
+// bits are in error is discarded by the receiving node.
+#ifndef GUARDIANS_SRC_WIRE_CRC32_H_
+#define GUARDIANS_SRC_WIRE_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/common/bytes.h"
+
+namespace guardians {
+
+uint32_t Crc32(const void* data, size_t size);
+inline uint32_t Crc32(const Bytes& bytes) {
+  return Crc32(bytes.data(), bytes.size());
+}
+
+}  // namespace guardians
+
+#endif  // GUARDIANS_SRC_WIRE_CRC32_H_

@@ -1,0 +1,50 @@
+// Envelope: the on-the-wire form of one message (Section 3.1/3.4).
+//
+// A message is a command identifier plus zero or more argument values. The
+// optional replyto port "is really an extra argument of the message, but it
+// is singled out in the syntax to clarify the intent"; likewise the ack port
+// used by the receipt-synchronized send built on top of the no-wait send.
+#ifndef GUARDIANS_SRC_WIRE_ENVELOPE_H_
+#define GUARDIANS_SRC_WIRE_ENVELOPE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/result.h"
+#include "src/value/value.h"
+#include "src/wire/value_codec.h"
+
+namespace guardians {
+
+struct Envelope {
+  uint64_t msg_id = 0;       // unique per send; names fragments of one message
+  NodeId src_node = 0;       // origin node (for system failure replies)
+  PortName target;           // destination port
+  PortName reply_to;         // optional; null when absent
+  PortName ack_to;           // optional; used by the synchronization send
+  std::string command;
+  ValueList args;
+
+  bool HasReply() const { return !reply_to.IsNull(); }
+  bool HasAck() const { return !ack_to.IsNull(); }
+
+  std::string ToString() const;
+};
+
+// Serialize an envelope (including encode of abstract argument values).
+Result<Bytes> EncodeEnvelope(const Envelope& env, const WireLimits& limits);
+
+// Deserialize; decode_abstract rebuilds abstract values with the receiving
+// node's representations.
+Result<Envelope> DecodeEnvelope(const Bytes& bytes, const WireLimits& limits,
+                                const AbstractDecodeFn& decode_abstract);
+
+// Deserialize the header only (args left empty). Used by the receiving node
+// to recover the replyto port when full decoding fails, so the system can
+// still send a failure(...) message to it.
+Result<Envelope> DecodeEnvelopeHeader(const Bytes& bytes,
+                                      const WireLimits& limits);
+
+}  // namespace guardians
+
+#endif  // GUARDIANS_SRC_WIRE_ENVELOPE_H_

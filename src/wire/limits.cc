@@ -1,0 +1,27 @@
+#include "src/wire/limits.h"
+
+#include <sstream>
+
+namespace guardians {
+
+Status WireLimits::CheckInt(int64_t v) const {
+  if (int_bits >= 64) {
+    return OkStatus();
+  }
+  const int64_t hi = (int64_t{1} << (int_bits - 1)) - 1;
+  const int64_t lo = -(int64_t{1} << (int_bits - 1));
+  if (v < lo || v > hi) {
+    std::ostringstream os;
+    os << "integer " << v << " exceeds the system-wide " << int_bits
+       << "-bit bound [" << lo << ", " << hi << "]";
+    return Status(Code::kOutOfRange, os.str());
+  }
+  return OkStatus();
+}
+
+const WireLimits& DefaultLimits() {
+  static const WireLimits kDefault{};
+  return kDefault;
+}
+
+}  // namespace guardians

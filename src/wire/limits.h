@@ -1,0 +1,42 @@
+// System-wide wire limits (Section 3.3): "the meaning of a type must be
+// fixed and invariant over all the nodes... For example, the bounds on legal
+// integer values must be defined system-wide."
+//
+// The paper's example is a 24-bit system integer: a byte machine would use
+// 3 bytes, a 16-bit-word machine two words of which only 24 bits are legal,
+// and "results of integer arithmetic must be checked to ensure they are
+// within bounds. Otherwise it might be impossible to send an integer value
+// in a message because it was too big." We enforce exactly that at
+// message-construction time.
+#ifndef GUARDIANS_SRC_WIRE_LIMITS_H_
+#define GUARDIANS_SRC_WIRE_LIMITS_H_
+
+#include <cstdint>
+
+#include "src/common/status.h"
+
+namespace guardians {
+
+struct WireLimits {
+  // Width of the system-wide integer type, in bits (2..64). Values outside
+  // [-2^(n-1), 2^(n-1)-1] cannot be sent in a message.
+  int int_bits = 64;
+  // Largest string or byte payload allowed in a single value.
+  uint64_t max_blob_bytes = 1 << 20;
+  // Maximum nesting depth of arrays/records (guards the decoder).
+  int max_depth = 32;
+  // Maximum total encoded message size.
+  uint64_t max_message_bytes = 4u << 20;
+  // Maximum packet payload; larger messages are fragmented (Section 3.3:
+  // "breaking a large message into packets and reassembling the packets").
+  uint64_t max_packet_payload = 1024;
+
+  Status CheckInt(int64_t v) const;
+};
+
+// The default limits used when a component isn't configured explicitly.
+const WireLimits& DefaultLimits();
+
+}  // namespace guardians
+
+#endif  // GUARDIANS_SRC_WIRE_LIMITS_H_

@@ -1,0 +1,97 @@
+#include "src/wire/packet.h"
+
+#include <algorithm>
+
+#include "src/wire/crc32.h"
+
+namespace guardians {
+
+void Packet::Seal() { crc = Crc32(payload); }
+
+bool Packet::Verify() const { return crc == Crc32(payload); }
+
+std::vector<Packet> Fragment(const Bytes& message, uint64_t msg_id,
+                             NodeId src, NodeId dst, uint64_t max_payload) {
+  std::vector<Packet> packets;
+  if (max_payload == 0) {
+    max_payload = 1;
+  }
+  const uint32_t count = static_cast<uint32_t>(
+      message.empty() ? 1 : (message.size() + max_payload - 1) / max_payload);
+  packets.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    Packet p;
+    p.msg_id = msg_id;
+    p.src = src;
+    p.dst = dst;
+    p.frag_index = i;
+    p.frag_count = count;
+    const size_t begin = static_cast<size_t>(i) * max_payload;
+    const size_t end = std::min(message.size(), begin + max_payload);
+    p.payload.assign(message.begin() + static_cast<long>(begin),
+                     message.begin() + static_cast<long>(end));
+    p.Seal();
+    packets.push_back(std::move(p));
+  }
+  return packets;
+}
+
+Result<std::optional<Bytes>> Reassembler::Add(const Packet& packet) {
+  if (!packet.Verify()) {
+    ++corrupt_dropped_;
+    partial_.erase(packet.msg_id);
+    return Status(Code::kCorrupt, "packet failed error detection");
+  }
+  if (packet.frag_count == 0 || packet.frag_index >= packet.frag_count) {
+    ++corrupt_dropped_;
+    partial_.erase(packet.msg_id);
+    return Status(Code::kCorrupt, "inconsistent fragment header");
+  }
+  if (packet.frag_count == 1) {
+    return std::optional<Bytes>(packet.payload);
+  }
+
+  auto it = partial_.find(packet.msg_id);
+  if (it == partial_.end()) {
+    EvictOldestIfNeeded();
+    Partial fresh;
+    fresh.frags.resize(packet.frag_count);
+    fresh.first_seen_seq = seq_++;
+    it = partial_.emplace(packet.msg_id, std::move(fresh)).first;
+  }
+  Partial& part = it->second;
+  if (part.frags.size() != packet.frag_count) {
+    // Two messages with clashing ids or a corrupted count: drop everything.
+    partial_.erase(it);
+    ++corrupt_dropped_;
+    return Status(Code::kCorrupt, "fragment count mismatch");
+  }
+  if (part.frags[packet.frag_index].empty()) {
+    part.frags[packet.frag_index] = packet.payload;
+    ++part.received;
+  }
+  if (part.received < packet.frag_count) {
+    return std::optional<Bytes>(std::nullopt);
+  }
+  Bytes message;
+  for (const auto& frag : part.frags) {
+    message.insert(message.end(), frag.begin(), frag.end());
+  }
+  partial_.erase(it);
+  return std::optional<Bytes>(std::move(message));
+}
+
+void Reassembler::EvictOldestIfNeeded() {
+  if (partial_.size() < max_partial_) {
+    return;
+  }
+  auto oldest = partial_.begin();
+  for (auto it = partial_.begin(); it != partial_.end(); ++it) {
+    if (it->second.first_seen_seq < oldest->second.first_seen_seq) {
+      oldest = it;
+    }
+  }
+  partial_.erase(oldest);
+}
+
+}  // namespace guardians

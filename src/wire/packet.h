@@ -1,0 +1,82 @@
+// Packets, fragmentation and reassembly (Section 3.3: "the system is
+// responsible for the low-level protocols involved in actually transmitting
+// a message, e.g., breaking a large message into packets and reassembling
+// the packets, use of redundant information for error detection").
+//
+// A message is delivered to the target port only "when the message is
+// entirely and correctly received at the receiving node (i.e., all packets
+// have arrived, and the bits of the message are not in error, as is
+// indicated by the error detection bits)". Corrupt or incomplete messages
+// are silently dropped, which the upper layers observe as a timeout.
+#ifndef GUARDIANS_SRC_WIRE_PACKET_H_
+#define GUARDIANS_SRC_WIRE_PACKET_H_
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/common/result.h"
+#include "src/value/port_name.h"
+
+namespace guardians {
+
+struct Packet {
+  uint64_t msg_id = 0;
+  NodeId src = 0;
+  NodeId dst = 0;
+  uint32_t frag_index = 0;
+  uint32_t frag_count = 1;
+  Bytes payload;
+  uint32_t crc = 0;  // CRC over payload; the error detection bits
+
+  // Recompute and store the CRC (after constructing / corrupting payload).
+  void Seal();
+  // Do the error detection bits accept this packet?
+  bool Verify() const;
+
+  size_t WireSize() const { return payload.size() + 32; }
+};
+
+// Split an encoded message into CRC-sealed packets of at most
+// `max_payload` bytes each.
+std::vector<Packet> Fragment(const Bytes& message, uint64_t msg_id,
+                             NodeId src, NodeId dst, uint64_t max_payload);
+
+// Per-node packet reassembler. Not thread-safe; callers serialize.
+class Reassembler {
+ public:
+  // Bound on concurrently-incomplete messages; oldest partials are evicted
+  // beyond it (their messages are lost, as the network permits).
+  explicit Reassembler(size_t max_partial = 1024)
+      : max_partial_(max_partial) {}
+
+  // Feed one packet. Returns:
+  //  - the full message bytes when this packet completed a message,
+  //  - std::nullopt when more packets are needed,
+  //  - kCorrupt when the packet fails its CRC or is inconsistent (dropped;
+  //    any partial state for that message is discarded).
+  Result<std::optional<Bytes>> Add(const Packet& packet);
+
+  size_t partial_count() const { return partial_.size(); }
+  uint64_t corrupt_dropped() const { return corrupt_dropped_; }
+
+ private:
+  struct Partial {
+    std::vector<Bytes> frags;
+    uint32_t received = 0;
+    uint64_t first_seen_seq = 0;
+  };
+
+  void EvictOldestIfNeeded();
+
+  size_t max_partial_;
+  uint64_t seq_ = 0;
+  uint64_t corrupt_dropped_ = 0;
+  std::unordered_map<uint64_t, Partial> partial_;
+};
+
+}  // namespace guardians
+
+#endif  // GUARDIANS_SRC_WIRE_PACKET_H_

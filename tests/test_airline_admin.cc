@@ -1,0 +1,174 @@
+// Tests of the airline's administrative functions (Section 2.3): archiving
+// flights that have occurred and collecting usage statistics, including
+// their interaction with ACLs, forwarding and crash recovery; plus the
+// failover pattern from the introduction's availability advantage.
+#include <gtest/gtest.h>
+
+#include "src/airline/airline_system.h"
+#include "src/airline/workload.h"
+#include "src/sendprims/failover.h"
+
+namespace guardians {
+namespace {
+
+class AdminTest : public ::testing::Test {
+ protected:
+  AdminTest() : system_(MakeConfig()) {
+    AirlineParams params;
+    params.regions = 2;
+    params.flights_per_region = 1;
+    params.capacity = 10;
+    auto topology = BuildAirline(system_, params);
+    EXPECT_TRUE(topology.ok()) << topology.status();
+    topology_ = topology.take();
+    NodeRuntime& node = system_.node(topology_.region_nodes[0]);
+    shell_ = *node.Create<ShellGuardian>("shell", "admin", {});
+  }
+
+  static SystemConfig MakeConfig() {
+    SystemConfig config;
+    config.seed = 4242;
+    config.default_link.latency = Micros(100);
+    return config;
+  }
+
+  RemoteReply Regional(int region, const std::string& command,
+                       ValueList args, int attempts = 3) {
+    RemoteCallOptions options;
+    options.timeout = Millis(1000);
+    options.max_attempts = attempts;
+    auto reply =
+        RemoteCall(*shell_, topology_.regional_ports[region], command,
+                   std::move(args), ReservationReplyType(), options);
+    EXPECT_TRUE(reply.ok()) << reply.status();
+    return reply.ok() ? *reply : RemoteReply{};
+  }
+
+  System system_;
+  AirlineTopology topology_;
+  Guardian* shell_ = nullptr;
+};
+
+TEST_F(AdminTest, StatsReflectUsage) {
+  const int64_t flight = FlightNo(0, 0);
+  Regional(0, "reserve",
+           {Value::Int(flight), Value::Str("a"), Value::Str("1979-09-02")});
+  Regional(0, "reserve",
+           {Value::Int(flight), Value::Str("b"), Value::Str("1979-09-03")});
+  Regional(0, "cancel",
+           {Value::Int(flight), Value::Str("a"), Value::Str("1979-09-02")});
+
+  auto stats = Regional(0, "flight_stats",
+                        {Value::Int(flight), Value::Str("manager")});
+  ASSERT_EQ(stats.command, "stats_info");
+  const Value& record = stats.args[0];
+  EXPECT_EQ(record.field("flight")->int_value(), flight);
+  EXPECT_EQ(record.field("reservations")->int_value(), 1);
+  EXPECT_GE(record.field("reserve_ops")->int_value(), 2);
+  EXPECT_GE(record.field("cancel_ops")->int_value(), 1);
+}
+
+TEST_F(AdminTest, StatsDeniedToNonManagers) {
+  auto denied = Regional(0, "flight_stats",
+                         {Value::Int(FlightNo(0, 0)), Value::Str("clerk")});
+  EXPECT_EQ(denied.command, "denied");
+}
+
+TEST_F(AdminTest, ArchiveRemovesPastDatesOnly) {
+  const int64_t flight = FlightNo(0, 0);
+  Regional(0, "reserve",
+           {Value::Int(flight), Value::Str("old"), Value::Str("1979-09-01")});
+  Regional(0, "reserve",
+           {Value::Int(flight), Value::Str("new"), Value::Str("1979-12-01")});
+
+  auto archived = Regional(0, "archive",
+                           {Value::Int(flight), Value::Str("1979-10-01"),
+                            Value::Str("manager")});
+  ASSERT_EQ(archived.command, "archived");
+  EXPECT_EQ(archived.args[0].int_value(), 1);
+
+  // The archived passenger is gone; the future one remains.
+  auto info = Regional(0, "list_passengers",
+                       {Value::Int(flight), Value::Str("1979-12-01"),
+                        Value::Str("manager")});
+  ASSERT_EQ(info.command, "info");
+  EXPECT_EQ(info.args[0].items().size(), 1u);
+  auto gone = Regional(0, "list_passengers",
+                       {Value::Int(flight), Value::Str("1979-09-01"),
+                        Value::Str("manager")});
+  ASSERT_EQ(gone.command, "info");
+  EXPECT_TRUE(gone.args[0].items().empty());
+}
+
+TEST_F(AdminTest, ArchiveDeniedToNonManagers) {
+  auto denied = Regional(0, "archive",
+                         {Value::Int(FlightNo(0, 0)),
+                          Value::Str("1980-01-01"), Value::Str("clerk")});
+  EXPECT_EQ(denied.command, "denied");
+}
+
+TEST_F(AdminTest, ArchiveSurvivesCrashRecovery) {
+  const int64_t flight = FlightNo(1, 0);
+  Regional(1, "reserve",
+           {Value::Int(flight), Value::Str("old"), Value::Str("1979-09-01")});
+  Regional(1, "reserve",
+           {Value::Int(flight), Value::Str("new"), Value::Str("1979-12-01")});
+  auto archived = Regional(1, "archive",
+                           {Value::Int(flight), Value::Str("1979-10-01"),
+                            Value::Str("manager")});
+  ASSERT_EQ(archived.command, "archived");
+
+  NodeRuntime& node = system_.node(topology_.region_nodes[1]);
+  node.Crash();
+  ASSERT_TRUE(node.Restart().ok());
+
+  // Without logging the archive, recovery would replay the old reserve and
+  // resurrect the archived date.
+  auto gone = Regional(1, "list_passengers",
+                       {Value::Int(flight), Value::Str("1979-09-01"),
+                        Value::Str("manager")});
+  ASSERT_EQ(gone.command, "info");
+  EXPECT_TRUE(gone.args[0].items().empty());
+  auto kept = Regional(1, "list_passengers",
+                       {Value::Int(flight), Value::Str("1979-12-01"),
+                        Value::Str("manager")});
+  ASSERT_EQ(kept.command, "info");
+  EXPECT_EQ(kept.args[0].items().size(), 1u);
+}
+
+TEST_F(AdminTest, RegionStats) {
+  auto stats = Regional(0, "region_stats", {});
+  ASSERT_EQ(stats.command, "stats_info");
+  EXPECT_EQ(stats.args[0].field("flights")->int_value(), 1);
+}
+
+TEST_F(AdminTest, FailoverCallSkipsDeadRegion) {
+  // Both regional ports accept region_stats; kill region 0 and let the
+  // failover client find region 1.
+  system_.node(topology_.region_nodes[0]).Crash();
+
+  // The admin shell lives on the crashed node; drive from region 1's node.
+  NodeRuntime& alive = system_.node(topology_.region_nodes[1]);
+  Guardian* shell = *alive.Create<ShellGuardian>("shell", "admin2", {});
+
+  RemoteCallOptions per_target;
+  per_target.timeout = Millis(150);
+  per_target.max_attempts = 1;
+  auto result = FailoverCall(
+      *shell, {topology_.regional_ports[0], topology_.regional_ports[1]},
+      "region_stats", {}, ReservationReplyType(), per_target);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->target_index, 1);
+  EXPECT_EQ(result->reply.command, "stats_info");
+
+  // With every replica dead, the failure is reported.
+  alive.Crash();
+  Guardian* orphan = shell;  // guardian husk still usable for local errors
+  auto dead = FailoverCall(
+      *orphan, {topology_.regional_ports[0], topology_.regional_ports[1]},
+      "region_stats", {}, ReservationReplyType(), per_target);
+  EXPECT_FALSE(dead.ok());
+}
+
+}  // namespace
+}  // namespace guardians

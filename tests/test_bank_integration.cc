@@ -1,0 +1,198 @@
+// Integration tests of the banking domain: exactly-once deposits and
+// withdrawals under retries, token-guarded statements, account recovery,
+// and in-doubt transfer completion by the branch's recovery process.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "src/bank/branch_guardian.h"
+#include "src/guardian/system.h"
+#include "src/sendprims/remote_call.h"
+
+namespace guardians {
+namespace {
+
+class BankTest : public ::testing::Test {
+ protected:
+  BankTest() : system_(MakeConfig()) {
+    bank_node_ = &system_.AddNode("bank");
+    remote_node_ = &system_.AddNode("remote-branch");
+    for (NodeRuntime* node : {bank_node_, remote_node_}) {
+      node->RegisterGuardianType(AccountGuardian::kTypeName,
+                                 MakeFactory<AccountGuardian>());
+      node->RegisterGuardianType(BranchGuardian::kTypeName,
+                                 MakeFactory<BranchGuardian>());
+      node->RegisterGuardianType("shell", MakeFactory<ShellGuardian>());
+    }
+    auto shell = bank_node_->Create<ShellGuardian>("shell", "teller", {});
+    EXPECT_TRUE(shell.ok());
+    shell_ = *shell;
+  }
+
+  static SystemConfig MakeConfig() {
+    SystemConfig config;
+    config.seed = 5;
+    config.default_link.latency = Micros(120);
+    return config;
+  }
+
+  AccountGuardian* MakeAccount(NodeRuntime& node, const std::string& owner,
+                               int64_t initial) {
+    auto account = node.Create<AccountGuardian>(
+        AccountGuardian::kTypeName, "acct-" + owner,
+        {Value::Str(owner), Value::Int(initial)}, /*persistent=*/true);
+    EXPECT_TRUE(account.ok()) << account.status();
+    return *account;
+  }
+
+  RemoteReply Call(const PortName& to, const std::string& command,
+                   ValueList args, int attempts = 1) {
+    RemoteCallOptions options;
+    options.timeout = Millis(1000);
+    options.max_attempts = attempts;
+    auto reply =
+        RemoteCall(*shell_, to, command, std::move(args), BankReplyType(),
+                   options);
+    EXPECT_TRUE(reply.ok()) << reply.status();
+    return reply.ok() ? *reply : RemoteReply{};
+  }
+
+  System system_;
+  NodeRuntime* bank_node_ = nullptr;
+  NodeRuntime* remote_node_ = nullptr;
+  Guardian* shell_ = nullptr;
+};
+
+TEST_F(BankTest, DepositWithdrawBalance) {
+  AccountGuardian* account = MakeAccount(*bank_node_, "alice", 100);
+  const PortName port = account->ProvidedPorts()[0];
+
+  auto reply = Call(port, "deposit", {Value::Int(50), Value::Str("t1")});
+  EXPECT_EQ(reply.command, "ok_balance");
+  EXPECT_EQ(reply.args[0].int_value(), 150);
+
+  reply = Call(port, "withdraw", {Value::Int(70), Value::Str("t2")});
+  EXPECT_EQ(reply.command, "ok_balance");
+  EXPECT_EQ(reply.args[0].int_value(), 80);
+
+  reply = Call(port, "withdraw", {Value::Int(1000), Value::Str("t3")});
+  EXPECT_EQ(reply.command, "insufficient");
+
+  reply = Call(port, "deposit", {Value::Int(-5), Value::Str("t4")});
+  EXPECT_EQ(reply.command, "bad_amount");
+}
+
+TEST_F(BankTest, DuplicateTxidAppliesExactlyOnce) {
+  AccountGuardian* account = MakeAccount(*bank_node_, "bob", 0);
+  const PortName port = account->ProvidedPorts()[0];
+
+  for (int i = 0; i < 3; ++i) {
+    auto reply = Call(port, "deposit", {Value::Int(25), Value::Str("same")});
+    EXPECT_EQ(reply.command, "ok_balance");
+    EXPECT_EQ(reply.args[0].int_value(), 25) << "retry " << i;
+  }
+  EXPECT_EQ(account->BalanceForTesting(), 25);
+}
+
+TEST_F(BankTest, StatementThroughToken) {
+  AccountGuardian* account = MakeAccount(*bank_node_, "carol", 10);
+  const PortName port = account->ProvidedPorts()[0];
+  Call(port, "deposit", {Value::Int(5), Value::Str("d1")});
+  Call(port, "withdraw", {Value::Int(3), Value::Str("w1")});
+
+  auto token_reply = Call(port, "statement_token", {});
+  ASSERT_EQ(token_reply.command, "the_token");
+  const Token token = token_reply.args[0].token_value();
+
+  auto statement = Call(port, "read_statement", {Value::OfToken(token)});
+  ASSERT_EQ(statement.command, "statement");
+  EXPECT_EQ(statement.args[0].items().size(), 2u);
+
+  // A forged token is rejected.
+  Token forged = token;
+  forged.handle ^= 0xFF;
+  auto rejected = Call(port, "read_statement", {Value::OfToken(forged)});
+  EXPECT_EQ(rejected.command, "bad_token");
+}
+
+TEST_F(BankTest, AccountRecoversBalanceAfterCrash) {
+  AccountGuardian* account = MakeAccount(*remote_node_, "dave", 100);
+  const PortName port = account->ProvidedPorts()[0];
+  Call(port, "deposit", {Value::Int(40), Value::Str("d1")});
+  Call(port, "withdraw", {Value::Int(15), Value::Str("w1")});
+
+  remote_node_->Crash();
+  ASSERT_TRUE(remote_node_->Restart().ok());
+
+  auto reply = Call(port, "balance", {}, /*attempts=*/3);
+  ASSERT_EQ(reply.command, "balance_is");
+  EXPECT_EQ(reply.args[0].int_value(), 125);
+
+  // Tokens sealed by the previous incarnation no longer unseal.
+  auto* recovered = dynamic_cast<AccountGuardian*>(
+      remote_node_->FindGuardian(port.guardian));
+  ASSERT_NE(recovered, nullptr);
+  EXPECT_EQ(recovered->BalanceForTesting(), 125);
+}
+
+TEST_F(BankTest, TransferMovesMoney) {
+  AccountGuardian* src = MakeAccount(*bank_node_, "src", 100);
+  AccountGuardian* dst = MakeAccount(*remote_node_, "dst", 10);
+  auto branch = bank_node_->Create<BranchGuardian>(
+      BranchGuardian::kTypeName, "branch-0",
+      {Value::Int(Millis(500).count() * 1000), Value::Int(3)},
+      /*persistent=*/true);
+  ASSERT_TRUE(branch.ok());
+
+  auto reply = Call((*branch)->ProvidedPorts()[0], "transfer",
+                    {Value::OfPort(src->ProvidedPorts()[0]),
+                     Value::OfPort(dst->ProvidedPorts()[0]), Value::Int(30),
+                     Value::Str("tx-1")});
+  EXPECT_EQ(reply.command, "transfer_done");
+  EXPECT_EQ(src->BalanceForTesting(), 70);
+  EXPECT_EQ(dst->BalanceForTesting(), 40);
+}
+
+TEST_F(BankTest, InDoubtTransferCompletesAfterRecovery) {
+  AccountGuardian* src = MakeAccount(*bank_node_, "src2", 100);
+  AccountGuardian* dst = MakeAccount(*remote_node_, "dst2", 0);
+  auto branch = bank_node_->Create<BranchGuardian>(
+      BranchGuardian::kTypeName, "branch-1",
+      {Value::Int(200000), Value::Int(1)}, /*persistent=*/true);
+  ASSERT_TRUE(branch.ok());
+
+  // Cut the branch off from the destination: withdraw succeeds (source is
+  // local), deposit cannot be confirmed.
+  system_.network().SetPartitioned(bank_node_->id(), remote_node_->id(),
+                                   true);
+  auto reply = Call((*branch)->ProvidedPorts()[0], "transfer",
+                    {Value::OfPort(src->ProvidedPorts()[0]),
+                     Value::OfPort(dst->ProvidedPorts()[0]), Value::Int(25),
+                     Value::Str("tx-doubt")});
+  EXPECT_EQ(reply.command, "transfer_failed");
+  EXPECT_EQ(src->BalanceForTesting(), 75);
+  EXPECT_EQ(dst->BalanceForTesting(), 0);  // money in flight, not lost
+
+  // Heal the partition and crash/restart the branch's node: the recovery
+  // process finishes the in-doubt transfer.
+  system_.network().SetPartitioned(bank_node_->id(), remote_node_->id(),
+                                   false);
+  bank_node_->Crash();
+  ASSERT_TRUE(bank_node_->Restart().ok());
+
+  // The source account lives on the same node; it recovered too.
+  auto* src_recovered = dynamic_cast<AccountGuardian*>(
+      bank_node_->FindGuardian(src->ProvidedPorts()[0].guardian));
+  ASSERT_NE(src_recovered, nullptr);
+
+  // Wait for the recovery deposit to land.
+  const Deadline deadline(Millis(3000));
+  while (dst->BalanceForTesting() != 25 && !deadline.Expired()) {
+    std::this_thread::sleep_for(Millis(20));
+  }
+  EXPECT_EQ(dst->BalanceForTesting(), 25);
+  EXPECT_EQ(src_recovered->BalanceForTesting(), 75);
+}
+
+}  // namespace
+}  // namespace guardians

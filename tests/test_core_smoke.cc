@@ -1,0 +1,194 @@
+// End-to-end smoke tests of the guardian runtime: remote guardian creation
+// through the primordial guardian, request/response messaging, failure
+// synthesis, and crash visibility.
+#include <gtest/gtest.h>
+
+#include "src/guardian/node_runtime.h"
+#include "src/guardian/system.h"
+#include "src/sendprims/remote_call.h"
+
+namespace guardians {
+namespace {
+
+PortType EchoPortType() {
+  return PortType("echo",
+                  {MessageSig{"echo",
+                              {ArgType::Of(TypeTag::kString)},
+                              {"echoed"}},
+                   MessageSig{"quiet", {ArgType::Of(TypeTag::kString)}, {}}});
+}
+
+PortType EchoReplyType() {
+  return PortType("echo_reply",
+                  {MessageSig{"echoed", {ArgType::Of(TypeTag::kString)}, {}}});
+}
+
+class EchoGuardian : public Guardian {
+ public:
+  Status Setup(const ValueList& args) override {
+    (void)args;
+    AddPort(EchoPortType(), Port::kDefaultCapacity, /*provided=*/true);
+    return OkStatus();
+  }
+
+  void Main() override {
+    for (;;) {
+      auto received = Receive(port(0), Micros::max());
+      if (!received.ok()) {
+        return;
+      }
+      if (received->command == "echo" && !received->reply_to.IsNull()) {
+        Status st = Send(received->reply_to, "echoed",
+                         {Value::Str(received->args[0].string_value())});
+        ASSERT_TRUE(st.ok()) << st;
+      }
+    }
+  }
+};
+
+class CoreSmokeTest : public ::testing::Test {
+ protected:
+  CoreSmokeTest() : system_(MakeConfig()) {
+    node_a_ = &system_.AddNode("a");
+    node_b_ = &system_.AddNode("b");
+    node_b_->RegisterGuardianType("echo", MakeFactory<EchoGuardian>());
+    node_a_->RegisterGuardianType("shell", MakeFactory<ShellGuardian>());
+    auto driver = node_a_->Create<ShellGuardian>("shell", "driver", {});
+    EXPECT_TRUE(driver.ok()) << driver.status();
+    driver_ = *driver;
+  }
+
+  static SystemConfig MakeConfig() {
+    SystemConfig config;
+    config.seed = 42;
+    config.default_link.latency = Micros(200);
+    return config;
+  }
+
+  System system_;
+  NodeRuntime* node_a_ = nullptr;
+  NodeRuntime* node_b_ = nullptr;
+  Guardian* driver_ = nullptr;
+};
+
+TEST_F(CoreSmokeTest, PingPrimordial) {
+  RemoteCallOptions options;
+  options.timeout = Millis(500);
+  auto reply = RemoteCall(*driver_, node_b_->PrimordialPort(), "ping", {},
+                          CreationReplyPortType(), options);
+  ASSERT_TRUE(reply.ok()) << reply.status();
+  EXPECT_EQ(reply->command, "pong");
+}
+
+TEST_F(CoreSmokeTest, RemoteCreateAndEcho) {
+  auto ports = CreateGuardianAt(*driver_, node_b_->PrimordialPort(), "echo",
+                                "echo-1", {}, /*persistent=*/false,
+                                Millis(1000));
+  ASSERT_TRUE(ports.ok()) << ports.status();
+  ASSERT_EQ(ports->size(), 1u);
+
+  RemoteCallOptions options;
+  options.timeout = Millis(500);
+  auto reply = RemoteCall(*driver_, (*ports)[0], "echo",
+                          {Value::Str("hello, 1979")}, EchoReplyType(),
+                          options);
+  ASSERT_TRUE(reply.ok()) << reply.status();
+  EXPECT_EQ(reply->command, "echoed");
+  ASSERT_EQ(reply->args.size(), 1u);
+  EXPECT_EQ(reply->args[0].string_value(), "hello, 1979");
+}
+
+TEST_F(CoreSmokeTest, UnknownTypeRefused) {
+  auto ports = CreateGuardianAt(*driver_, node_b_->PrimordialPort(),
+                                "nonexistent", "x", {}, false, Millis(1000));
+  ASSERT_FALSE(ports.ok());
+  EXPECT_EQ(ports.status().code(), Code::kPermissionDenied);
+}
+
+TEST_F(CoreSmokeTest, AdmissionPolicyRefusesRemoteCreation) {
+  node_b_->SetAdmissionPolicy(
+      [](const std::string&, NodeId) { return false; });
+  auto ports = CreateGuardianAt(*driver_, node_b_->PrimordialPort(), "echo",
+                                "echo-x", {}, false, Millis(1000));
+  ASSERT_FALSE(ports.ok());
+  EXPECT_EQ(ports.status().code(), Code::kPermissionDenied);
+}
+
+TEST_F(CoreSmokeTest, SendToMissingGuardianSynthesizesFailure) {
+  PortName bogus;
+  bogus.node = node_b_->id();
+  bogus.guardian = 999;
+  bogus.port_index = 0;
+  bogus.type_hash = EchoPortType().hash();
+  // The type must be in the library for the send to pass checking.
+  ASSERT_TRUE(system_.port_types().Register(EchoPortType()).ok());
+
+  RemoteCallOptions options;
+  options.timeout = Millis(1000);
+  auto reply = RemoteCall(*driver_, bogus, "echo", {Value::Str("x")},
+                          EchoReplyType(), options);
+  ASSERT_TRUE(reply.ok()) << reply.status();
+  EXPECT_EQ(reply->command, "failure");
+  ASSERT_EQ(reply->args.size(), 1u);
+  EXPECT_EQ(reply->args[0].string_value(), "target guardian doesn't exist");
+}
+
+TEST_F(CoreSmokeTest, TypeCheckingRejectsBadSend) {
+  ASSERT_TRUE(system_.port_types().Register(EchoPortType()).ok());
+  PortName somewhere;
+  somewhere.node = node_b_->id();
+  somewhere.guardian = 2;
+  somewhere.port_index = 0;
+  somewhere.type_hash = EchoPortType().hash();
+
+  // Wrong arg type.
+  Status st = driver_->Send(somewhere, "echo", {Value::Int(7)});
+  EXPECT_EQ(st.code(), Code::kTypeError);
+  // Unknown command.
+  st = driver_->Send(somewhere, "reserve", {Value::Str("x")});
+  EXPECT_EQ(st.code(), Code::kTypeError);
+  // replyto supplied for a message that declares no replies.
+  st = driver_->Send(somewhere, "quiet", {Value::Str("x")},
+                     driver_->AddPort(EchoReplyType())->name());
+  EXPECT_EQ(st.code(), Code::kTypeError);
+}
+
+TEST_F(CoreSmokeTest, CrashMakesNodeUnreachableAndRestartRecovers) {
+  node_b_->RegisterGuardianType("shell", MakeFactory<ShellGuardian>());
+  node_b_->Crash();
+  EXPECT_FALSE(node_b_->IsUp());
+
+  RemoteCallOptions options;
+  options.timeout = Millis(300);
+  auto reply = RemoteCall(*driver_, node_b_->PrimordialPort(), "ping", {},
+                          CreationReplyPortType(), options);
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.status().code(), Code::kTimeout);
+
+  ASSERT_TRUE(node_b_->Restart().ok());
+  auto reply2 = RemoteCall(*driver_, node_b_->PrimordialPort(), "ping", {},
+                           CreationReplyPortType(), options);
+  ASSERT_TRUE(reply2.ok()) << reply2.status();
+  EXPECT_EQ(reply2->command, "pong");
+}
+
+TEST_F(CoreSmokeTest, TokensUnsealOnlyByOwner) {
+  auto other = node_a_->Create<ShellGuardian>("shell", "other", {});
+  ASSERT_TRUE(other.ok());
+
+  Token token = driver_->Seal(1234);
+  auto opened = driver_->Unseal(token);
+  ASSERT_TRUE(opened.ok());
+  EXPECT_EQ(*opened, 1234u);
+
+  auto stolen = (*other)->Unseal(token);
+  ASSERT_FALSE(stolen.ok());
+  EXPECT_EQ(stolen.status().code(), Code::kBadToken);
+
+  Token forged = token;
+  forged.seal ^= 1;
+  EXPECT_FALSE(driver_->Unseal(forged).ok());
+}
+
+}  // namespace
+}  // namespace guardians

@@ -1,0 +1,138 @@
+// System-level fault injection: concurrent clerks drive the airline while
+// region nodes crash and restart and the network loses traffic. After the
+// storm: every flight database satisfies its invariants, every reservation
+// a clerk saw acknowledged ("ok") is present (permanence of effect), and
+// the system is again fully operational.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+#include "src/airline/airline_system.h"
+#include "src/airline/workload.h"
+#include "src/sendprims/remote_call.h"
+
+namespace guardians {
+namespace {
+
+class FaultStormTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FaultStormTest, AckedReservationsSurviveCrashStorm) {
+  SystemConfig config;
+  config.seed = GetParam();
+  config.default_link.latency = Micros(200);
+  config.default_link.drop_prob = 0.05;
+  System system(config);
+
+  AirlineParams params;
+  params.regions = 2;
+  params.flights_per_region = 2;
+  params.capacity = 1 << 20;
+  params.organization = FlightOrganization::kOneAtATime;
+  params.logging = true;
+  auto topology = BuildAirline(system, params);
+  ASSERT_TRUE(topology.ok()) << topology.status();
+
+  // Clerks live on their own node so they never crash.
+  NodeRuntime& clerk_node = system.AddNode("clerks");
+  clerk_node.RegisterGuardianType("shell", MakeFactory<ShellGuardian>());
+
+  std::mutex acked_mu;
+  // (flight, passenger, date) triples the flight guardian acknowledged.
+  std::vector<std::tuple<int64_t, std::string, std::string>> acked;
+  std::atomic<bool> stop{false};
+
+  constexpr int kClerks = 3;
+  std::vector<Guardian*> shells;
+  for (int c = 0; c < kClerks; ++c) {
+    auto shell = clerk_node.Create<ShellGuardian>(
+        "shell", "clerk-" + std::to_string(c), {});
+    ASSERT_TRUE(shell.ok());
+    shells.push_back(*shell);
+  }
+
+  std::vector<std::thread> clerks;
+  for (int c = 0; c < kClerks; ++c) {
+    clerks.emplace_back([&, c] {
+      Rng rng(GetParam() * 101 + c);
+      int i = 0;
+      while (!stop.load()) {
+        const int region = static_cast<int>(rng.NextBelow(params.regions));
+        const int64_t flight = FlightNo(
+            region,
+            static_cast<int>(rng.NextBelow(params.flights_per_region)));
+        const std::string passenger =
+            "c" + std::to_string(c) + "-" + std::to_string(i++);
+        const std::string date = DateString(
+            static_cast<int>(rng.NextBelow(4)));
+        RemoteCallOptions options;
+        options.timeout = Millis(50);
+        options.max_attempts = 3;  // reserve is idempotent
+        auto reply = RemoteCall(
+            *shells[c], topology->regional_ports[region], "reserve",
+            {Value::Int(flight), Value::Str(passenger), Value::Str(date)},
+            ReservationReplyType(), options);
+        if (reply.ok() && reply->command == "ok") {
+          std::lock_guard<std::mutex> lock(acked_mu);
+          acked.emplace_back(flight, passenger, date);
+        }
+      }
+    });
+  }
+
+  // The storm: crash and restart each region twice, interleaved.
+  Rng storm_rng(GetParam());
+  for (int round = 0; round < 2; ++round) {
+    for (int r = 0; r < params.regions; ++r) {
+      std::this_thread::sleep_for(Millis(60));
+      NodeRuntime& node = system.node(topology->region_nodes[r]);
+      node.Crash();
+      std::this_thread::sleep_for(Millis(40));
+      ASSERT_TRUE(node.Restart().ok());
+    }
+  }
+  std::this_thread::sleep_for(Millis(100));
+  stop = true;
+  for (auto& clerk : clerks) {
+    clerk.join();
+  }
+
+  // Stop losing packets for the verification phase.
+  LinkParams clean;
+  clean.latency = Micros(200);
+  system.network().SetDefaultLink(clean);
+
+  size_t checked = 0;
+  {
+    std::lock_guard<std::mutex> lock(acked_mu);
+    ASSERT_GT(acked.size(), 0u) << "storm starved the clerks entirely";
+    for (const auto& [flight, passenger, date] : acked) {
+      const int region = RegionOfFlight(flight);
+      NodeRuntime& node = system.node(topology->region_nodes[region]);
+      // Find the recovered flight guardian and check the reservation.
+      bool found = false;
+      for (GuardianId gid = 2; gid < 64 && !found; ++gid) {
+        auto* fg = dynamic_cast<FlightGuardian*>(node.FindGuardian(gid));
+        if (fg != nullptr && fg->SnapshotDb().flight_no() == flight) {
+          const FlightDb db = fg->SnapshotDb();
+          EXPECT_TRUE(db.IsReserved(passenger, date))
+              << "acked reservation lost: flight " << flight << " "
+              << passenger << " " << date;
+          EXPECT_TRUE(db.CheckInvariants());
+          found = true;
+          ++checked;
+        }
+      }
+      EXPECT_TRUE(found) << "flight guardian " << flight
+                         << " missing after recovery";
+    }
+  }
+  EXPECT_EQ(checked, acked.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Storms, FaultStormTest,
+                         ::testing::Values(1, 23, 456));
+
+}  // namespace
+}  // namespace guardians

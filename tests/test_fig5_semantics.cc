@@ -1,0 +1,186 @@
+// Edge cases of the Figure 5 transaction process, the dispatch failure
+// clause, and a whole-system run under the paper's 24-bit integer limits.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "src/airline/airline_system.h"
+#include "src/airline/workload.h"
+#include "src/guardian/dispatch.h"
+#include "src/sendprims/remote_call.h"
+
+namespace guardians {
+namespace {
+
+TEST(Fig5Test, IdleTransactionIsAbandoned) {
+  SystemConfig config;
+  config.seed = 61;
+  config.default_link.latency = Micros(100);
+  System system(config);
+  AirlineParams params;
+  params.regions = 1;
+  params.flights_per_region = 1;
+  params.idle_timeout = Millis(80);  // very impatient U_j
+  auto topology = BuildAirline(system, params);
+  ASSERT_TRUE(topology.ok());
+  NodeRuntime& node = system.node(topology->region_nodes[0]);
+  Guardian* shell = *node.Create<ShellGuardian>("shell", "clerk", {});
+
+  Clerk clerk(*shell, "dawdler");
+  RemoteCallOptions options;
+  options.timeout = Millis(1000);
+  auto started = RemoteCall(
+      *shell, topology->user_ports[0], "start_transaction",
+      {Value::Str("dawdler"), Value::OfPort(clerk.term_port())},
+      TransStartedReplyType(), options);
+  ASSERT_TRUE(started.ok());
+  const PortName trans = started->args[0].port_value();
+
+  // Dawdle past the idle timeout: the transaction process gives up and
+  // retires its port ("we have chosen to forget transactions").
+  std::this_thread::sleep_for(Millis(300));
+  ASSERT_TRUE(shell->Send(trans, "done", {}).ok());
+  // No trans_done ever arrives on the terminal (the Clerk's term port is
+  // the shell's port 0).
+  auto nothing = shell->Receive(shell->port(0), Millis(200));
+  EXPECT_EQ(nothing.status().code(), Code::kTimeout);
+
+  EXPECT_EQ(topology->users[0]->transactions_started(), 1u);
+  EXPECT_EQ(topology->users[0]->transactions_completed(), 0u);
+}
+
+TEST(Fig5Test, UndoAllThenDoneCancelsEverything) {
+  SystemConfig config;
+  config.seed = 62;
+  config.default_link.latency = Micros(100);
+  System system(config);
+  AirlineParams params;
+  params.regions = 1;
+  params.flights_per_region = 2;
+  params.capacity = 5;
+  auto topology = BuildAirline(system, params);
+  ASSERT_TRUE(topology.ok());
+  NodeRuntime& node = system.node(topology->region_nodes[0]);
+  Guardian* shell = *node.Create<ShellGuardian>("shell", "clerk", {});
+
+  Clerk clerk(*shell, "regretful");
+  // Reserve two flights, then undo everything.
+  std::vector<ClerkOp> ops = {
+      {ClerkOp::Kind::kReserve, FlightNo(0, 0), "1979-09-05"},
+      {ClerkOp::Kind::kReserve, FlightNo(0, 1), "1979-09-06"},
+      {ClerkOp::Kind::kUndoLast, 0, ""},
+      {ClerkOp::Kind::kUndoLast, 0, ""},
+      {ClerkOp::Kind::kDone, 0, ""},
+  };
+  TransSummary summary =
+      clerk.RunTransaction(topology->user_ports[0], ops, Millis(2000));
+  EXPECT_TRUE(summary.completed);
+  EXPECT_EQ(summary.reserves_standing, 0);
+
+  // Both seats were given back.
+  RemoteCallOptions options;
+  options.timeout = Millis(1000);
+  for (int f = 0; f < 2; ++f) {
+    auto info = RemoteCall(
+        *shell, topology->regional_ports[0], "list_passengers",
+        {Value::Int(FlightNo(0, f)),
+         Value::Str(f == 0 ? "1979-09-05" : "1979-09-06"),
+         Value::Str("manager")},
+        ReservationReplyType(), options);
+    ASSERT_TRUE(info.ok());
+    ASSERT_EQ(info->command, "info");
+    EXPECT_TRUE(info->args[0].items().empty()) << "flight " << f;
+  }
+}
+
+TEST(Fig5Test, UndoBeyondHistoryIsIllegal) {
+  SystemConfig config;
+  config.seed = 63;
+  config.default_link.latency = Micros(100);
+  System system(config);
+  AirlineParams params;
+  params.regions = 1;
+  params.flights_per_region = 1;
+  auto topology = BuildAirline(system, params);
+  ASSERT_TRUE(topology.ok());
+  NodeRuntime& node = system.node(topology->region_nodes[0]);
+  Guardian* shell = *node.Create<ShellGuardian>("shell", "clerk", {});
+
+  Clerk clerk(*shell, "confused");
+  std::vector<ClerkOp> ops = {
+      {ClerkOp::Kind::kUndoLast, 0, ""},  // nothing to undo yet
+      {ClerkOp::Kind::kDone, 0, ""},
+  };
+  TransSummary summary =
+      clerk.RunTransaction(topology->user_ports[0], ops, Millis(2000));
+  EXPECT_TRUE(summary.completed);
+  EXPECT_EQ(summary.outcomes["illegal"], 1);
+}
+
+TEST(DispatchFailureTest, FailureClauseReceivesSystemMessage) {
+  SystemConfig config;
+  config.seed = 64;
+  config.default_link.latency = Micros(100);
+  System system(config);
+  NodeRuntime& a = system.AddNode("a");
+  NodeRuntime& b = system.AddNode("b");
+  a.RegisterGuardianType("shell", MakeFactory<ShellGuardian>());
+  Guardian* shell = *a.Create<ShellGuardian>("shell", "driver", {});
+
+  PortType request_type("req", {MessageSig{"ask", {}, {"answered"}}});
+  PortType reply_type("rep", {MessageSig{"answered", {}, {}}});
+  ASSERT_TRUE(system.port_types().Register(request_type).ok());
+  Port* reply_port = shell->AddPort(reply_type, 8);
+
+  // Ask a guardian that doesn't exist; the system's failure lands on the
+  // reply port and the dispatch failure clause fires.
+  PortName nowhere;
+  nowhere.node = b.id();
+  nowhere.guardian = 777;
+  nowhere.port_index = 0;
+  nowhere.type_hash = request_type.hash();
+  ASSERT_TRUE(shell->Send(nowhere, "ask", {}, reply_port->name()).ok());
+
+  std::string failure_reason;
+  Dispatch dispatch;
+  dispatch.When("answered", [](const Received&) { FAIL(); })
+      .OnFailure([&](const std::string& reason, const Received&) {
+        failure_reason = reason;
+      });
+  Status st = dispatch.Once(*shell, {reply_port}, Millis(2000));
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(failure_reason, "target guardian doesn't exist");
+}
+
+TEST(SystemLimitsTest, TwentyFourBitSystemRejectsBigIntegersAtSendTime) {
+  SystemConfig config;
+  config.seed = 65;
+  config.limits.int_bits = 24;  // the paper's example system
+  config.default_link.latency = Micros(100);
+  System system(config);
+  NodeRuntime& a = system.AddNode("a");
+  NodeRuntime& b = system.AddNode("b");
+  a.RegisterGuardianType("shell", MakeFactory<ShellGuardian>());
+  b.RegisterGuardianType("shell", MakeFactory<ShellGuardian>());
+  Guardian* sender = *a.Create<ShellGuardian>("shell", "sender", {});
+  Guardian* receiver = *b.Create<ShellGuardian>("shell", "receiver", {});
+
+  PortType number_type(
+      "numbers", {MessageSig{"put", {ArgType::Of(TypeTag::kInt)}, {}}});
+  Port* port = receiver->AddPort(number_type, 8);
+
+  // In-bounds travels fine.
+  ASSERT_TRUE(
+      sender->Send(port->name(), "put", {Value::Int((1 << 23) - 1)}).ok());
+  auto ok = receiver->Receive(port, Millis(1000));
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->args[0].int_value(), (1 << 23) - 1);
+
+  // Out-of-bounds: "it might be impossible to send an integer value in a
+  // message because it was too big" — the send itself fails.
+  Status too_big = sender->Send(port->name(), "put", {Value::Int(1 << 23)});
+  EXPECT_EQ(too_big.code(), Code::kOutOfRange);
+}
+
+}  // namespace
+}  // namespace guardians

@@ -1,0 +1,256 @@
+// Unit tests for TransHistory (Figure 5), ACLs, Status/Result, Rng and the
+// small common utilities.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/airline/trans_history.h"
+#include "src/airline/workload.h"
+#include "src/common/bytes.h"
+#include "src/common/result.h"
+#include "src/common/rng.h"
+#include "src/guardian/acl.h"
+
+namespace guardians {
+namespace {
+
+// --- TransHistory ------------------------------------------------------------
+
+TEST(TransHistoryTest, ReservesAreImmediateCancelsDeferred) {
+  TransHistory history;
+  history.AddReserve(1, "d1");
+  history.AddCancel(2, "d2");
+  EXPECT_EQ(history.ActiveReserves(), 1);
+  auto cancels = history.CancelsToPerform();
+  ASSERT_EQ(cancels.size(), 1u);
+  EXPECT_EQ(cancels[0].flight, 2);
+}
+
+TEST(TransHistoryTest, UndoLastReserveSchedulesCompensatingCancel) {
+  TransHistory history;
+  history.AddReserve(1, "d1");
+  auto undone = history.UndoLast();
+  ASSERT_TRUE(undone.has_value());
+  EXPECT_EQ(undone->action, TransHistory::Action::kReserve);
+  EXPECT_EQ(history.ActiveReserves(), 0);
+  // The undone reserve becomes a cancel at done-time ("an unwanted
+  // reservation can be undone by a cancel").
+  auto cancels = history.CancelsToPerform();
+  ASSERT_EQ(cancels.size(), 1u);
+  EXPECT_EQ(cancels[0].flight, 1);
+}
+
+TEST(TransHistoryTest, UndoLastPendingCancelJustDropsIt) {
+  TransHistory history;
+  history.AddCancel(3, "d3");
+  auto undone = history.UndoLast();
+  ASSERT_TRUE(undone.has_value());
+  EXPECT_EQ(undone->action, TransHistory::Action::kCancel);
+  EXPECT_TRUE(history.CancelsToPerform().empty());
+}
+
+TEST(TransHistoryTest, UndoOrderIsLifoAndSkipsUndone) {
+  TransHistory history;
+  history.AddReserve(1, "d1");
+  history.AddReserve(2, "d2");
+  history.AddReserve(3, "d3");
+  EXPECT_EQ(history.UndoLast()->flight, 3);
+  EXPECT_EQ(history.UndoLast()->flight, 2);
+  EXPECT_EQ(history.UndoLast()->flight, 1);
+  EXPECT_FALSE(history.UndoLast().has_value());
+}
+
+TEST(TransHistoryTest, UndoAll) {
+  TransHistory history;
+  history.AddReserve(1, "d1");
+  history.AddCancel(2, "d2");
+  history.AddReserve(3, "d3");
+  EXPECT_EQ(history.UndoAll(), 3);
+  EXPECT_EQ(history.UndoAll(), 0);
+  EXPECT_EQ(history.ActiveReserves(), 0);
+  // Undone reserves (1, 3) become cancels; the undone cancel (2) vanishes.
+  EXPECT_EQ(history.CancelsToPerform().size(), 2u);
+}
+
+TEST(TransHistoryTest, EmptyHistory) {
+  TransHistory history;
+  EXPECT_TRUE(history.Empty());
+  EXPECT_FALSE(history.UndoLast().has_value());
+  EXPECT_TRUE(history.CancelsToPerform().empty());
+}
+
+// --- ACL ---------------------------------------------------------------------
+
+TEST(AclTest, GrantAndCheck) {
+  AccessControlList acl;
+  acl.Grant("manager", "list_passengers");
+  EXPECT_TRUE(acl.Allows("manager", "list_passengers"));
+  EXPECT_FALSE(acl.Allows("clerk", "list_passengers"));
+  EXPECT_FALSE(acl.Allows("manager", "archive"));
+  EXPECT_TRUE(acl.Check("manager", "list_passengers").ok());
+  EXPECT_EQ(acl.Check("clerk", "list_passengers").code(),
+            Code::kPermissionDenied);
+}
+
+TEST(AclTest, WildcardPrincipal) {
+  AccessControlList acl;
+  acl.Grant("*", "reserve");
+  EXPECT_TRUE(acl.Allows("anybody", "reserve"));
+  EXPECT_FALSE(acl.Allows("anybody", "cancel"));
+}
+
+TEST(AclTest, Revoke) {
+  AccessControlList acl;
+  acl.Grant("manager", "archive");
+  acl.Revoke("manager", "archive");
+  EXPECT_FALSE(acl.Allows("manager", "archive"));
+  acl.Revoke("ghost", "nothing");  // harmless
+}
+
+// --- Status / Result ----------------------------------------------------------
+
+TEST(StatusTest, OkAndError) {
+  EXPECT_TRUE(OkStatus().ok());
+  Status st(Code::kTimeout, "no reply");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.ToString(), "timeout: no reply");
+  EXPECT_EQ(Status(Code::kTimeout), st);  // equality is by code
+  EXPECT_EQ(OkStatus().ToString(), "ok");
+}
+
+TEST(ResultTest, ValueAndStatusPaths) {
+  Result<int> good = 7;
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(*good, 7);
+  EXPECT_EQ(good.value_or(0), 7);
+
+  Result<int> bad = Status(Code::kNotFound, "x");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), Code::kNotFound);
+  EXPECT_EQ(bad.value_or(-1), -1);
+}
+
+Result<int> Doubler(Result<int> in) {
+  GUARDIANS_ASSIGN_OR_RETURN(int v, in);
+  return v * 2;
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  EXPECT_EQ(*Doubler(21), 42);
+  EXPECT_EQ(Doubler(Status(Code::kTimeout)).status().code(), Code::kTimeout);
+}
+
+// --- Rng ----------------------------------------------------------------------
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+  Rng c(124);
+  EXPECT_NE(Rng(123).NextU64(), c.NextU64());
+}
+
+TEST(RngTest, RangesRespected) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(10), 10u);
+    const int64_t v = rng.NextInRange(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BoolProbabilityEdges) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.NextBool(0.0));
+    EXPECT_TRUE(rng.NextBool(1.0));
+  }
+  int heads = 0;
+  for (int i = 0; i < 2000; ++i) {
+    heads += rng.NextBool(0.5) ? 1 : 0;
+  }
+  EXPECT_GT(heads, 800);
+  EXPECT_LT(heads, 1200);
+}
+
+TEST(RngTest, DistributionsSane) {
+  Rng rng(11);
+  double exp_sum = 0;
+  double norm_sum = 0;
+  constexpr int kSamples = 4000;
+  for (int i = 0; i < kSamples; ++i) {
+    exp_sum += rng.NextExponential(3.0);
+    norm_sum += rng.NextNormal(10.0, 2.0);
+  }
+  EXPECT_NEAR(exp_sum / kSamples, 3.0, 0.3);
+  EXPECT_NEAR(norm_sum / kSamples, 10.0, 0.2);
+}
+
+TEST(RngTest, ForkedStreamsDiffer) {
+  Rng parent(9);
+  Rng child = parent.Fork();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent.NextU64() == child.NextU64()) {
+      ++same;
+    }
+  }
+  EXPECT_EQ(same, 0);
+}
+
+// --- bytes / workload utilities ------------------------------------------------
+
+TEST(BytesTest, HexDumpAndHash) {
+  EXPECT_EQ(HexDump({0x4a, 0x6f, 0x65, 0x21}), "4a6f 6521");
+  EXPECT_EQ(HexDump(Bytes(40, 0), 4), "0000 0000...");
+  EXPECT_NE(Fnv1a64("abc"), Fnv1a64("abd"));
+  EXPECT_EQ(Fnv1a64(""), 0xCBF29CE484222325ull);
+}
+
+TEST(WorkloadTest, FlightNumberingRoundTrips) {
+  EXPECT_EQ(FlightNo(2, 34), 2034);
+  EXPECT_EQ(RegionOfFlight(2034), 2);
+  EXPECT_EQ(RegionOfFlight(FlightNo(0, 1)), 0);
+}
+
+TEST(WorkloadTest, DateStringCrossesMonthsAndYears) {
+  EXPECT_EQ(DateString(0), "1979-09-01");
+  EXPECT_EQ(DateString(29), "1979-09-30");
+  EXPECT_EQ(DateString(30), "1979-10-01");
+  EXPECT_EQ(DateString(122), "1980-01-01");
+}
+
+TEST(WorkloadTest, GeneratorShapesScripts) {
+  WorkloadParams params;
+  params.regions = 2;
+  params.transactions = 10;
+  params.ops_per_transaction = 5;
+  params.seed = 99;
+  auto scripts = GenerateTransactions(params);
+  ASSERT_EQ(scripts.size(), 10u);
+  for (const auto& script : scripts) {
+    ASSERT_EQ(script.size(), 6u);  // ops + done
+    EXPECT_EQ(script.back().kind, ClerkOp::Kind::kDone);
+    for (const auto& op : script) {
+      if (op.kind == ClerkOp::Kind::kReserve ||
+          op.kind == ClerkOp::Kind::kCancel) {
+        EXPECT_GE(RegionOfFlight(op.flight), 0);
+        EXPECT_LT(RegionOfFlight(op.flight), 2);
+        EXPECT_FALSE(op.date.empty());
+      }
+    }
+  }
+  // Deterministic from the seed.
+  auto again = GenerateTransactions(params);
+  EXPECT_EQ(again[0].size(), scripts[0].size());
+  EXPECT_EQ(again[3][0].flight, scripts[3][0].flight);
+}
+
+}  // namespace
+}  // namespace guardians

@@ -1,0 +1,207 @@
+// Unit tests for the simulated network (the Section 1.1 substrate).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <vector>
+
+#include "src/net/network.h"
+#include "src/runtime/latch.h"
+
+namespace guardians {
+namespace {
+
+Packet MakePacket(NodeId src, NodeId dst, uint64_t id, size_t size = 16) {
+  Packet p;
+  p.msg_id = id;
+  p.src = src;
+  p.dst = dst;
+  p.payload = Bytes(size, static_cast<uint8_t>(id));
+  p.Seal();
+  return p;
+}
+
+TEST(NetworkTest, DeliversToRegisteredSink) {
+  Network network(1);
+  const NodeId a = network.AddNode("a");
+  const NodeId b = network.AddNode("b");
+  CountdownLatch arrived(1);
+  std::atomic<uint64_t> got{0};
+  network.SetSink(b, [&](const Packet& p) {
+    got = p.msg_id;
+    arrived.CountDown();
+  });
+  network.SetDefaultLink(LinkParams{Micros(100), Micros(0), 0, 0, 0});
+  network.Send(MakePacket(a, b, 42));
+  ASSERT_TRUE(arrived.WaitFor(Millis(2000)));
+  EXPECT_EQ(got.load(), 42u);
+  EXPECT_EQ(network.stats().packets_delivered, 1u);
+}
+
+TEST(NetworkTest, LatencyIsApplied) {
+  Network network(1);
+  const NodeId a = network.AddNode("a");
+  const NodeId b = network.AddNode("b");
+  CountdownLatch arrived(1);
+  network.SetSink(b, [&](const Packet&) { arrived.CountDown(); });
+  network.SetDefaultLink(LinkParams{Millis(20), Micros(0), 0, 0, 0});
+  const TimePoint begin = Now();
+  network.Send(MakePacket(a, b, 1));
+  ASSERT_TRUE(arrived.WaitFor(Millis(5000)));
+  EXPECT_GE(ToMicros(Now() - begin), 19000);
+}
+
+TEST(NetworkTest, DropProbabilityLosesRoughlyThatFraction) {
+  Network network(7);
+  const NodeId a = network.AddNode("a");
+  const NodeId b = network.AddNode("b");
+  std::atomic<int> delivered{0};
+  network.SetSink(b, [&](const Packet&) { ++delivered; });
+  network.SetDefaultLink(LinkParams{Micros(10), Micros(0), 0.5, 0, 0});
+  constexpr int kPackets = 600;
+  for (int i = 0; i < kPackets; ++i) {
+    network.Send(MakePacket(a, b, i));
+  }
+  network.DrainForTesting();
+  EXPECT_GT(delivered.load(), kPackets / 4);
+  EXPECT_LT(delivered.load(), 3 * kPackets / 4);
+  EXPECT_EQ(network.stats().packets_dropped +
+                network.stats().packets_delivered,
+            static_cast<uint64_t>(kPackets));
+}
+
+TEST(NetworkTest, CorruptionFlipsBitsButDelivers) {
+  Network network(3);
+  const NodeId a = network.AddNode("a");
+  const NodeId b = network.AddNode("b");
+  std::atomic<int> failed_crc{0};
+  std::atomic<int> total{0};
+  network.SetSink(b, [&](const Packet& p) {
+    ++total;
+    if (!p.Verify()) {
+      ++failed_crc;
+    }
+  });
+  network.SetDefaultLink(LinkParams{Micros(10), Micros(0), 0, 1.0, 0});
+  for (int i = 0; i < 50; ++i) {
+    network.Send(MakePacket(a, b, i));
+  }
+  network.DrainForTesting();
+  EXPECT_EQ(total.load(), 50);
+  // With corrupt_prob=1 every packet was mangled, and the error-detection
+  // bits catch every one.
+  EXPECT_EQ(failed_crc.load(), 50);
+  EXPECT_EQ(network.stats().packets_corrupted, 50u);
+}
+
+TEST(NetworkTest, PartitionCutsBothDirections) {
+  Network network(1);
+  const NodeId a = network.AddNode("a");
+  const NodeId b = network.AddNode("b");
+  std::atomic<int> delivered{0};
+  network.SetSink(a, [&](const Packet&) { ++delivered; });
+  network.SetSink(b, [&](const Packet&) { ++delivered; });
+  network.SetDefaultLink(LinkParams{Micros(10), Micros(0), 0, 0, 0});
+  network.SetPartitioned(a, b, true);
+  network.Send(MakePacket(a, b, 1));
+  network.Send(MakePacket(b, a, 2));
+  network.DrainForTesting();
+  EXPECT_EQ(delivered.load(), 0);
+  network.SetPartitioned(a, b, false);
+  network.Send(MakePacket(a, b, 3));
+  network.DrainForTesting();
+  EXPECT_EQ(delivered.load(), 1);
+}
+
+TEST(NetworkTest, DownNodeNeitherSendsNorReceives) {
+  Network network(1);
+  const NodeId a = network.AddNode("a");
+  const NodeId b = network.AddNode("b");
+  std::atomic<int> delivered{0};
+  network.SetSink(b, [&](const Packet&) { ++delivered; });
+  network.SetDefaultLink(LinkParams{Micros(10), Micros(0), 0, 0, 0});
+
+  network.SetNodeUp(b, false);
+  network.Send(MakePacket(a, b, 1));  // lost at delivery
+  network.DrainForTesting();
+  EXPECT_EQ(delivered.load(), 0);
+
+  network.SetNodeUp(b, true);
+  network.SetNodeUp(a, false);
+  network.Send(MakePacket(a, b, 2));  // refused at send
+  network.DrainForTesting();
+  EXPECT_EQ(delivered.load(), 0);
+
+  network.SetNodeUp(a, true);
+  network.Send(MakePacket(a, b, 3));
+  network.DrainForTesting();
+  EXPECT_EQ(delivered.load(), 1);
+}
+
+TEST(NetworkTest, InFlightPacketsLostWhenDestinationCrashes) {
+  Network network(1);
+  const NodeId a = network.AddNode("a");
+  const NodeId b = network.AddNode("b");
+  std::atomic<int> delivered{0};
+  network.SetSink(b, [&](const Packet&) { ++delivered; });
+  network.SetDefaultLink(LinkParams{Millis(50), Micros(0), 0, 0, 0});
+  network.Send(MakePacket(a, b, 1));
+  network.SetNodeUp(b, false);  // crash while the packet is in flight
+  network.DrainForTesting();
+  EXPECT_EQ(delivered.load(), 0);
+}
+
+TEST(NetworkTest, PerLinkParamsOverrideDefault) {
+  Network network(1);
+  const NodeId a = network.AddNode("a");
+  const NodeId b = network.AddNode("b");
+  const NodeId c = network.AddNode("c");
+  network.SetDefaultLink(LinkParams{Millis(30), Micros(0), 0, 0, 0});
+  network.SetLink(a, b, LinkParams{Micros(100), Micros(0), 0, 0, 0});
+  EXPECT_EQ(network.GetLink(a, b).latency, Micros(100));
+  EXPECT_EQ(network.GetLink(b, a).latency, Micros(100));
+  EXPECT_EQ(network.GetLink(a, c).latency, Millis(30));
+
+  CountdownLatch fast(1);
+  network.SetSink(b, [&](const Packet&) { fast.CountDown(); });
+  const TimePoint begin = Now();
+  network.Send(MakePacket(a, b, 1));
+  ASSERT_TRUE(fast.WaitFor(Millis(2000)));
+  EXPECT_LT(ToMicros(Now() - begin), 20000);
+}
+
+TEST(NetworkTest, BandwidthAddsSerializationDelay) {
+  Network network(1);
+  const NodeId a = network.AddNode("a");
+  const NodeId b = network.AddNode("b");
+  CountdownLatch arrived(1);
+  network.SetSink(b, [&](const Packet&) { arrived.CountDown(); });
+  // 1 byte per microsecond: a ~1KB packet takes ~1ms extra.
+  network.SetDefaultLink(LinkParams{Micros(0), Micros(0), 0, 0, 1.0});
+  const TimePoint begin = Now();
+  network.Send(MakePacket(a, b, 1, 1000));
+  ASSERT_TRUE(arrived.WaitFor(Millis(2000)));
+  EXPECT_GE(ToMicros(Now() - begin), 1000);
+}
+
+TEST(NetworkTest, LocalDeliveryBypassesLinkParams) {
+  Network network(1);
+  const NodeId a = network.AddNode("a");
+  CountdownLatch arrived(1);
+  network.SetSink(a, [&](const Packet&) { arrived.CountDown(); });
+  network.SetDefaultLink(LinkParams{Millis(60), Micros(0), 1.0, 0, 0});
+  network.Send(MakePacket(a, a, 1));
+  // Same-node traffic is immediate and lossless despite the brutal link.
+  ASSERT_TRUE(arrived.WaitFor(Millis(2000)));
+}
+
+TEST(NetworkTest, NodeNames) {
+  Network network(1);
+  const NodeId a = network.AddNode("alpha");
+  EXPECT_EQ(network.NodeName(a), "alpha");
+  EXPECT_EQ(network.NodeName(999), "?");
+  EXPECT_EQ(network.node_count(), 1u);
+}
+
+}  // namespace
+}  // namespace guardians

@@ -1,0 +1,363 @@
+// Tests for the service guardians (catalog, cabinet, spooler) and the
+// dispatch / typed-send ergonomics.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "src/guardian/dispatch.h"
+#include "src/guardian/system.h"
+#include "src/guardian/typed.h"
+#include "src/sendprims/remote_call.h"
+#include "src/services/cabinet.h"
+#include "src/services/catalog.h"
+#include "src/services/spooler.h"
+
+namespace guardians {
+namespace {
+
+class ServicesTest : public ::testing::Test {
+ protected:
+  ServicesTest() : system_(MakeConfig()) {
+    server_ = &system_.AddNode("server");
+    client_node_ = &system_.AddNode("client");
+    server_->RegisterGuardianType(CatalogGuardian::kTypeName,
+                                  MakeFactory<CatalogGuardian>());
+    server_->RegisterGuardianType(CabinetGuardian::kTypeName,
+                                  MakeFactory<CabinetGuardian>());
+    server_->RegisterGuardianType(SpoolerGuardian::kTypeName,
+                                  MakeFactory<SpoolerGuardian>());
+    client_node_->RegisterGuardianType("shell",
+                                       MakeFactory<ShellGuardian>());
+    client_node_->transmit_registry()
+        .Register(kDocumentTypeName, DocumentDecoder())
+        .ok();
+    client_ = *client_node_->Create<ShellGuardian>("shell", "client", {});
+  }
+
+  static SystemConfig MakeConfig() {
+    SystemConfig config;
+    config.seed = 555;
+    config.default_link.latency = Micros(100);
+    return config;
+  }
+
+  RemoteReply Call(const PortName& to, const std::string& command,
+                   ValueList args, const PortType& reply_type,
+                   int attempts = 1) {
+    RemoteCallOptions options;
+    options.timeout = Millis(1000);
+    options.max_attempts = attempts;
+    auto reply = RemoteCall(*client_, to, command, std::move(args),
+                            reply_type, options);
+    EXPECT_TRUE(reply.ok()) << reply.status();
+    return reply.ok() ? *reply : RemoteReply{};
+  }
+
+  System system_;
+  NodeRuntime* server_ = nullptr;
+  NodeRuntime* client_node_ = nullptr;
+  Guardian* client_ = nullptr;
+};
+
+// --- catalog -----------------------------------------------------------------
+
+TEST_F(ServicesTest, CatalogRegisterLookupUnregister) {
+  auto catalog = server_->Create<CatalogGuardian>(
+      CatalogGuardian::kTypeName, "catalog", {}, true);
+  ASSERT_TRUE(catalog.ok());
+  const PortName catalog_port = (*catalog)->ProvidedPorts()[0];
+
+  PortName fake;
+  fake.node = 9;
+  fake.guardian = 9;
+  fake.port_index = 0;
+  fake.type_hash = 9;
+
+  EXPECT_TRUE(CatalogRegister(*client_, catalog_port, "printer", fake,
+                              Millis(1000))
+                  .ok());
+  auto found = CatalogLookup(*client_, catalog_port, "printer",
+                             Millis(1000));
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(*found, fake);
+
+  EXPECT_EQ(CatalogLookup(*client_, catalog_port, "nope", Millis(1000))
+                .status()
+                .code(),
+            Code::kNotFound);
+
+  // Same (name, port) again: idempotent. Different port: taken.
+  EXPECT_TRUE(CatalogRegister(*client_, catalog_port, "printer", fake,
+                              Millis(1000))
+                  .ok());
+  PortName other = fake;
+  other.guardian = 10;
+  EXPECT_EQ(CatalogRegister(*client_, catalog_port, "printer", other,
+                            Millis(1000))
+                .code(),
+            Code::kAlreadyExists);
+
+  auto removed = Call(catalog_port, "unregister", {Value::Str("printer")},
+                      CatalogReplyType());
+  EXPECT_EQ(removed.command, "removed");
+  EXPECT_EQ(CatalogLookup(*client_, catalog_port, "printer", Millis(1000))
+                .status()
+                .code(),
+            Code::kNotFound);
+}
+
+TEST_F(ServicesTest, CatalogListsByPrefix) {
+  auto catalog = server_->Create<CatalogGuardian>(
+      CatalogGuardian::kTypeName, "catalog", {}, false);
+  ASSERT_TRUE(catalog.ok());
+  const PortName port = (*catalog)->ProvidedPorts()[0];
+  PortName p;
+  p.node = 1;
+  p.guardian = 2;
+  ASSERT_TRUE(
+      CatalogRegister(*client_, port, "svc/a", p, Millis(1000)).ok());
+  ASSERT_TRUE(
+      CatalogRegister(*client_, port, "svc/b", p, Millis(1000)).ok());
+  ASSERT_TRUE(
+      CatalogRegister(*client_, port, "other", p, Millis(1000)).ok());
+  auto names = Call(port, "list_names", {Value::Str("svc/")},
+                    CatalogReplyType());
+  ASSERT_EQ(names.command, "names");
+  EXPECT_EQ(names.args[0].items().size(), 2u);
+}
+
+TEST_F(ServicesTest, CatalogSurvivesCrash) {
+  auto catalog = server_->Create<CatalogGuardian>(
+      CatalogGuardian::kTypeName, "catalog", {}, true);
+  ASSERT_TRUE(catalog.ok());
+  const PortName catalog_port = (*catalog)->ProvidedPorts()[0];
+  PortName p;
+  p.node = 4;
+  p.guardian = 5;
+  ASSERT_TRUE(CatalogRegister(*client_, catalog_port, "durable", p,
+                              Millis(1000))
+                  .ok());
+  ASSERT_TRUE(CatalogRegister(*client_, catalog_port, "gone", p,
+                              Millis(1000))
+                  .ok());
+  Call(catalog_port, "unregister", {Value::Str("gone")},
+       CatalogReplyType());
+
+  server_->Crash();
+  ASSERT_TRUE(server_->Restart().ok());
+
+  auto found = CatalogLookup(*client_, catalog_port, "durable",
+                             Millis(1000));
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(*found, p);
+  EXPECT_EQ(CatalogLookup(*client_, catalog_port, "gone", Millis(1000))
+                .status()
+                .code(),
+            Code::kNotFound);
+}
+
+// --- cabinet ------------------------------------------------------------------
+
+TEST_F(ServicesTest, CabinetFileFetchAndTitleSearch) {
+  auto cabinet = server_->Create<CabinetGuardian>(
+      CabinetGuardian::kTypeName, "cab", {}, true);
+  ASSERT_TRUE(cabinet.ok());
+  const PortName port = (*cabinet)->ProvidedPorts()[0];
+
+  auto filed = Call(port, "file_doc",
+                    {Value::Abstract(MakeDocument("memo-184", {"guardians"}))},
+                    CabinetReplyType());
+  ASSERT_EQ(filed.command, "filed");
+  const Token token = filed.args[0].token_value();
+
+  auto fetched = Call(port, "fetch", {Value::OfToken(token)},
+                      CabinetReplyType());
+  ASSERT_EQ(fetched.command, "doc_is");
+  auto doc = std::static_pointer_cast<const Document>(
+      fetched.args[0].abstract_value());
+  EXPECT_EQ(doc->title(), "memo-184");
+
+  auto by_title = Call(port, "find_title", {Value::Str("memo-184")},
+                       CabinetReplyType());
+  EXPECT_EQ(by_title.command, "filed");
+  auto missing = Call(port, "find_title", {Value::Str("nope")},
+                      CabinetReplyType());
+  EXPECT_EQ(missing.command, "unknown_title");
+}
+
+TEST_F(ServicesTest, CabinetDocumentsSurviveCrashTokensDoNot) {
+  auto cabinet = server_->Create<CabinetGuardian>(
+      CabinetGuardian::kTypeName, "cab", {}, true);
+  ASSERT_TRUE(cabinet.ok());
+  const PortName port = (*cabinet)->ProvidedPorts()[0];
+
+  auto filed = Call(port, "file_doc",
+                    {Value::Abstract(MakeDocument("keep", {"body text"}))},
+                    CabinetReplyType());
+  ASSERT_EQ(filed.command, "filed");
+  const Token old_token = filed.args[0].token_value();
+
+  server_->Crash();
+  ASSERT_TRUE(server_->Restart().ok());
+
+  // The document is still filed (permanence)...
+  auto count = Call(port, "doc_count", {}, CabinetReplyType(), 3);
+  ASSERT_EQ(count.command, "doc_count_is");
+  EXPECT_EQ(count.args[0].int_value(), 1);
+  // ...but the old token no longer unseals (new incarnation, new seal):
+  auto stale = Call(port, "fetch", {Value::OfToken(old_token)},
+                    CabinetReplyType());
+  EXPECT_EQ(stale.command, "bad_token");
+  // The recovery path: look up by title, get a fresh token, fetch.
+  auto fresh = Call(port, "find_title", {Value::Str("keep")},
+                    CabinetReplyType());
+  ASSERT_EQ(fresh.command, "filed");
+  auto fetched = Call(port, "fetch",
+                      {Value::OfToken(fresh.args[0].token_value())},
+                      CabinetReplyType());
+  EXPECT_EQ(fetched.command, "doc_is");
+}
+
+// --- spooler ------------------------------------------------------------------
+
+TEST_F(ServicesTest, SpoolerPrintsAndReportsStates) {
+  auto spooler = server_->Create<SpoolerGuardian>(
+      SpoolerGuardian::kTypeName, "spool", {Value::Int(2000)}, false);
+  ASSERT_TRUE(spooler.ok());
+  const PortName port = (*spooler)->ProvidedPorts()[0];
+
+  auto queued = Call(port, "submit",
+                     {Value::Abstract(MakeDocument("j1", {"five short words"
+                                                          " here now"}))},
+                     SpoolerReplyType());
+  ASSERT_EQ(queued.command, "queued");
+  const int64_t job = queued.args[0].int_value();
+
+  // Eventually done.
+  std::string state;
+  const Deadline deadline(Millis(5000));
+  while (!deadline.Expired()) {
+    auto status = Call(port, "job_status", {Value::Int(job)},
+                       SpoolerReplyType());
+    state = status.args[0].string_value();
+    if (state == "done") {
+      break;
+    }
+    std::this_thread::sleep_for(Millis(5));
+  }
+  EXPECT_EQ(state, "done");
+  EXPECT_EQ((*spooler)->printed(), 1u);
+
+  auto unknown = Call(port, "job_status", {Value::Int(999)},
+                      SpoolerReplyType());
+  EXPECT_EQ(unknown.command, "unknown_job");
+}
+
+TEST_F(ServicesTest, SpoolerCancelQueuedButNotDone) {
+  auto spooler = server_->Create<SpoolerGuardian>(
+      SpoolerGuardian::kTypeName, "spool", {Value::Int(20000)}, false);
+  ASSERT_TRUE(spooler.ok());
+  const PortName port = (*spooler)->ProvidedPorts()[0];
+
+  // First job hogs the printer; the second sits queued and is cancelable.
+  auto first = Call(port, "submit",
+                    {Value::Abstract(MakeDocument(
+                        "slow", {std::string(400, 'a') + " word word word"}))},
+                    SpoolerReplyType());
+  ASSERT_EQ(first.command, "queued");
+  auto second = Call(port, "submit",
+                     {Value::Abstract(MakeDocument("victim", {"text"}))},
+                     SpoolerReplyType());
+  ASSERT_EQ(second.command, "queued");
+
+  auto canceled = Call(port, "cancel_job",
+                       {Value::Int(second.args[0].int_value())},
+                       SpoolerReplyType());
+  EXPECT_EQ(canceled.command, "canceled_job");
+  auto state = Call(port, "job_status",
+                    {Value::Int(second.args[0].int_value())},
+                    SpoolerReplyType());
+  EXPECT_EQ(state.args[0].string_value(), "canceled");
+
+  // Cancelling the in-flight/done first job is too late.
+  auto late = Call(port, "cancel_job",
+                   {Value::Int(first.args[0].int_value())},
+                   SpoolerReplyType());
+  EXPECT_EQ(late.command, "too_late");
+}
+
+// --- dispatch & typed sends -----------------------------------------------------
+
+PortType CounterPortType() {
+  return PortType("counter",
+                  {MessageSig{"add", {ArgType::Of(TypeTag::kInt)}, {}},
+                   MessageSig{"get", {}, {"count_is"}}});
+}
+
+TEST_F(ServicesTest, DispatchLoopHandlesCommandsAndTimeouts) {
+  Port* port = client_->AddPort(CounterPortType(), 16);
+  int64_t counter = 0;
+  int timeouts = 0;
+  Dispatch dispatch;
+  dispatch.When("add",
+                [&](const Received& m) { counter += m.args[0].int_value(); })
+      .When("get",
+            [&](const Received& m) {
+              if (!m.reply_to.IsNull()) {
+                Status st = client_->Send(m.reply_to, "count_is",
+                                          {Value::Int(counter)});
+                (void)st;
+              }
+              dispatch.Stop();
+            })
+      .OnTimeout([&] { ++timeouts; });
+  EXPECT_TRUE(dispatch.CheckCovers(CounterPortType()).ok());
+
+  std::thread server([&] {
+    Status st = dispatch.Loop(*client_, {port}, Millis(20));
+    EXPECT_TRUE(st.ok());
+  });
+  // Let at least one timeout tick happen, then drive it.
+  std::this_thread::sleep_for(Millis(50));
+  ASSERT_TRUE(TypedSend(*client_, port->name(), "add", 5).ok());
+  ASSERT_TRUE(TypedSend(*client_, port->name(), "add", 37).ok());
+  Port* reply_port = client_->AddPort(
+      PortType("count_reply",
+               {MessageSig{"count_is", {ArgType::Of(TypeTag::kInt)}, {}}}),
+      4);
+  ASSERT_TRUE(TypedSendReply(*client_, port->name(), reply_port->name(),
+                             "get")
+                  .ok());
+  server.join();
+  auto reply = client_->Receive(reply_port, Millis(1000));
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->args[0].int_value(), 42);
+  EXPECT_GT(timeouts, 0);
+}
+
+TEST_F(ServicesTest, DispatchCoverageCheckCatchesGaps) {
+  Dispatch partial;
+  partial.When("add", [](const Received&) {});
+  EXPECT_EQ(partial.CheckCovers(CounterPortType()).code(), Code::kTypeError);
+
+  Dispatch extra;
+  extra.When("add", [](const Received&) {})
+      .When("get", [](const Received&) {})
+      .When("bogus", [](const Received&) {});
+  EXPECT_EQ(extra.CheckCovers(CounterPortType()).code(), Code::kTypeError);
+}
+
+TEST_F(ServicesTest, TypedSendMapsCppTypes) {
+  ValueList args = MakeArgs(true, 7, 2.5, "text", PortName{1, 2, 3, 4},
+                            Token{1, 2, 3});
+  ASSERT_EQ(args.size(), 6u);
+  EXPECT_EQ(args[0].tag(), TypeTag::kBool);
+  EXPECT_EQ(args[1].tag(), TypeTag::kInt);
+  EXPECT_EQ(args[2].tag(), TypeTag::kReal);
+  EXPECT_EQ(args[3].tag(), TypeTag::kString);
+  EXPECT_EQ(args[4].tag(), TypeTag::kPortName);
+  EXPECT_EQ(args[5].tag(), TypeTag::kToken);
+}
+
+}  // namespace
+}  // namespace guardians

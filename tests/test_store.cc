@@ -1,0 +1,193 @@
+// Unit tests for stable storage and the write-ahead log (Section 2.2).
+#include <gtest/gtest.h>
+
+#include "src/store/stable_store.h"
+#include "src/store/wal.h"
+#include "src/wire/value_codec.h"
+
+namespace guardians {
+namespace {
+
+TEST(StableStoreTest, StreamsAppendAndRead) {
+  StableStore store;
+  ASSERT_TRUE(store.Append("log", ToBytes("abc")).ok());
+  ASSERT_TRUE(store.Append("log", ToBytes("def")).ok());
+  EXPECT_EQ(ToString(store.Read("log")), "abcdef");
+  EXPECT_EQ(store.StreamSize("log"), 6u);
+  EXPECT_TRUE(store.Read("missing").empty());
+}
+
+TEST(StableStoreTest, TruncateAndDelete) {
+  StableStore store;
+  ASSERT_TRUE(store.Append("s", ToBytes("0123456789")).ok());
+  ASSERT_TRUE(store.Truncate("s", 4).ok());
+  EXPECT_EQ(ToString(store.Read("s")), "0123");
+  EXPECT_FALSE(store.Truncate("missing", 0).ok());
+  store.Delete("s");
+  EXPECT_EQ(store.StreamSize("s"), 0u);
+}
+
+TEST(StableStoreTest, Cells) {
+  StableStore store;
+  store.PutCell("meta", ToBytes("v1"));
+  EXPECT_EQ(ToString(*store.GetCell("meta")), "v1");
+  store.PutCell("meta", ToBytes("v2"));  // replace-on-write
+  EXPECT_EQ(ToString(*store.GetCell("meta")), "v2");
+  EXPECT_EQ(store.GetCell("nope").status().code(), Code::kNotFound);
+  store.DeleteCell("meta");
+  EXPECT_FALSE(store.GetCell("meta").ok());
+}
+
+TEST(StableStoreTest, ChopTailSimulatesTornWrite) {
+  StableStore store;
+  ASSERT_TRUE(store.Append("s", ToBytes("hello")).ok());
+  store.ChopTail("s", 2);
+  EXPECT_EQ(ToString(store.Read("s")), "hel");
+  store.ChopTail("s", 100);
+  EXPECT_TRUE(store.Read("s").empty());
+  store.ChopTail("missing", 5);  // harmless
+}
+
+TEST(StableStoreTest, DeviceFailure) {
+  StableStore store;
+  store.SetFailed(true);
+  EXPECT_EQ(store.Append("s", ToBytes("x")).code(), Code::kStorageError);
+  store.SetFailed(false);
+  EXPECT_TRUE(store.Append("s", ToBytes("x")).ok());
+}
+
+TEST(StableStoreTest, AccountingAndListing) {
+  StableStore store;
+  ASSERT_TRUE(store.Append("a", ToBytes("12")).ok());
+  ASSERT_TRUE(store.Append("b", ToBytes("345")).ok());
+  store.PutCell("c", ToBytes("6"));
+  EXPECT_EQ(store.TotalBytes(), 6u);
+  EXPECT_EQ(store.ListStreams(), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(store.append_count(), 2u);
+}
+
+TEST(WalTest, AppendAndRecover) {
+  StableStore store;
+  Wal wal(&store, "g/test");
+  ASSERT_TRUE(wal.Append(ToBytes("one")).ok());
+  ASSERT_TRUE(wal.Append(ToBytes("two")).ok());
+  auto recovery = wal.Recover();
+  ASSERT_TRUE(recovery.ok());
+  EXPECT_FALSE(recovery->snapshot.has_value());
+  ASSERT_EQ(recovery->records.size(), 2u);
+  EXPECT_EQ(ToString(recovery->records[0]), "one");
+  EXPECT_EQ(ToString(recovery->records[1]), "two");
+  EXPECT_FALSE(recovery->torn_tail);
+}
+
+TEST(WalTest, EmptyLogRecoversEmpty) {
+  StableStore store;
+  Wal wal(&store, "g/empty");
+  auto recovery = wal.Recover();
+  ASSERT_TRUE(recovery.ok());
+  EXPECT_TRUE(recovery->records.empty());
+  EXPECT_FALSE(recovery->torn_tail);
+}
+
+class WalTornTail : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(WalTornTail, ChoppedTailDiscardsOnlyTheLastRecord) {
+  StableStore store;
+  Wal wal(&store, "g/torn");
+  ASSERT_TRUE(wal.Append(ToBytes("record-aaaa")).ok());
+  ASSERT_TRUE(wal.Append(ToBytes("record-bbbb")).ok());
+  ASSERT_TRUE(wal.Append(ToBytes("record-cccc")).ok());
+  // Chop 1..(frame size) bytes: the final record becomes torn; the first
+  // two must always survive.
+  store.ChopTail("g/torn.log", GetParam());
+  auto recovery = wal.Recover();
+  ASSERT_TRUE(recovery.ok()) << recovery.status();
+  ASSERT_GE(recovery->records.size(), 2u);
+  EXPECT_EQ(ToString(recovery->records[0]), "record-aaaa");
+  EXPECT_EQ(ToString(recovery->records[1]), "record-bbbb");
+  if (recovery->records.size() == 2) {
+    EXPECT_TRUE(recovery->torn_tail);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ChopSizes, WalTornTail,
+                         ::testing::Values(1, 2, 5, 8, 11, 18));
+
+TEST(WalTest, MidStreamCorruptionIsDeviceFailure) {
+  StableStore store;
+  Wal wal(&store, "g/bad");
+  ASSERT_TRUE(wal.Append(ToBytes("record-aaaa")).ok());
+  ASSERT_TRUE(wal.Append(ToBytes("record-bbbb")).ok());
+  // Flip a payload byte of the FIRST record: not a torn tail.
+  Bytes raw = store.Read("g/bad.log");
+  raw[10] ^= 0xFF;
+  store.Delete("g/bad.log");
+  ASSERT_TRUE(store.Append("g/bad.log", raw).ok());
+  auto recovery = wal.Recover();
+  EXPECT_EQ(recovery.status().code(), Code::kLogCorrupt);
+}
+
+TEST(WalTest, GarbageOnlyFinalFrameIsTornTail) {
+  StableStore store;
+  Wal wal(&store, "g/tail");
+  ASSERT_TRUE(wal.Append(ToBytes("good")).ok());
+  ASSERT_TRUE(wal.Append(ToBytes("last")).ok());
+  Bytes raw = store.Read("g/tail.log");
+  raw.back() ^= 0xFF;  // corrupt inside the final frame's payload
+  store.Delete("g/tail.log");
+  ASSERT_TRUE(store.Append("g/tail.log", raw).ok());
+  auto recovery = wal.Recover();
+  ASSERT_TRUE(recovery.ok());
+  ASSERT_EQ(recovery->records.size(), 1u);
+  EXPECT_TRUE(recovery->torn_tail);
+}
+
+TEST(WalTest, CheckpointReplacesPrefix) {
+  StableStore store;
+  Wal wal(&store, "g/cp");
+  ASSERT_TRUE(wal.Append(ToBytes("old-1")).ok());
+  ASSERT_TRUE(wal.Append(ToBytes("old-2")).ok());
+  ASSERT_TRUE(wal.Checkpoint(ToBytes("SNAP")).ok());
+  ASSERT_TRUE(wal.Append(ToBytes("new-1")).ok());
+  auto recovery = wal.Recover();
+  ASSERT_TRUE(recovery.ok());
+  ASSERT_TRUE(recovery->snapshot.has_value());
+  EXPECT_EQ(ToString(*recovery->snapshot), "SNAP");
+  ASSERT_EQ(recovery->records.size(), 1u);
+  EXPECT_EQ(ToString(recovery->records[0]), "new-1");
+}
+
+TEST(WalTest, ValueRecords) {
+  StableStore store;
+  Wal wal(&store, "g/vals");
+  ASSERT_TRUE(wal.AppendValue(Value::Record({{"op", Value::Str("reserve")},
+                                             {"n", Value::Int(3)}}))
+                  .ok());
+  auto values = wal.RecoverValues();
+  ASSERT_TRUE(values.ok());
+  ASSERT_EQ(values->size(), 1u);
+  EXPECT_EQ((*values)[0].field("op")->string_value(), "reserve");
+  EXPECT_EQ((*values)[0].field("n")->int_value(), 3);
+}
+
+TEST(WalTest, SizeAndAppendCountTrack) {
+  StableStore store;
+  Wal wal(&store, "g/size");
+  EXPECT_EQ(wal.SizeBytes(), 0u);
+  ASSERT_TRUE(wal.Append(Bytes(100, 1)).ok());
+  EXPECT_EQ(wal.SizeBytes(), 108u);  // 8-byte frame header
+  EXPECT_EQ(wal.appended(), 1u);
+}
+
+TEST(WalTest, TwoWalsShareAStoreIndependently) {
+  StableStore store;
+  Wal a(&store, "g/a");
+  Wal b(&store, "g/b");
+  ASSERT_TRUE(a.Append(ToBytes("A")).ok());
+  ASSERT_TRUE(b.Append(ToBytes("B")).ok());
+  EXPECT_EQ(ToString(a.Recover()->records[0]), "A");
+  EXPECT_EQ(ToString(b.Recover()->records[0]), "B");
+}
+
+}  // namespace
+}  // namespace guardians

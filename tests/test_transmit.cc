@@ -1,0 +1,153 @@
+// Unit tests for the transmittable-type machinery (Section 3.3).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/transmit/assoc_memory.h"
+#include "src/transmit/complex.h"
+#include "src/transmit/document.h"
+#include "src/transmit/registry.h"
+#include "src/wire/value_codec.h"
+
+namespace guardians {
+namespace {
+
+TEST(RegistryTest, RegisterLookupForbid) {
+  TransmitRegistry registry;
+  EXPECT_FALSE(registry.Knows("complex"));
+  ASSERT_TRUE(registry.Register("complex", RectComplexDecoder()).ok());
+  EXPECT_TRUE(registry.Knows("complex"));
+  // Double registration of the same name is an error.
+  EXPECT_EQ(registry.Register("complex", PolarComplexDecoder()).code(),
+            Code::kAlreadyExists);
+  registry.Forbid("complex");
+  EXPECT_FALSE(registry.Knows("complex"));
+  auto out = registry.Decode("complex", Value::Record({}));
+  EXPECT_EQ(out.status().code(), Code::kNotTransmittable);
+}
+
+TEST(RegistryTest, UnknownTypeNotTransmittable) {
+  TransmitRegistry registry;
+  auto out = registry.Decode("matrix", Value::Record({}));
+  EXPECT_EQ(out.status().code(), Code::kNotTransmittable);
+}
+
+TEST(ComplexTest, ExternalRepIsRectCoordinates) {
+  auto polar = MakePolarComplex(2.0, M_PI / 2);
+  auto external = polar->Encode();
+  ASSERT_TRUE(external.ok());
+  EXPECT_NEAR(external->field("re")->real_value(), 0.0, 1e-9);
+  EXPECT_NEAR(external->field("im")->real_value(), 2.0, 1e-9);
+}
+
+TEST(ComplexTest, DecodeIntoEitherRepresentation) {
+  const Value external = Value::Record(
+      {{"re", Value::Real(1.0)}, {"im", Value::Real(-1.0)}});
+  auto rect = RectComplexDecoder()(external);
+  ASSERT_TRUE(rect.ok());
+  auto polar = PolarComplexDecoder()(external);
+  ASSERT_TRUE(polar.ok());
+  EXPECT_TRUE((*rect)->AbstractEquals(**polar));
+  auto p = std::dynamic_pointer_cast<const PolarComplex>(*polar);
+  ASSERT_NE(p, nullptr);
+  EXPECT_NEAR(p->Magnitude(), std::sqrt(2.0), 1e-9);
+}
+
+TEST(ComplexTest, MalformedExternalRepRejected) {
+  EXPECT_FALSE(RectComplexDecoder()(Value::Int(2)).ok());
+  EXPECT_FALSE(
+      RectComplexDecoder()(Value::Record({{"re", Value::Real(1)}})).ok());
+  EXPECT_FALSE(RectComplexDecoder()(Value::Record(
+                                        {{"re", Value::Str("x")},
+                                         {"im", Value::Real(0)}}))
+                   .ok());
+}
+
+TEST(AssocMemoryTest, OperationsOnBothReps) {
+  for (auto memory : {std::shared_ptr<AssocMemoryObject>(MakeHashAssocMemory()),
+                      std::shared_ptr<AssocMemoryObject>(
+                          MakeTreeAssocMemory())}) {
+    memory->AddItem("k1", "v1");
+    memory->AddItem("k2", "v2");
+    memory->AddItem("k1", "v1b");  // replace
+    EXPECT_EQ(memory->Size(), 2u);
+    EXPECT_EQ(*memory->GetItem("k1"), "v1b");
+    EXPECT_EQ(memory->GetItem("zzz").status().code(), Code::kNotFound);
+  }
+}
+
+TEST(AssocMemoryTest, EncodeIsCanonicalAcrossReps) {
+  auto hash = MakeHashAssocMemory();
+  auto tree = MakeTreeAssocMemory();
+  for (const auto& [k, v] : std::vector<std::pair<std::string, std::string>>{
+           {"zebra", "1"}, {"apple", "2"}, {"mango", "3"}}) {
+    hash->AddItem(k, v);
+    tree->AddItem(k, v);
+  }
+  auto from_hash = hash->Encode();
+  auto from_tree = tree->Encode();
+  ASSERT_TRUE(from_hash.ok());
+  ASSERT_TRUE(from_tree.ok());
+  // The single external rep is part of the type's fixed meaning: the two
+  // representations must encode identically.
+  EXPECT_TRUE(from_hash->Equals(*from_tree));
+  // Sorted by key.
+  EXPECT_EQ(from_hash->at(0).field("key")->string_value(), "apple");
+}
+
+TEST(AssocMemoryTest, HashToTreeRoundTripPreservesValue) {
+  auto hash = MakeHashAssocMemory();
+  for (int i = 0; i < 30; ++i) {
+    hash->AddItem("key-" + std::to_string(i), "item-" + std::to_string(i));
+  }
+  auto external = hash->Encode();
+  ASSERT_TRUE(external.ok());
+  auto tree = TreeAssocMemoryDecoder()(*external);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_TRUE(hash->AbstractEquals(**tree));
+  EXPECT_NE(dynamic_cast<const TreeAssocMemory*>(tree->get()), nullptr);
+}
+
+TEST(AssocMemoryTest, DecoderRejectsGarbage) {
+  EXPECT_FALSE(TreeAssocMemoryDecoder()(Value::Int(1)).ok());
+  EXPECT_FALSE(
+      TreeAssocMemoryDecoder()(Value::Array({Value::Int(1)})).ok());
+}
+
+TEST(DocumentTest, GuardianDependentInfoNotTransmitted) {
+  auto doc = MakeDocument("t", {"one two", "three"});
+  doc->SetLocalCacheIndex(42);
+  auto external = doc->Encode();
+  ASSERT_TRUE(external.ok());
+  EXPECT_FALSE(external->HasField("local_cache_index"));
+  auto back = DocumentDecoder()(*external);
+  ASSERT_TRUE(back.ok());
+  auto restored = std::dynamic_pointer_cast<const Document>(*back);
+  ASSERT_NE(restored, nullptr);
+  EXPECT_EQ(restored->local_cache_index(), -1);  // reset, not transmitted
+  EXPECT_TRUE(doc->AbstractEquals(*restored));   // but same abstract value
+}
+
+TEST(DocumentTest, WordCount) {
+  EXPECT_EQ(MakeDocument("t", {"one two", " three  four "})->WordCount(), 4u);
+  EXPECT_EQ(MakeDocument("t", {})->WordCount(), 0u);
+}
+
+TEST(SealedNoteTest, RefusesTransmission) {
+  auto note = MakeSealedNote("secret");
+  auto external = note->Encode();
+  EXPECT_EQ(external.status().code(), Code::kNotTransmittable);
+  // And therefore wire encoding of a value containing one fails.
+  auto bytes = EncodeValueToBytes(Value::Abstract(note));
+  EXPECT_EQ(bytes.status().code(), Code::kEncodeError);
+}
+
+TEST(AbstractEqualityTest, DifferentTypesNeverEqual) {
+  auto complex = MakeRectComplex(1, 2);
+  auto doc = MakeDocument("t", {});
+  EXPECT_FALSE(complex->AbstractEquals(*doc));
+  EXPECT_FALSE(doc->AbstractEquals(*complex));
+}
+
+}  // namespace
+}  // namespace guardians

@@ -1,0 +1,164 @@
+// Unit tests for the Value universe (src/value).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/transmit/complex.h"
+#include "src/value/value.h"
+
+namespace guardians {
+namespace {
+
+TEST(ValueTest, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is(TypeTag::kNull));
+  EXPECT_TRUE(v.Equals(Value::Null()));
+}
+
+TEST(ValueTest, BoolRoundTrip) {
+  EXPECT_TRUE(Value::Bool(true).bool_value());
+  EXPECT_FALSE(Value::Bool(false).bool_value());
+  EXPECT_TRUE(Value::Bool(true).AsBool().ok());
+  EXPECT_FALSE(Value::Bool(true).AsInt().ok());
+}
+
+TEST(ValueTest, IntAccessors) {
+  const Value v = Value::Int(-42);
+  EXPECT_EQ(v.int_value(), -42);
+  ASSERT_TRUE(v.AsInt().ok());
+  EXPECT_EQ(*v.AsInt(), -42);
+  EXPECT_EQ(v.AsString().status().code(), Code::kTypeError);
+}
+
+TEST(ValueTest, RealAccessors) {
+  const Value v = Value::Real(3.25);
+  EXPECT_DOUBLE_EQ(v.real_value(), 3.25);
+  EXPECT_FALSE(v.AsInt().ok());
+}
+
+TEST(ValueTest, StringAndBytes) {
+  EXPECT_EQ(Value::Str("abc").string_value(), "abc");
+  const Bytes raw = {1, 2, 3};
+  EXPECT_EQ(Value::Blob(raw).bytes_value(), raw);
+  EXPECT_FALSE(Value::Str("x").Equals(Value::Blob(ToBytes("x"))));
+}
+
+TEST(ValueTest, ArrayAccess) {
+  const Value v = Value::Array({Value::Int(1), Value::Str("two")});
+  EXPECT_EQ(v.size(), 2u);
+  EXPECT_EQ(v.at(0).int_value(), 1);
+  EXPECT_EQ(v.at(1).string_value(), "two");
+}
+
+TEST(ValueTest, RecordFieldLookup) {
+  const Value v = Value::Record(
+      {{"flight", Value::Int(12)}, {"date", Value::Str("1979-09-01")}});
+  ASSERT_TRUE(v.field("flight").ok());
+  EXPECT_EQ(v.field("flight")->int_value(), 12);
+  EXPECT_TRUE(v.HasField("date"));
+  EXPECT_FALSE(v.HasField("nope"));
+  EXPECT_EQ(v.field("nope").status().code(), Code::kNotFound);
+  EXPECT_EQ(Value::Int(1).field("x").status().code(), Code::kTypeError);
+}
+
+TEST(ValueTest, DeepEquality) {
+  auto make = [] {
+    return Value::Record(
+        {{"a", Value::Array({Value::Int(1), Value::Real(2.0)})},
+         {"b", Value::Str("x")}});
+  };
+  EXPECT_TRUE(make().Equals(make()));
+  Value different = Value::Record(
+      {{"a", Value::Array({Value::Int(1), Value::Real(2.5)})},
+       {"b", Value::Str("x")}});
+  EXPECT_FALSE(make().Equals(different));
+}
+
+TEST(ValueTest, RecordEqualityIsOrderSensitive) {
+  const Value ab = Value::Record({{"a", Value::Int(1)}, {"b", Value::Int(2)}});
+  const Value ba = Value::Record({{"b", Value::Int(2)}, {"a", Value::Int(1)}});
+  EXPECT_FALSE(ab.Equals(ba));  // field order is part of the record's value
+}
+
+TEST(ValueTest, PortNameValue) {
+  PortName pn;
+  pn.node = 3;
+  pn.guardian = 7;
+  pn.port_index = 1;
+  pn.type_hash = 99;
+  const Value v = Value::OfPort(pn);
+  EXPECT_TRUE(v.is(TypeTag::kPortName));
+  EXPECT_EQ(v.port_value(), pn);
+  // type_hash is not part of identity.
+  PortName same = pn;
+  same.type_hash = 1;
+  EXPECT_TRUE(v.Equals(Value::OfPort(same)));
+}
+
+TEST(ValueTest, TokenValue) {
+  Token t{5, 123, 456};
+  const Value v = Value::OfToken(t);
+  EXPECT_TRUE(v.is(TypeTag::kToken));
+  EXPECT_EQ(v.token_value(), t);
+  Token other{5, 123, 457};
+  EXPECT_FALSE(v.Equals(Value::OfToken(other)));
+}
+
+TEST(ValueTest, AbstractEqualityCrossesRepresentations) {
+  const Value rect = Value::Abstract(MakeRectComplex(1.0, 1.0));
+  const Value polar = Value::Abstract(MakePolarComplex(
+      std::sqrt(2.0), std::atan2(1.0, 1.0)));
+  EXPECT_TRUE(rect.Equals(polar));  // same abstract value, different reps
+  EXPECT_FALSE(rect.Equals(Value::Abstract(MakeRectComplex(1.0, 2.0))));
+}
+
+TEST(ValueTest, ToStringRendersNestedStructure) {
+  const Value v = Value::Record(
+      {{"n", Value::Int(2)}, {"xs", Value::Array({Value::Bool(true)})}});
+  EXPECT_EQ(v.ToString(), "{n: 2, xs: [true]}");
+}
+
+TEST(ValueTest, ApproxSizeGrowsWithContent) {
+  EXPECT_LT(Value::Str("a").ApproxSize(), Value::Str("aaaa....").ApproxSize());
+  const Value small = Value::Array({Value::Int(1)});
+  const Value big = Value::Array({Value::Int(1), Value::Int(2),
+                                  Value::Str("padding")});
+  EXPECT_LT(small.ApproxSize(), big.ApproxSize());
+}
+
+TEST(ValueTest, CrossTagEqualityIsFalse) {
+  EXPECT_FALSE(Value::Int(0).Equals(Value::Real(0.0)));
+  EXPECT_FALSE(Value::Null().Equals(Value::Bool(false)));
+  EXPECT_FALSE(Value::Array({}).Equals(Value::Record({})));
+}
+
+TEST(TypeTagTest, NamesAreStable) {
+  EXPECT_EQ(TypeTagName(TypeTag::kInt), "int");
+  EXPECT_EQ(TypeTagName(TypeTag::kPortName), "port");
+  EXPECT_EQ(TypeTagName(TypeTag::kAbstract), "abstract");
+}
+
+TEST(PortNameTest, NullAndToString) {
+  PortName null_port;
+  EXPECT_TRUE(null_port.IsNull());
+  PortName p;
+  p.node = 2;
+  p.guardian = 5;
+  p.port_index = 1;
+  EXPECT_FALSE(p.IsNull());
+  EXPECT_EQ(p.ToString(), "port(n2/g5.1)");
+}
+
+TEST(PortNameTest, HashDistinguishesComponents) {
+  PortNameHash hash;
+  PortName a;
+  a.node = 1;
+  a.guardian = 2;
+  a.port_index = 3;
+  PortName b = a;
+  b.port_index = 4;
+  EXPECT_NE(hash(a), hash(b));
+}
+
+}  // namespace
+}  // namespace guardians

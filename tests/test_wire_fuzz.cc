@@ -1,0 +1,127 @@
+// Fuzz-style property tests of the envelope decoder (which faces the
+// network and must survive anything) and of abstract values nested inside
+// containers.
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/transmit/assoc_memory.h"
+#include "src/transmit/complex.h"
+#include "src/transmit/registry.h"
+#include "src/wire/envelope.h"
+
+namespace guardians {
+namespace {
+
+Envelope SampleEnvelope() {
+  Envelope env;
+  env.msg_id = 77;
+  env.src_node = 1;
+  env.target = PortName{2, 3, 0, 0xABCD};
+  env.reply_to = PortName{1, 9, 2, 0x1111};
+  env.command = "reserve";
+  env.args = {Value::Str("smith"), Value::Int(12),
+              Value::Array({Value::Bool(true), Value::Real(2.5)}),
+              Value::Record({{"d", Value::Str("1979-09-01")}})};
+  return env;
+}
+
+class EnvelopeFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EnvelopeFuzz, SingleByteMutationsNeverCrashOrHang) {
+  auto bytes = EncodeEnvelope(SampleEnvelope(), DefaultLimits());
+  ASSERT_TRUE(bytes.ok());
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 300; ++trial) {
+    Bytes mutated = *bytes;
+    const size_t at = rng.NextBelow(mutated.size());
+    mutated[at] ^= static_cast<uint8_t>(1 + rng.NextBelow(255));
+    auto out = DecodeEnvelope(mutated, DefaultLimits(), nullptr);
+    // Either a clean error or a structurally valid envelope; never UB.
+    if (out.ok()) {
+      EXPECT_LE(out->args.size(), 1000u);
+    }
+  }
+}
+
+TEST_P(EnvelopeFuzz, TruncationsNeverCrashOrHang) {
+  auto bytes = EncodeEnvelope(SampleEnvelope(), DefaultLimits());
+  ASSERT_TRUE(bytes.ok());
+  for (size_t keep = 0; keep < bytes->size(); ++keep) {
+    Bytes cut(bytes->begin(), bytes->begin() + static_cast<long>(keep));
+    auto out = DecodeEnvelope(cut, DefaultLimits(), nullptr);
+    EXPECT_FALSE(out.ok());  // a strict prefix can never be a full envelope
+  }
+}
+
+TEST_P(EnvelopeFuzz, RandomGarbageIsRejected) {
+  Rng rng(GetParam() ^ 0x9999);
+  for (int trial = 0; trial < 200; ++trial) {
+    Bytes garbage(rng.NextBelow(200));
+    for (auto& byte : garbage) {
+      byte = static_cast<uint8_t>(rng.NextBelow(256));
+    }
+    auto out = DecodeEnvelope(garbage, DefaultLimits(), nullptr);
+    // The magic byte rejects almost everything instantly; anything that
+    // sneaks past must still fail structurally. (Probability of a random
+    // 200-byte buffer being a valid envelope is negligible.)
+    EXPECT_FALSE(out.ok());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EnvelopeFuzz, ::testing::Values(2, 71, 901));
+
+TEST(NestedAbstractTest, AbstractValuesInsideContainersRoundTrip) {
+  TransmitRegistry registry;
+  ASSERT_TRUE(registry.Register(kComplexTypeName, PolarComplexDecoder()).ok());
+  ASSERT_TRUE(
+      registry.Register(kAssocMemoryTypeName, TreeAssocMemoryDecoder()).ok());
+
+  auto memory = MakeHashAssocMemory();
+  memory->AddItem("k", "v");
+  const Value nested = Value::Record(
+      {{"zs", Value::Array({Value::Abstract(MakeRectComplex(1, 2)),
+                            Value::Abstract(MakeRectComplex(3, 4))})},
+       {"index", Value::Abstract(memory)}});
+
+  Envelope env;
+  env.msg_id = 1;
+  env.src_node = 1;
+  env.target = PortName{2, 2, 0, 1};
+  env.command = "carry";
+  env.args = {nested};
+  auto bytes = EncodeEnvelope(env, DefaultLimits());
+  ASSERT_TRUE(bytes.ok()) << bytes.status();
+  auto back = DecodeEnvelope(*bytes, DefaultLimits(), registry.AsDecodeFn());
+  ASSERT_TRUE(back.ok()) << back.status();
+  ASSERT_EQ(back->args.size(), 1u);
+  EXPECT_TRUE(nested.Equals(back->args[0]));
+  // The nested complex numbers arrived in the receiving node's (polar)
+  // representation.
+  auto zs = back->args[0].field("zs");
+  ASSERT_TRUE(zs.ok());
+  EXPECT_NE(std::dynamic_pointer_cast<const PolarComplex>(
+                zs->at(0).abstract_value()),
+            nullptr);
+}
+
+TEST(NestedAbstractTest, OneUndecodableElementPoisonsTheWholeMessage) {
+  TransmitRegistry registry;  // knows complex but NOT assoc_memory
+  ASSERT_TRUE(registry.Register(kComplexTypeName, RectComplexDecoder()).ok());
+  auto memory = MakeHashAssocMemory();
+  memory->AddItem("k", "v");
+  Envelope env;
+  env.msg_id = 2;
+  env.src_node = 1;
+  env.target = PortName{2, 2, 0, 1};
+  env.command = "carry";
+  env.args = {Value::Array({Value::Abstract(MakeRectComplex(1, 2)),
+                            Value::Abstract(memory)})};
+  auto bytes = EncodeEnvelope(env, DefaultLimits());
+  ASSERT_TRUE(bytes.ok());
+  auto back = DecodeEnvelope(*bytes, DefaultLimits(), registry.AsDecodeFn());
+  // "Entirely and correctly received" is all-or-nothing.
+  EXPECT_EQ(back.status().code(), Code::kDecodeError);
+}
+
+}  // namespace
+}  // namespace guardians
