@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_encode_decode.dir/bench_encode_decode.cc.o"
+  "CMakeFiles/bench_encode_decode.dir/bench_encode_decode.cc.o.d"
+  "bench_encode_decode"
+  "bench_encode_decode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_encode_decode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_flight_orgs.dir/bench_fig1_flight_orgs.cc.o"
+  "CMakeFiles/bench_fig1_flight_orgs.dir/bench_fig1_flight_orgs.cc.o.d"
+  "bench_fig1_flight_orgs"
+  "bench_fig1_flight_orgs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_flight_orgs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

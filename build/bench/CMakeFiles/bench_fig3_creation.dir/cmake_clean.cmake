@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_creation.dir/bench_fig3_creation.cc.o"
+  "CMakeFiles/bench_fig3_creation.dir/bench_fig3_creation.cc.o.d"
+  "bench_fig3_creation"
+  "bench_fig3_creation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_creation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

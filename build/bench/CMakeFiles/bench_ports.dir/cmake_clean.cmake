@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ports.dir/bench_ports.cc.o"
+  "CMakeFiles/bench_ports.dir/bench_ports.cc.o.d"
+  "bench_ports"
+  "bench_ports.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ports.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_send_primitives.dir/bench_send_primitives.cc.o"
+  "CMakeFiles/bench_send_primitives.dir/bench_send_primitives.cc.o.d"
+  "bench_send_primitives"
+  "bench_send_primitives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_send_primitives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

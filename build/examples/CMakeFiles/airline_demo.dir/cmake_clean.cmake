@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/airline_demo.dir/airline_demo.cpp.o"
+  "CMakeFiles/airline_demo.dir/airline_demo.cpp.o.d"
+  "airline_demo"
+  "airline_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/airline_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bank_demo.dir/bank_demo.cpp.o"
+  "CMakeFiles/bank_demo.dir/bank_demo.cpp.o.d"
+  "bank_demo"
+  "bank_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bank_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/office_mail.dir/office_mail.cpp.o"
+  "CMakeFiles/office_mail.dir/office_mail.cpp.o.d"
+  "office_mail"
+  "office_mail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/office_mail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("value")
+subdirs("wire")
+subdirs("net")
+subdirs("runtime")
+subdirs("store")
+subdirs("transmit")
+subdirs("guardian")
+subdirs("sendprims")
+subdirs("services")
+subdirs("airline")
+subdirs("bank")

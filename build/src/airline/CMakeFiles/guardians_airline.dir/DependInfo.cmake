@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/airline/airline_system.cc" "src/airline/CMakeFiles/guardians_airline.dir/airline_system.cc.o" "gcc" "src/airline/CMakeFiles/guardians_airline.dir/airline_system.cc.o.d"
+  "/root/repo/src/airline/flight_db.cc" "src/airline/CMakeFiles/guardians_airline.dir/flight_db.cc.o" "gcc" "src/airline/CMakeFiles/guardians_airline.dir/flight_db.cc.o.d"
+  "/root/repo/src/airline/flight_guardian.cc" "src/airline/CMakeFiles/guardians_airline.dir/flight_guardian.cc.o" "gcc" "src/airline/CMakeFiles/guardians_airline.dir/flight_guardian.cc.o.d"
+  "/root/repo/src/airline/regional_manager.cc" "src/airline/CMakeFiles/guardians_airline.dir/regional_manager.cc.o" "gcc" "src/airline/CMakeFiles/guardians_airline.dir/regional_manager.cc.o.d"
+  "/root/repo/src/airline/types.cc" "src/airline/CMakeFiles/guardians_airline.dir/types.cc.o" "gcc" "src/airline/CMakeFiles/guardians_airline.dir/types.cc.o.d"
+  "/root/repo/src/airline/user_guardian.cc" "src/airline/CMakeFiles/guardians_airline.dir/user_guardian.cc.o" "gcc" "src/airline/CMakeFiles/guardians_airline.dir/user_guardian.cc.o.d"
+  "/root/repo/src/airline/workload.cc" "src/airline/CMakeFiles/guardians_airline.dir/workload.cc.o" "gcc" "src/airline/CMakeFiles/guardians_airline.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/guardian/CMakeFiles/guardians_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sendprims/CMakeFiles/guardians_sendprims.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/guardians_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/guardians_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/guardians_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/transmit/CMakeFiles/guardians_transmit.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/guardians_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/value/CMakeFiles/guardians_value.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/guardians_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

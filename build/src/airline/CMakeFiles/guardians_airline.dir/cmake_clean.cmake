@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/guardians_airline.dir/airline_system.cc.o"
+  "CMakeFiles/guardians_airline.dir/airline_system.cc.o.d"
+  "CMakeFiles/guardians_airline.dir/flight_db.cc.o"
+  "CMakeFiles/guardians_airline.dir/flight_db.cc.o.d"
+  "CMakeFiles/guardians_airline.dir/flight_guardian.cc.o"
+  "CMakeFiles/guardians_airline.dir/flight_guardian.cc.o.d"
+  "CMakeFiles/guardians_airline.dir/regional_manager.cc.o"
+  "CMakeFiles/guardians_airline.dir/regional_manager.cc.o.d"
+  "CMakeFiles/guardians_airline.dir/types.cc.o"
+  "CMakeFiles/guardians_airline.dir/types.cc.o.d"
+  "CMakeFiles/guardians_airline.dir/user_guardian.cc.o"
+  "CMakeFiles/guardians_airline.dir/user_guardian.cc.o.d"
+  "CMakeFiles/guardians_airline.dir/workload.cc.o"
+  "CMakeFiles/guardians_airline.dir/workload.cc.o.d"
+  "libguardians_airline.a"
+  "libguardians_airline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/guardians_airline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

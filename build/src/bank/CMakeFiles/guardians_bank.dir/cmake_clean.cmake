@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/guardians_bank.dir/account_guardian.cc.o"
+  "CMakeFiles/guardians_bank.dir/account_guardian.cc.o.d"
+  "CMakeFiles/guardians_bank.dir/branch_guardian.cc.o"
+  "CMakeFiles/guardians_bank.dir/branch_guardian.cc.o.d"
+  "libguardians_bank.a"
+  "libguardians_bank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/guardians_bank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/guardians_common.dir/bytes.cc.o"
+  "CMakeFiles/guardians_common.dir/bytes.cc.o.d"
+  "CMakeFiles/guardians_common.dir/log.cc.o"
+  "CMakeFiles/guardians_common.dir/log.cc.o.d"
+  "CMakeFiles/guardians_common.dir/rng.cc.o"
+  "CMakeFiles/guardians_common.dir/rng.cc.o.d"
+  "CMakeFiles/guardians_common.dir/status.cc.o"
+  "CMakeFiles/guardians_common.dir/status.cc.o.d"
+  "libguardians_common.a"
+  "libguardians_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/guardians_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/guardian/acl.cc" "src/guardian/CMakeFiles/guardians_core.dir/acl.cc.o" "gcc" "src/guardian/CMakeFiles/guardians_core.dir/acl.cc.o.d"
+  "/root/repo/src/guardian/guardian.cc" "src/guardian/CMakeFiles/guardians_core.dir/guardian.cc.o" "gcc" "src/guardian/CMakeFiles/guardians_core.dir/guardian.cc.o.d"
+  "/root/repo/src/guardian/node_runtime.cc" "src/guardian/CMakeFiles/guardians_core.dir/node_runtime.cc.o" "gcc" "src/guardian/CMakeFiles/guardians_core.dir/node_runtime.cc.o.d"
+  "/root/repo/src/guardian/port.cc" "src/guardian/CMakeFiles/guardians_core.dir/port.cc.o" "gcc" "src/guardian/CMakeFiles/guardians_core.dir/port.cc.o.d"
+  "/root/repo/src/guardian/port_registry.cc" "src/guardian/CMakeFiles/guardians_core.dir/port_registry.cc.o" "gcc" "src/guardian/CMakeFiles/guardians_core.dir/port_registry.cc.o.d"
+  "/root/repo/src/guardian/system.cc" "src/guardian/CMakeFiles/guardians_core.dir/system.cc.o" "gcc" "src/guardian/CMakeFiles/guardians_core.dir/system.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/value/CMakeFiles/guardians_value.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/guardians_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/guardians_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/guardians_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/guardians_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/transmit/CMakeFiles/guardians_transmit.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/guardians_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

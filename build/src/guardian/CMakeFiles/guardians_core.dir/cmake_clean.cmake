@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/guardians_core.dir/acl.cc.o"
+  "CMakeFiles/guardians_core.dir/acl.cc.o.d"
+  "CMakeFiles/guardians_core.dir/guardian.cc.o"
+  "CMakeFiles/guardians_core.dir/guardian.cc.o.d"
+  "CMakeFiles/guardians_core.dir/node_runtime.cc.o"
+  "CMakeFiles/guardians_core.dir/node_runtime.cc.o.d"
+  "CMakeFiles/guardians_core.dir/port.cc.o"
+  "CMakeFiles/guardians_core.dir/port.cc.o.d"
+  "CMakeFiles/guardians_core.dir/port_registry.cc.o"
+  "CMakeFiles/guardians_core.dir/port_registry.cc.o.d"
+  "CMakeFiles/guardians_core.dir/system.cc.o"
+  "CMakeFiles/guardians_core.dir/system.cc.o.d"
+  "libguardians_core.a"
+  "libguardians_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/guardians_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/guardians_net.dir/network.cc.o"
+  "CMakeFiles/guardians_net.dir/network.cc.o.d"
+  "CMakeFiles/guardians_net.dir/topology.cc.o"
+  "CMakeFiles/guardians_net.dir/topology.cc.o.d"
+  "libguardians_net.a"
+  "libguardians_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/guardians_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

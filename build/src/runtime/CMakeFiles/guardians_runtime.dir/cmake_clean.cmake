@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/guardians_runtime.dir/process.cc.o"
+  "CMakeFiles/guardians_runtime.dir/process.cc.o.d"
+  "CMakeFiles/guardians_runtime.dir/serializer.cc.o"
+  "CMakeFiles/guardians_runtime.dir/serializer.cc.o.d"
+  "libguardians_runtime.a"
+  "libguardians_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/guardians_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libguardians_runtime.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/guardians_sendprims.dir/failover.cc.o"
+  "CMakeFiles/guardians_sendprims.dir/failover.cc.o.d"
+  "CMakeFiles/guardians_sendprims.dir/reliable_send.cc.o"
+  "CMakeFiles/guardians_sendprims.dir/reliable_send.cc.o.d"
+  "CMakeFiles/guardians_sendprims.dir/remote_call.cc.o"
+  "CMakeFiles/guardians_sendprims.dir/remote_call.cc.o.d"
+  "CMakeFiles/guardians_sendprims.dir/sync_send.cc.o"
+  "CMakeFiles/guardians_sendprims.dir/sync_send.cc.o.d"
+  "libguardians_sendprims.a"
+  "libguardians_sendprims.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/guardians_sendprims.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/guardians_services.dir/cabinet.cc.o"
+  "CMakeFiles/guardians_services.dir/cabinet.cc.o.d"
+  "CMakeFiles/guardians_services.dir/catalog.cc.o"
+  "CMakeFiles/guardians_services.dir/catalog.cc.o.d"
+  "CMakeFiles/guardians_services.dir/spooler.cc.o"
+  "CMakeFiles/guardians_services.dir/spooler.cc.o.d"
+  "libguardians_services.a"
+  "libguardians_services.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/guardians_services.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

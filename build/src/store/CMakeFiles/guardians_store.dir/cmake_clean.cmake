@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/guardians_store.dir/stable_store.cc.o"
+  "CMakeFiles/guardians_store.dir/stable_store.cc.o.d"
+  "CMakeFiles/guardians_store.dir/wal.cc.o"
+  "CMakeFiles/guardians_store.dir/wal.cc.o.d"
+  "libguardians_store.a"
+  "libguardians_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/guardians_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transmit/assoc_memory.cc" "src/transmit/CMakeFiles/guardians_transmit.dir/assoc_memory.cc.o" "gcc" "src/transmit/CMakeFiles/guardians_transmit.dir/assoc_memory.cc.o.d"
+  "/root/repo/src/transmit/complex.cc" "src/transmit/CMakeFiles/guardians_transmit.dir/complex.cc.o" "gcc" "src/transmit/CMakeFiles/guardians_transmit.dir/complex.cc.o.d"
+  "/root/repo/src/transmit/document.cc" "src/transmit/CMakeFiles/guardians_transmit.dir/document.cc.o" "gcc" "src/transmit/CMakeFiles/guardians_transmit.dir/document.cc.o.d"
+  "/root/repo/src/transmit/registry.cc" "src/transmit/CMakeFiles/guardians_transmit.dir/registry.cc.o" "gcc" "src/transmit/CMakeFiles/guardians_transmit.dir/registry.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/wire/CMakeFiles/guardians_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/value/CMakeFiles/guardians_value.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/guardians_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/guardians_transmit.dir/assoc_memory.cc.o"
+  "CMakeFiles/guardians_transmit.dir/assoc_memory.cc.o.d"
+  "CMakeFiles/guardians_transmit.dir/complex.cc.o"
+  "CMakeFiles/guardians_transmit.dir/complex.cc.o.d"
+  "CMakeFiles/guardians_transmit.dir/document.cc.o"
+  "CMakeFiles/guardians_transmit.dir/document.cc.o.d"
+  "CMakeFiles/guardians_transmit.dir/registry.cc.o"
+  "CMakeFiles/guardians_transmit.dir/registry.cc.o.d"
+  "libguardians_transmit.a"
+  "libguardians_transmit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/guardians_transmit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/guardians_value.dir/port_type.cc.o"
+  "CMakeFiles/guardians_value.dir/port_type.cc.o.d"
+  "CMakeFiles/guardians_value.dir/value.cc.o"
+  "CMakeFiles/guardians_value.dir/value.cc.o.d"
+  "libguardians_value.a"
+  "libguardians_value.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/guardians_value.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wire/codec.cc" "src/wire/CMakeFiles/guardians_wire.dir/codec.cc.o" "gcc" "src/wire/CMakeFiles/guardians_wire.dir/codec.cc.o.d"
+  "/root/repo/src/wire/crc32.cc" "src/wire/CMakeFiles/guardians_wire.dir/crc32.cc.o" "gcc" "src/wire/CMakeFiles/guardians_wire.dir/crc32.cc.o.d"
+  "/root/repo/src/wire/envelope.cc" "src/wire/CMakeFiles/guardians_wire.dir/envelope.cc.o" "gcc" "src/wire/CMakeFiles/guardians_wire.dir/envelope.cc.o.d"
+  "/root/repo/src/wire/limits.cc" "src/wire/CMakeFiles/guardians_wire.dir/limits.cc.o" "gcc" "src/wire/CMakeFiles/guardians_wire.dir/limits.cc.o.d"
+  "/root/repo/src/wire/packet.cc" "src/wire/CMakeFiles/guardians_wire.dir/packet.cc.o" "gcc" "src/wire/CMakeFiles/guardians_wire.dir/packet.cc.o.d"
+  "/root/repo/src/wire/value_codec.cc" "src/wire/CMakeFiles/guardians_wire.dir/value_codec.cc.o" "gcc" "src/wire/CMakeFiles/guardians_wire.dir/value_codec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/value/CMakeFiles/guardians_value.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/guardians_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

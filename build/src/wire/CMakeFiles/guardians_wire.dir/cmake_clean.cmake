@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/guardians_wire.dir/codec.cc.o"
+  "CMakeFiles/guardians_wire.dir/codec.cc.o.d"
+  "CMakeFiles/guardians_wire.dir/crc32.cc.o"
+  "CMakeFiles/guardians_wire.dir/crc32.cc.o.d"
+  "CMakeFiles/guardians_wire.dir/envelope.cc.o"
+  "CMakeFiles/guardians_wire.dir/envelope.cc.o.d"
+  "CMakeFiles/guardians_wire.dir/limits.cc.o"
+  "CMakeFiles/guardians_wire.dir/limits.cc.o.d"
+  "CMakeFiles/guardians_wire.dir/packet.cc.o"
+  "CMakeFiles/guardians_wire.dir/packet.cc.o.d"
+  "CMakeFiles/guardians_wire.dir/value_codec.cc.o"
+  "CMakeFiles/guardians_wire.dir/value_codec.cc.o.d"
+  "libguardians_wire.a"
+  "libguardians_wire.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/guardians_wire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_airline_admin.dir/test_airline_admin.cc.o"
+  "CMakeFiles/test_airline_admin.dir/test_airline_admin.cc.o.d"
+  "test_airline_admin"
+  "test_airline_admin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_airline_admin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

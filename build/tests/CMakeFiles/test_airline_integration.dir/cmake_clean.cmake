@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_airline_integration.dir/test_airline_integration.cc.o"
+  "CMakeFiles/test_airline_integration.dir/test_airline_integration.cc.o.d"
+  "test_airline_integration"
+  "test_airline_integration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_airline_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

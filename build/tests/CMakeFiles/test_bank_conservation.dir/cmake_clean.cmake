@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bank_conservation.dir/test_bank_conservation.cc.o"
+  "CMakeFiles/test_bank_conservation.dir/test_bank_conservation.cc.o.d"
+  "test_bank_conservation"
+  "test_bank_conservation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bank_conservation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

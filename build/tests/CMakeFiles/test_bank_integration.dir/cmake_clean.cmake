@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bank_integration.dir/test_bank_integration.cc.o"
+  "CMakeFiles/test_bank_integration.dir/test_bank_integration.cc.o.d"
+  "test_bank_integration"
+  "test_bank_integration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bank_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_concurrency_props.dir/test_concurrency_props.cc.o"
+  "CMakeFiles/test_concurrency_props.dir/test_concurrency_props.cc.o.d"
+  "test_concurrency_props"
+  "test_concurrency_props.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_concurrency_props.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_smoke.dir/test_core_smoke.cc.o"
+  "CMakeFiles/test_core_smoke.dir/test_core_smoke.cc.o.d"
+  "test_core_smoke"
+  "test_core_smoke.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_smoke.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

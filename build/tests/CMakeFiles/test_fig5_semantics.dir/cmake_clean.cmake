@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fig5_semantics.dir/test_fig5_semantics.cc.o"
+  "CMakeFiles/test_fig5_semantics.dir/test_fig5_semantics.cc.o.d"
+  "test_fig5_semantics"
+  "test_fig5_semantics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fig5_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

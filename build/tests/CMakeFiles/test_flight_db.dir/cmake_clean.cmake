@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_flight_db.dir/test_flight_db.cc.o"
+  "CMakeFiles/test_flight_db.dir/test_flight_db.cc.o.d"
+  "test_flight_db"
+  "test_flight_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_flight_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_guardian_comm.dir/test_guardian_comm.cc.o"
+  "CMakeFiles/test_guardian_comm.dir/test_guardian_comm.cc.o.d"
+  "test_guardian_comm"
+  "test_guardian_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_guardian_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_node_runtime.dir/test_node_runtime.cc.o"
+  "CMakeFiles/test_node_runtime.dir/test_node_runtime.cc.o.d"
+  "test_node_runtime"
+  "test_node_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_node_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

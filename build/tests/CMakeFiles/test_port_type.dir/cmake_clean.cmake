@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_port_type.dir/test_port_type.cc.o"
+  "CMakeFiles/test_port_type.dir/test_port_type.cc.o.d"
+  "test_port_type"
+  "test_port_type.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_port_type.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reliable_and_topology.dir/test_reliable_and_topology.cc.o"
+  "CMakeFiles/test_reliable_and_topology.dir/test_reliable_and_topology.cc.o.d"
+  "test_reliable_and_topology"
+  "test_reliable_and_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reliable_and_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_transmit.cc" "tests/CMakeFiles/test_transmit.dir/test_transmit.cc.o" "gcc" "tests/CMakeFiles/test_transmit.dir/test_transmit.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/guardian/CMakeFiles/guardians_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sendprims/CMakeFiles/guardians_sendprims.dir/DependInfo.cmake"
+  "/root/repo/build/src/airline/CMakeFiles/guardians_airline.dir/DependInfo.cmake"
+  "/root/repo/build/src/services/CMakeFiles/guardians_services.dir/DependInfo.cmake"
+  "/root/repo/build/src/bank/CMakeFiles/guardians_bank.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/guardians_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/guardians_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/guardians_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/transmit/CMakeFiles/guardians_transmit.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/guardians_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/value/CMakeFiles/guardians_value.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/guardians_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

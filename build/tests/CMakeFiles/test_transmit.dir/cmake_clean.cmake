@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_transmit.dir/test_transmit.cc.o"
+  "CMakeFiles/test_transmit.dir/test_transmit.cc.o.d"
+  "test_transmit"
+  "test_transmit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_transmit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wire_fuzz.dir/test_wire_fuzz.cc.o"
+  "CMakeFiles/test_wire_fuzz.dir/test_wire_fuzz.cc.o.d"
+  "test_wire_fuzz"
+  "test_wire_fuzz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wire_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
