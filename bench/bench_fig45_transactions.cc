@@ -9,6 +9,7 @@
 //     and the invariant check confirms the data base stayed consistent.
 //  - Transactions complete (with degraded latency) across loss rates that
 //     would break a system relying on reliable delivery.
+#include <cstdio>
 #include <thread>
 
 #include "bench/bench_util.h"
@@ -110,6 +111,30 @@ void BM_TransactionsUnderLoss(benchmark::State& state) {
           ++invariant_failures;
         }
       }
+    }
+    // Per-hop drop-reason breakdown for this run, sourced from the metrics
+    // registry: which designed-in loss events (§3.4) the loss rate excited.
+    std::printf("--- drop breakdown (loss %d%%) ---\n",
+                static_cast<int>(state.range(0)));
+    MetricsRegistry& metrics = world->system.metrics();
+    for (const char* prefix : {"net.drop.", "deliver.drop."}) {
+      for (const auto& [name, value] : metrics.CountersWithPrefix(prefix)) {
+        std::printf("  %-32s %llu\n", name.c_str(),
+                    static_cast<unsigned long long>(value));
+      }
+    }
+    std::printf("  %-32s %llu\n", "deliver.delivered",
+                static_cast<unsigned long long>(
+                    metrics.CounterValue("deliver.delivered")));
+    // Trace one lost message end to end: every hop up to the drop point,
+    // with the drop reason on the last line.
+    TraceBuffer& traces = world->system.traces();
+    if (auto lost = traces.FindTraceWithPoint("net.drop.")) {
+      std::printf("--- sampled lost-message trace ---\n%s",
+                  traces.DumpTrace(*lost).c_str());
+    } else if (auto dropped = traces.FindTraceWithPoint("port.drop.")) {
+      std::printf("--- sampled dropped-at-port trace ---\n%s",
+                  traces.DumpTrace(*dropped).c_str());
     }
     world.reset();
     state.ResumeTiming();

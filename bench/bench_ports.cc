@@ -120,6 +120,15 @@ void BM_PortBufferOverrun(benchmark::State& state) {
     failures_total += failures;
 
     state.PauseTiming();
+    // Cross-check the reply-port bookkeeping against the runtime's own
+    // drop-reason counters: every discard must be a port_full, not a
+    // retired/no_port misattribution.
+    MetricsRegistry& metrics = world.system.metrics();
+    state.counters["drops_port_full"] = benchmark::Counter(
+        static_cast<double>(metrics.CounterValue("deliver.drop.port_full")));
+    state.counters["drops_port_retired"] = benchmark::Counter(
+        static_cast<double>(
+            metrics.CounterValue("deliver.drop.port_retired")));
     state.ResumeTiming();
   }
   state.counters["capacity"] = capacity;

@@ -133,5 +133,6 @@ int main() {
       std::printf("\n");
     }
   }
+  std::printf("\n%s", system.Report().c_str());
   return 0;
 }

@@ -117,5 +117,6 @@ int main() {
                       250
                   ? "yes"
                   : "NO");
+  std::printf("\n%s", system.Report().c_str());
   return 0;
 }

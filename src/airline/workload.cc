@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "src/obs/trace.h"
 #include "src/sendprims/remote_call.h"
 
 namespace guardians {
@@ -84,6 +85,10 @@ TransSummary Clerk::RunTransaction(const PortName& user_port,
                                    const std::vector<ClerkOp>& ops,
                                    Micros op_timeout, int max_retries) {
   TransSummary summary;
+
+  // Each transaction is one causal chain: drop whatever trace this clerk
+  // thread was in so the first send below mints a fresh trace id.
+  SetCurrentTraceId(0);
 
   RemoteCallOptions start_options;
   start_options.timeout = op_timeout;

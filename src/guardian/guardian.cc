@@ -6,6 +6,7 @@
 #include "src/common/log.h"
 #include "src/guardian/node_runtime.h"
 #include "src/guardian/system.h"
+#include "src/obs/trace.h"
 
 namespace guardians {
 
@@ -89,6 +90,14 @@ Result<uint64_t> Guardian::SendFull(const PortName& to,
                                     const PortName& ack_to) {
   Envelope env;
   env.msg_id = runtime_->NextMsgId();
+  // Join the causal chain this process is working in, or start a new trace
+  // (identified by this message's globally unique id) at an origin send.
+  uint64_t trace_id = CurrentTraceId();
+  if (trace_id == 0) {
+    trace_id = env.msg_id;
+    SetCurrentTraceId(trace_id);
+  }
+  env.trace_id = trace_id;
   env.src_node = runtime_->id();
   env.target = to;
   env.reply_to = reply_to;
@@ -121,6 +130,7 @@ Result<Received> Guardian::Receive(const std::vector<Port*>& ports,
       if (p->HasMessageLocked()) {
         Received message = p->PopLocked();
         lock.unlock();
+        runtime_->NoteReceived(message);
         if (!message.ack_to.IsNull()) {
           // The synchronization send's receipt notification: the message
           // has now been received by the target process.
@@ -140,6 +150,7 @@ Result<Received> Guardian::Receive(const std::vector<Port*>& ports,
           if (p->HasMessageLocked()) {
             Received message = p->PopLocked();
             lock.unlock();
+            runtime_->NoteReceived(message);
             if (!message.ack_to.IsNull()) {
               runtime_->SendAck(message);
             }
@@ -192,6 +203,25 @@ void Guardian::ReapProcesses() { processes_.Reap(); }
 bool Guardian::Closed() const {
   std::lock_guard<std::mutex> lock(mailbox_.mu);
   return mailbox_.closed;
+}
+
+std::vector<Guardian::PortStat> Guardian::PortStats() const {
+  std::lock_guard<std::mutex> lock(ports_mu_);
+  std::vector<PortStat> stats;
+  stats.reserve(ports_.size());
+  for (const auto& p : ports_) {
+    PortStat ps;
+    ps.name = p->name().ToString();
+    ps.type_name = p->type().name();
+    ps.depth = p->depth();
+    ps.capacity = p->capacity();
+    ps.enqueued = p->enqueued();
+    ps.discarded_full = p->discarded_full();
+    ps.discarded_retired = p->discarded_retired();
+    ps.retired = p->retired();
+    stats.push_back(std::move(ps));
+  }
+  return stats;
 }
 
 Wal* Guardian::OpenLog(const std::string& resource) {

@@ -123,6 +123,21 @@ class Guardian {
   // processes use receives (which fail fast) or poll this.
   bool Closed() const;
 
+  // --- Observability -----------------------------------------------------------
+  // Snapshot of every port's queue depth and drop reasons, for
+  // NodeRuntime::Report() / System::Report().
+  struct PortStat {
+    std::string name;
+    std::string type_name;
+    size_t depth = 0;
+    size_t capacity = 0;
+    uint64_t enqueued = 0;
+    uint64_t discarded_full = 0;
+    uint64_t discarded_retired = 0;
+    bool retired = false;
+  };
+  std::vector<PortStat> PortStats() const;
+
   // --- Permanence (Section 2.2) -----------------------------------------------
   // A write-ahead log in the node's stable store, named by guardian name +
   // resource so it survives crashes and is found again by Recover().

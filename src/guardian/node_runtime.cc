@@ -4,6 +4,7 @@
 
 #include "src/common/log.h"
 #include "src/guardian/system.h"
+#include "src/obs/trace.h"
 #include "src/wire/codec.h"
 
 namespace guardians {
@@ -107,7 +108,26 @@ PortType AckPortType() {
 
 NodeRuntime::NodeRuntime(System* system, NodeId id, std::string name,
                          uint64_t seed)
-    : system_(system), id_(id), name_(std::move(name)), rng_(seed) {}
+    : system_(system), id_(id), name_(std::move(name)), rng_(seed) {
+  MetricsRegistry& metrics = system_->metrics();
+  counters_.sent = metrics.counter("node.messages_sent");
+  counters_.delivered = metrics.counter("deliver.delivered");
+  counters_.receives = metrics.counter("guardian.receives");
+  counters_.drop_no_guardian = metrics.counter("deliver.drop.no_guardian");
+  counters_.drop_no_port = metrics.counter("deliver.drop.no_port");
+  counters_.drop_port_retired =
+      metrics.counter("deliver.drop.port_retired");
+  counters_.drop_port_full = metrics.counter("deliver.drop.port_full");
+  counters_.drop_type_mismatch =
+      metrics.counter("deliver.drop.type_mismatch");
+  counters_.drop_decode_error =
+      metrics.counter("deliver.drop.decode_error");
+  counters_.drop_corrupt_fragment =
+      metrics.counter("deliver.drop.corrupt_fragment");
+  counters_.failures_synthesized =
+      metrics.counter("deliver.failures_synthesized");
+  counters_.acks_sent = metrics.counter("deliver.acks_sent");
+}
 
 NodeRuntime::~NodeRuntime() { Crash(); }
 
@@ -444,11 +464,14 @@ Status NodeRuntime::Transmit(Envelope env) {
   }
   // Step 3: fragment and hand to the network. The sender continues as soon
   // as this returns; delivery is not guaranteed.
+  system_->traces().Record(env.trace_id, id_, "send",
+                           env.command + " -> " + env.target.ToString());
   auto packets = Fragment(*bytes, env.msg_id, id_, env.target.node,
-                          system_->limits().max_packet_payload);
+                          system_->limits().max_packet_payload, env.trace_id);
   for (auto& packet : packets) {
     system_->network().Send(std::move(packet));
   }
+  counters_.sent->Inc();
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.messages_sent;
@@ -457,12 +480,14 @@ Status NodeRuntime::Transmit(Envelope env) {
 }
 
 void NodeRuntime::SendSystemFailure(const PortName& to,
-                                    const std::string& reason) {
+                                    const std::string& reason,
+                                    uint64_t trace_id) {
   if (to.IsNull()) {
     return;
   }
   Envelope env;
   env.msg_id = NextMsgId();
+  env.trace_id = trace_id;  // the failure reply joins the lost message's trace
   env.src_node = id_;
   env.target = to;
   env.command = kFailureCommand;
@@ -470,6 +495,7 @@ void NodeRuntime::SendSystemFailure(const PortName& to,
   // Failure envelopes carry no reply port, so they can never loop.
   Status st = Transmit(std::move(env));
   (void)st;
+  counters_.failures_synthesized->Inc();
   std::lock_guard<std::mutex> lock(stats_mu_);
   ++stats_.failures_synthesized;
 }
@@ -477,14 +503,26 @@ void NodeRuntime::SendSystemFailure(const PortName& to,
 void NodeRuntime::SendAck(const Received& message) {
   Envelope env;
   env.msg_id = NextMsgId();
+  env.trace_id = message.trace_id;
   env.src_node = id_;
   env.target = message.ack_to;
   env.command = "ack";
   env.args = {Value::Str(std::to_string(message.msg_id))};
   Status st = Transmit(std::move(env));
   (void)st;
+  counters_.acks_sent->Inc();
   std::lock_guard<std::mutex> lock(stats_mu_);
   ++stats_.acks_sent;
+}
+
+void NodeRuntime::NoteReceived(const Received& message) {
+  counters_.receives->Inc();
+  SetCurrentTraceId(message.trace_id);
+  system_->traces().Record(message.trace_id, id_, "recv",
+                           message.command +
+                               (message.port != nullptr
+                                    ? " on " + message.port->name().ToString()
+                                    : std::string()));
 }
 
 void NodeRuntime::DeliverPacket(const Packet& packet) {
@@ -496,6 +534,10 @@ void NodeRuntime::DeliverPacket(const Packet& packet) {
     std::lock_guard<std::mutex> lock(reassembler_mu_);
     auto added = reassembler_.Add(packet);
     if (!added.ok()) {
+      counters_.drop_corrupt_fragment->Inc();
+      system_->traces().Record(packet.trace_id, id_,
+                               "port.drop.corrupt_fragment",
+                               added.status().message());
       std::lock_guard<std::mutex> stats_lock(stats_mu_);
       ++stats_.discarded_corrupt;
       return;
@@ -509,6 +551,9 @@ void NodeRuntime::DeliverPacket(const Packet& packet) {
   auto env = DecodeEnvelope(*message, system_->limits(),
                             transmit_registry_.AsDecodeFn());
   if (!env.ok()) {
+    counters_.drop_decode_error->Inc();
+    system_->traces().Record(packet.trace_id, id_, "port.drop.decode_error",
+                             env.status().message());
     {
       std::lock_guard<std::mutex> lock(stats_mu_);
       ++stats_.discarded_decode_error;
@@ -519,7 +564,8 @@ void NodeRuntime::DeliverPacket(const Packet& packet) {
     if (header.ok() && header->HasReply()) {
       SendSystemFailure(header->reply_to,
                         "message could not be decoded at target node: " +
-                            env.status().message());
+                            env.status().message(),
+                        header->trace_id);
     }
     return;
   }
@@ -529,29 +575,39 @@ void NodeRuntime::DeliverPacket(const Packet& packet) {
 void NodeRuntime::DeliverEnvelope(Envelope env) {
   Guardian* guardian = FindGuardian(env.target.guardian);
   if (guardian == nullptr) {
+    counters_.drop_no_guardian->Inc();
+    system_->traces().Record(env.trace_id, id_, "port.drop.no_guardian",
+                             env.target.ToString());
     {
       std::lock_guard<std::mutex> lock(stats_mu_);
       ++stats_.discarded_no_guardian;
     }
-    SendSystemFailure(env.reply_to, "target guardian doesn't exist");
+    SendSystemFailure(env.reply_to, "target guardian doesn't exist",
+                      env.trace_id);
     return;
   }
   Port* port = guardian->FindPort(env.target.port_index);
-  if (port == nullptr || port->retired()) {
+  if (port == nullptr) {
+    counters_.drop_no_port->Inc();
+    system_->traces().Record(env.trace_id, id_, "port.drop.no_port",
+                             env.target.ToString());
     {
       std::lock_guard<std::mutex> lock(stats_mu_);
       ++stats_.discarded_no_port;
     }
-    SendSystemFailure(env.reply_to, "target port doesn't exist");
+    SendSystemFailure(env.reply_to, "target port doesn't exist", env.trace_id);
     return;
   }
   if (port->type().hash() != env.target.type_hash) {
     // A stale name: the guardian was re-created with different ports.
+    counters_.drop_type_mismatch->Inc();
+    system_->traces().Record(env.trace_id, id_, "port.drop.type_mismatch",
+                             env.target.ToString());
     {
       std::lock_guard<std::mutex> lock(stats_mu_);
       ++stats_.discarded_type_mismatch;
     }
-    SendSystemFailure(env.reply_to, "target port type mismatch");
+    SendSystemFailure(env.reply_to, "target port type mismatch", env.trace_id);
     return;
   }
 
@@ -562,16 +618,86 @@ void NodeRuntime::DeliverEnvelope(Envelope env) {
   message.ack_to = env.ack_to;
   message.src_node = env.src_node;
   message.msg_id = env.msg_id;
-  if (!port->Push(std::move(message))) {
-    {
-      std::lock_guard<std::mutex> lock(stats_mu_);
-      ++stats_.discarded_port_full;
-    }
-    SendSystemFailure(env.reply_to, "no room at target port");
-    return;
+  message.trace_id = env.trace_id;
+  switch (port->Push(std::move(message))) {
+    case PushResult::kOk:
+      break;
+    case PushResult::kRetired:
+      // A retired port is not a full one: the sender learns that retrying
+      // the same name is useless until the port is recreated.
+      counters_.drop_port_retired->Inc();
+      system_->traces().Record(env.trace_id, id_, "port.drop.retired",
+                               env.target.ToString());
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.discarded_port_retired;
+      }
+      SendSystemFailure(env.reply_to, "target port retired", env.trace_id);
+      return;
+    case PushResult::kFull:
+      counters_.drop_port_full->Inc();
+      system_->traces().Record(env.trace_id, id_, "port.drop.full",
+                               env.target.ToString());
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.discarded_port_full;
+      }
+      SendSystemFailure(env.reply_to, "no room at target port", env.trace_id);
+      return;
   }
+  counters_.delivered->Inc();
+  system_->traces().Record(env.trace_id, id_, "port.enqueued",
+                           env.target.ToString());
   std::lock_guard<std::mutex> lock(stats_mu_);
   ++stats_.messages_delivered;
+}
+
+std::string NodeRuntime::Report() const {
+  std::string out = "node '" + name_ + "' (id " + std::to_string(id_) + ") " +
+                    (up_.load() ? "up" : "down") + "\n";
+  NodeStats s = stats();
+  auto line = [&out](const char* label, uint64_t v) {
+    if (v != 0) {
+      out += "  " + std::string(label) + ": " + std::to_string(v) + "\n";
+    }
+  };
+  line("messages_sent", s.messages_sent);
+  line("messages_delivered", s.messages_delivered);
+  line("discarded_no_guardian", s.discarded_no_guardian);
+  line("discarded_no_port", s.discarded_no_port);
+  line("discarded_port_full", s.discarded_port_full);
+  line("discarded_port_retired", s.discarded_port_retired);
+  line("discarded_type_mismatch", s.discarded_type_mismatch);
+  line("discarded_decode_error", s.discarded_decode_error);
+  line("discarded_corrupt", s.discarded_corrupt);
+  line("failures_synthesized", s.failures_synthesized);
+  line("acks_sent", s.acks_sent);
+  std::vector<Guardian*> gs;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    gs.reserve(guardians_.size());
+    for (const auto& [gid, guardian] : guardians_) {
+      gs.push_back(guardian.get());
+    }
+  }
+  for (Guardian* g : gs) {
+    for (const Guardian::PortStat& ps : g->PortStats()) {
+      out += "  port " + ps.name + " [" + ps.type_name + "] depth " +
+             std::to_string(ps.depth) + "/" + std::to_string(ps.capacity) +
+             " enqueued " + std::to_string(ps.enqueued);
+      if (ps.discarded_full != 0) {
+        out += " dropped_full " + std::to_string(ps.discarded_full);
+      }
+      if (ps.discarded_retired != 0) {
+        out += " dropped_retired " + std::to_string(ps.discarded_retired);
+      }
+      if (ps.retired) {
+        out += " (retired)";
+      }
+      out += "\n";
+    }
+  }
+  return out;
 }
 
 }  // namespace guardians

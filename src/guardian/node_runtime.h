@@ -34,6 +34,7 @@
 #include "src/guardian/guardian.h"
 #include "src/guardian/port_registry.h"
 #include "src/net/network.h"
+#include "src/obs/metrics.h"
 #include "src/store/stable_store.h"
 #include "src/transmit/registry.h"
 #include "src/wire/envelope.h"
@@ -51,6 +52,9 @@ struct NodeStats {
   uint64_t discarded_no_guardian = 0;
   uint64_t discarded_no_port = 0;
   uint64_t discarded_port_full = 0;
+  // A retired (or crash-closed) port is a different loss event than a full
+  // one: retrying the same name cannot help until the port is recreated.
+  uint64_t discarded_port_retired = 0;
   uint64_t discarded_type_mismatch = 0;
   uint64_t discarded_decode_error = 0;
   uint64_t discarded_corrupt = 0;
@@ -131,12 +135,21 @@ class NodeRuntime {
   bool IsUp() const { return up_.load(); }
 
   NodeStats stats() const;
+  // Text snapshot of this node: NodeStats plus every live guardian's port
+  // depths and drop reasons. One section of System::Report().
+  std::string Report() const;
 
   // --- Transport internals (used by Guardian and the send primitives) ----------
   Status Transmit(Envelope env);
   uint64_t NextMsgId();
-  void SendSystemFailure(const PortName& to, const std::string& reason);
+  // `trace_id` ties the synthesized failure into the lost message's trace.
+  void SendSystemFailure(const PortName& to, const std::string& reason,
+                         uint64_t trace_id = 0);
   void SendAck(const Received& message);
+  // Called by Guardian::Receive when a message is dequeued: counts it,
+  // records the trace hop, and makes the message's trace the thread's
+  // current trace (so replies join the sender's causal chain).
+  void NoteReceived(const Received& message);
   Rng ForkRng();
 
  private:
@@ -179,6 +192,24 @@ class NodeRuntime {
 
   mutable std::mutex stats_mu_;
   NodeStats stats_;
+
+  // System-wide delivery/drop counters, resolved once at construction so
+  // the delivery path's updates are single relaxed atomics.
+  struct DeliveryCounters {
+    Counter* sent = nullptr;
+    Counter* delivered = nullptr;
+    Counter* receives = nullptr;
+    Counter* drop_no_guardian = nullptr;
+    Counter* drop_no_port = nullptr;
+    Counter* drop_port_retired = nullptr;
+    Counter* drop_port_full = nullptr;
+    Counter* drop_type_mismatch = nullptr;
+    Counter* drop_decode_error = nullptr;
+    Counter* drop_corrupt_fragment = nullptr;
+    Counter* failures_synthesized = nullptr;
+    Counter* acks_sent = nullptr;
+  };
+  DeliveryCounters counters_;
 };
 
 // Factory helper: MakeFactory<MyGuardian>() for RegisterGuardianType.

@@ -2,19 +2,23 @@
 
 namespace guardians {
 
-bool Port::Push(Received message) {
+PushResult Port::Push(Received message) {
   {
     std::lock_guard<std::mutex> lock(mailbox_->mu);
-    if (retired_ || mailbox_->closed || queue_.size() >= capacity_) {
+    if (retired_ || mailbox_->closed) {
+      ++discarded_retired_;
+      return PushResult::kRetired;
+    }
+    if (queue_.size() >= capacity_) {
       ++discarded_full_;
-      return false;
+      return PushResult::kFull;
     }
     message.port = this;
     queue_.push_back(std::move(message));
     ++enqueued_;
   }
   mailbox_->cv.notify_all();
-  return true;
+  return PushResult::kOk;
 }
 
 void Port::Retire() {
@@ -42,6 +46,11 @@ uint64_t Port::enqueued() const {
 uint64_t Port::discarded_full() const {
   std::lock_guard<std::mutex> lock(mailbox_->mu);
   return discarded_full_;
+}
+
+uint64_t Port::discarded_retired() const {
+  std::lock_guard<std::mutex> lock(mailbox_->mu);
+  return discarded_retired_;
 }
 
 size_t Port::depth() const {

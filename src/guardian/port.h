@@ -35,7 +35,18 @@ struct Received {
   PortName ack_to;    // null unless the sender used the synchronization send
   NodeId src_node = 0;
   uint64_t msg_id = 0;
+  uint64_t trace_id = 0;  // the sender's causal chain (0 = untraced)
   const class Port* port = nullptr;  // which port it arrived on
+};
+
+// Why a Push failed. A full buffer and a dead port are different designed-in
+// loss events (§3.4), and the system failure(...) reply names which one
+// happened.
+enum class PushResult {
+  kOk,
+  kFull,     // buffer at capacity; sender may retry later
+  kRetired,  // port retired or mailbox closed; retrying the same name is
+             // useless until the guardian recreates the port
 };
 
 // Shared mailbox of one guardian: closed on crash/shutdown so every blocked
@@ -62,10 +73,10 @@ class Port {
   size_t capacity() const { return capacity_; }
 
   // --- Runtime side (delivery thread) --------------------------------------
-  // Enqueue a delivered message. False when the buffer is full or the port
-  // is dead; the caller throws the message away (and synthesizes the system
-  // failure reply).
-  bool Push(Received message);
+  // Enqueue a delivered message. On kFull/kRetired the caller throws the
+  // message away (and synthesizes the system failure reply naming the
+  // returned reason).
+  PushResult Push(Received message);
 
   // Mark dead: no further pushes succeed, pending messages are dropped.
   // Used when an ephemeral reply port is retired.
@@ -79,6 +90,7 @@ class Port {
   // --- Stats ----------------------------------------------------------------
   uint64_t enqueued() const;
   uint64_t discarded_full() const;
+  uint64_t discarded_retired() const;
   size_t depth() const;
 
   Mailbox* mailbox() const { return mailbox_; }
@@ -92,6 +104,7 @@ class Port {
   bool retired_ = false;         // guarded by mailbox_->mu
   uint64_t enqueued_ = 0;        // guarded by mailbox_->mu
   uint64_t discarded_full_ = 0;  // guarded by mailbox_->mu
+  uint64_t discarded_retired_ = 0;  // guarded by mailbox_->mu
 };
 
 }  // namespace guardians

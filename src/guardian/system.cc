@@ -5,7 +5,9 @@
 namespace guardians {
 
 System::System(SystemConfig config)
-    : config_(config), rng_(config.seed), network_(config.seed ^ 0xA5A5A5A5ull) {
+    : config_(config),
+      rng_(config.seed),
+      network_(config.seed ^ 0xA5A5A5A5ull, &metrics_, &traces_) {
   network_.SetDefaultLink(config_.default_link);
   // System-defined port types every node may rely on.
   Status st = port_types_.Register(PrimordialPortType());
@@ -22,6 +24,11 @@ System::~System() {
   for (auto& node : nodes_) {
     node->Crash();
   }
+  // Then stop the delivery thread before the member destructors free the
+  // node runtimes: a sink call already in flight runs DeliverPacket on a
+  // raw NodeRuntime*, and nodes_ (declared after network_) is destroyed
+  // first.
+  network_.Shutdown();
 }
 
 NodeRuntime& System::AddNode(const std::string& name) {
@@ -44,5 +51,16 @@ NodeRuntime& System::node(NodeId id) {
 }
 
 size_t System::node_count() const { return nodes_.size(); }
+
+std::string System::Report() {
+  std::string out = "=== system report ===\n";
+  for (auto& node : nodes_) {
+    out += node->Report();
+  }
+  out += metrics_.Report();
+  out += "traces: " + std::to_string(traces_.trace_count()) + " held, " +
+         std::to_string(traces_.evicted_traces()) + " evicted\n";
+  return out;
+}
 
 }  // namespace guardians

@@ -17,6 +17,8 @@
 #include "src/guardian/node_runtime.h"
 #include "src/guardian/port_registry.h"
 #include "src/net/network.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/wire/limits.h"
 
 namespace guardians {
@@ -45,9 +47,21 @@ class System {
   PortTypeRegistry& port_types() { return port_types_; }
   const WireLimits& limits() const { return config_.limits; }
 
+  MetricsRegistry& metrics() { return metrics_; }
+  TraceBuffer& traces() { return traces_; }
+
+  // Text snapshot of the whole system: every node's NodeRuntime::Report()
+  // (port depths and drop reasons) plus the metrics registry dump and the
+  // trace-buffer occupancy. What the benches and demos print.
+  std::string Report();
+
  private:
   SystemConfig config_;
   Rng rng_;
+  // Observability must outlive (and be constructed before) the network and
+  // the nodes: both cache Counter*/Histogram* pointers into the registry.
+  MetricsRegistry metrics_;
+  TraceBuffer traces_;
   Network network_;
   PortTypeRegistry port_types_;
   std::vector<std::unique_ptr<NodeRuntime>> nodes_;

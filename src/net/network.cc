@@ -7,13 +7,22 @@
 
 namespace guardians {
 
-Network::Network(uint64_t seed) : rng_(seed) {
+Network::Network(uint64_t seed, MetricsRegistry* metrics, TraceBuffer* traces)
+    : rng_(seed), metrics_(metrics), traces_(traces) {
+  if (metrics_ != nullptr) {
+    delivery_latency_ = metrics_->histogram("net.delivery_latency_us");
+  }
   delivery_thread_ = std::thread([this] { DeliveryLoop(); });
 }
 
-Network::~Network() {
+Network::~Network() { Shutdown(); }
+
+void Network::Shutdown() {
   {
     std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      return;  // already shut down
+    }
     stopping_ = true;
   }
   cv_.notify_all();
@@ -28,11 +37,10 @@ NodeId Network::AddNode(const std::string& name) {
   return static_cast<NodeId>(node_names_.size());
 }
 
-const std::string& Network::NodeName(NodeId id) const {
+std::string Network::NodeName(NodeId id) const {
   std::lock_guard<std::mutex> lock(mu_);
-  static const std::string kUnknown = "?";
   if (id == 0 || id > node_names_.size()) {
-    return kUnknown;
+    return "?";
   }
   return node_names_[id - 1];
 }
@@ -91,6 +99,10 @@ void Network::Send(Packet packet) {
   std::lock_guard<std::mutex> lock(mu_);
   ++stats_.packets_sent;
   stats_.bytes_sent += packet.WireSize();
+  LinkCounters* link_counters = CountersForLink(packet.src, packet.dst);
+  if (link_counters != nullptr) {
+    link_counters->sent->Inc();
+  }
 
   const bool src_ok =
       packet.src >= 1 && packet.src <= node_up_.size() && node_up_[packet.src - 1];
@@ -99,6 +111,7 @@ void Network::Send(Packet packet) {
       partitions_.count(LinkKey(packet.src, packet.dst)) > 0;
   if (!src_ok || partitioned) {
     ++stats_.packets_dropped;
+    CountDrop(packet, !src_ok ? "src_down" : "partition");
     return;
   }
 
@@ -114,6 +127,7 @@ void Network::Send(Packet packet) {
 
   if (rng_.NextBool(link.drop_prob)) {
     ++stats_.packets_dropped;
+    CountDrop(packet, "loss");
     return;
   }
   if (!packet.payload.empty() && rng_.NextBool(link.corrupt_prob)) {
@@ -122,6 +136,15 @@ void Network::Send(Packet packet) {
     const size_t at = rng_.NextBelow(packet.payload.size());
     packet.payload[at] ^= static_cast<uint8_t>(1 + rng_.NextBelow(255));
     ++stats_.packets_corrupted;
+    if (link_counters != nullptr) {
+      link_counters->corrupted->Inc();
+      metrics_->counter("net.corrupted")->Inc();
+    }
+    if (traces_ != nullptr) {
+      traces_->Record(packet.trace_id, 0, "net.corrupted",
+                      "n" + std::to_string(packet.src) + "->n" +
+                          std::to_string(packet.dst));
+    }
   }
 
   int64_t delay_us = ToMicros(link.latency);
@@ -136,7 +159,8 @@ void Network::Send(Packet packet) {
   delay_us = std::max<int64_t>(delay_us, 0);
 
   InFlight entry;
-  entry.deliver_at = Now() + Micros(delay_us);
+  entry.sent_at = Now();
+  entry.deliver_at = entry.sent_at + Micros(delay_us);
   entry.seq = seq_++;
   entry.packet = std::move(packet);
   queue_.push(std::move(entry));
@@ -152,6 +176,46 @@ void Network::DrainForTesting() {
 NetworkStats Network::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   return stats_;
+}
+
+Network::LinkCounters* Network::CountersForLink(NodeId src, NodeId dst) {
+  if (metrics_ == nullptr) {
+    return nullptr;
+  }
+  const uint64_t key = LinkKey(src, dst);
+  auto it = link_counters_.find(key);
+  if (it == link_counters_.end()) {
+    auto name_of = [this](NodeId id) {
+      return (id >= 1 && id <= node_names_.size()) ? node_names_[id - 1]
+                                                   : "?";
+    };
+    const std::string prefix =
+        "net.link." + name_of(src) + "->" + name_of(dst) + ".";
+    LinkCounters counters;
+    counters.sent = metrics_->counter(prefix + "sent");
+    counters.delivered = metrics_->counter(prefix + "delivered");
+    counters.dropped = metrics_->counter(prefix + "dropped");
+    counters.corrupted = metrics_->counter(prefix + "corrupted");
+    it = link_counters_.emplace(key, counters).first;
+  }
+  return &it->second;
+}
+
+void Network::CountDrop(const Packet& packet, const char* reason) {
+  if (metrics_ != nullptr) {
+    metrics_->counter(std::string("net.drop.") + reason)->Inc();
+    LinkCounters* link_counters = CountersForLink(packet.src, packet.dst);
+    if (link_counters != nullptr) {
+      link_counters->dropped->Inc();
+    }
+  }
+  if (traces_ != nullptr) {
+    traces_->Record(packet.trace_id, 0, std::string("net.drop.") + reason,
+                    "n" + std::to_string(packet.src) + "->n" +
+                        std::to_string(packet.dst) + " frag " +
+                        std::to_string(packet.frag_index + 1) + "/" +
+                        std::to_string(packet.frag_count));
+  }
 }
 
 void Network::DeliveryLoop() {
@@ -172,6 +236,7 @@ void Network::DeliveryLoop() {
     }
 
     Packet packet = queue_.top().packet;
+    const TimePoint sent_at = queue_.top().sent_at;
     queue_.pop();
 
     const NodeId dst = packet.dst;
@@ -181,8 +246,25 @@ void Network::DeliveryLoop() {
     if (deliverable) {
       sink = sinks_[dst - 1];
       ++stats_.packets_delivered;
+      if (delivery_latency_ != nullptr) {
+        delivery_latency_->Observe(
+            static_cast<uint64_t>(std::max<int64_t>(
+                ToMicros(Now() - sent_at), 0)));
+      }
+      LinkCounters* link_counters = CountersForLink(packet.src, dst);
+      if (link_counters != nullptr) {
+        link_counters->delivered->Inc();
+      }
+      if (traces_ != nullptr) {
+        traces_->Record(packet.trace_id, 0, "net.delivered",
+                        "n" + std::to_string(packet.src) + "->n" +
+                            std::to_string(dst) + " frag " +
+                            std::to_string(packet.frag_index + 1) + "/" +
+                            std::to_string(packet.frag_count));
+      }
     } else {
       ++stats_.packets_dropped;
+      CountDrop(packet, "dst_down");
     }
     if (sink) {
       // Deliver outside the lock: the sink may immediately Send (e.g. a

@@ -30,6 +30,8 @@
 
 #include "src/common/clock.h"
 #include "src/common/rng.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/wire/packet.h"
 
 namespace guardians {
@@ -59,7 +61,11 @@ using PacketSink = std::function<void(const Packet&)>;
 
 class Network {
  public:
-  explicit Network(uint64_t seed = 1);
+  // `metrics`/`traces` are optional observability sinks (owned by the
+  // caller, usually the System): per-link packet counters, drop-reason
+  // counters, a delivery-latency histogram, and per-hop trace events.
+  explicit Network(uint64_t seed = 1, MetricsRegistry* metrics = nullptr,
+                   TraceBuffer* traces = nullptr);
   ~Network();
 
   Network(const Network&) = delete;
@@ -67,7 +73,9 @@ class Network {
 
   // Registers a node; ids start at 1 (0 is "no node").
   NodeId AddNode(const std::string& name);
-  const std::string& NodeName(NodeId id) const;
+  // By value: a reference into node_names_ would dangle if a concurrent
+  // AddNode reallocated the vector after the lock is released.
+  std::string NodeName(NodeId id) const;
   size_t node_count() const;
 
   // Delivery callback for a node. Replaces any previous sink.
@@ -94,11 +102,18 @@ class Network {
   // Block until no packets remain in flight (useful in tests).
   void DrainForTesting();
 
+  // Stop the delivery thread and join it; no sink runs after this returns.
+  // Idempotent. System teardown calls it before destroying the node
+  // runtimes the sinks point into (they would otherwise race a delivery
+  // already in flight); ~Network calls it too.
+  void Shutdown();
+
   NetworkStats stats() const;
 
  private:
   struct InFlight {
     TimePoint deliver_at;
+    TimePoint sent_at;  // for the delivery-latency histogram
     uint64_t seq;  // tie-break so the heap is deterministic
     Packet packet;
     bool operator>(const InFlight& other) const {
@@ -113,7 +128,18 @@ class Network {
     return (static_cast<uint64_t>(a) << 32) | b;
   }
 
+  // Per-link counters resolved once per link; further updates lock-free.
+  struct LinkCounters {
+    Counter* sent = nullptr;
+    Counter* delivered = nullptr;
+    Counter* dropped = nullptr;
+    Counter* corrupted = nullptr;
+  };
+
   void DeliveryLoop();
+  // Requires mu_ held (names the link by node names).
+  LinkCounters* CountersForLink(NodeId src, NodeId dst);
+  void CountDrop(const Packet& packet, const char* reason);
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
@@ -129,6 +155,10 @@ class Network {
   std::vector<PacketSink> sinks_;           // index = id - 1
   std::unordered_map<uint64_t, LinkParams> links_;
   std::unordered_set<uint64_t> partitions_;
+  MetricsRegistry* metrics_;  // may be null (standalone networks in tests)
+  TraceBuffer* traces_;       // may be null
+  Histogram* delivery_latency_ = nullptr;
+  std::unordered_map<uint64_t, LinkCounters> link_counters_;
   std::priority_queue<InFlight, std::vector<InFlight>, std::greater<>> queue_;
   std::thread delivery_thread_;
 };

@@ -1,0 +1,127 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+namespace guardians {
+
+Histogram::Histogram(std::vector<uint64_t> upper_bounds)
+    : bounds_(std::move(upper_bounds)),
+      buckets_(new std::atomic<uint64_t>[bounds_.size() + 1]) {
+  assert(std::is_sorted(bounds_.begin(), bounds_.end()));
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+void Histogram::Observe(uint64_t v) {
+  const size_t at = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+  buckets_[at].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+}
+
+std::vector<uint64_t> Histogram::BucketCounts() const {
+  std::vector<uint64_t> out(bounds_.size() + 1);
+  for (size_t i = 0; i < out.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+std::string Histogram::ToString() const {
+  std::ostringstream os;
+  const auto counts = BucketCounts();
+  for (size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) {
+      continue;
+    }
+    if (i < bounds_.size()) {
+      os << "le=" << bounds_[i];
+    } else {
+      os << "inf";
+    }
+    os << ": " << counts[i] << "  ";
+  }
+  os << "(count=" << count() << " sum=" << sum() << ")";
+  return os.str();
+}
+
+std::vector<uint64_t> Histogram::DefaultLatencyBoundsUs() {
+  std::vector<uint64_t> bounds;
+  for (uint64_t b = 1; b <= (1ull << 24); b *= 4) {  // 1us .. ~16.8s
+    bounds.push_back(b);
+  }
+  return bounds;
+}
+
+Counter* MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) {
+    slot = std::make_unique<Counter>();
+  }
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<uint64_t> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) {
+    if (bounds.empty()) {
+      bounds = Histogram::DefaultLatencyBoundsUs();
+    }
+    slot = std::make_unique<Histogram>(std::move(bounds));
+  }
+  return slot.get();
+}
+
+uint64_t MetricsRegistry::CounterValue(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  return it != counters_.end() ? it->second->value() : 0;
+}
+
+std::map<std::string, uint64_t> MetricsRegistry::CounterSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, uint64_t> out;
+  for (const auto& [name, counter] : counters_) {
+    out[name] = counter->value();
+  }
+  return out;
+}
+
+std::map<std::string, uint64_t> MetricsRegistry::CountersWithPrefix(
+    const std::string& prefix) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, uint64_t> out;
+  for (auto it = counters_.lower_bound(prefix); it != counters_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) {
+      break;
+    }
+    out[it->first] = it->second->value();
+  }
+  return out;
+}
+
+std::string MetricsRegistry::Report() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  for (const auto& [name, counter] : counters_) {
+    const uint64_t v = counter->value();
+    if (v != 0) {
+      os << "  " << name << " = " << v << "\n";
+    }
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    if (histogram->count() != 0) {
+      os << "  " << name << " ~ " << histogram->ToString() << "\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace guardians

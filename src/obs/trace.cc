@@ -1,0 +1,132 @@
+#include "src/obs/trace.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace guardians {
+
+namespace {
+thread_local uint64_t t_current_trace_id = 0;
+}  // namespace
+
+uint64_t CurrentTraceId() { return t_current_trace_id; }
+void SetCurrentTraceId(uint64_t id) { t_current_trace_id = id; }
+
+TraceBuffer::TraceBuffer(size_t max_traces, size_t max_events_per_trace)
+    : max_traces_(max_traces), max_events_per_trace_(max_events_per_trace) {}
+
+void TraceBuffer::Record(uint64_t trace_id, uint32_t node, std::string point,
+                         std::string detail) {
+  if (trace_id == 0) {
+    return;
+  }
+  TraceEvent event;
+  event.at = Now();
+  event.node = node;
+  event.point = std::move(point);
+  event.detail = std::move(detail);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = traces_.find(trace_id);
+  if (it == traces_.end()) {
+    while (traces_.size() >= max_traces_ && !order_.empty()) {
+      traces_.erase(order_.front());
+      order_.pop_front();
+      ++evicted_;
+    }
+    it = traces_.emplace(trace_id, Trace{}).first;
+    order_.push_back(trace_id);
+  }
+  Trace& trace = it->second;
+  if (trace.events.size() >= max_events_per_trace_) {
+    ++trace.suppressed;
+    ++suppressed_;
+    return;
+  }
+  trace.events.push_back(std::move(event));
+}
+
+std::string TraceBuffer::DumpTrace(uint64_t trace_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  os << "trace " << trace_id << ":";
+  auto it = traces_.find(trace_id);
+  if (it == traces_.end()) {
+    os << " (not recorded)\n";
+    return os.str();
+  }
+  os << "\n";
+  const Trace& trace = it->second;
+  const TimePoint t0 =
+      trace.events.empty() ? TimePoint{} : trace.events.front().at;
+  for (const TraceEvent& event : trace.events) {
+    os << "  +" << ToMicros(event.at - t0) << "us";
+    if (event.node != 0) {
+      os << "  n" << event.node;
+    } else {
+      os << "  net";
+    }
+    os << "  " << event.point;
+    if (!event.detail.empty()) {
+      os << "  " << event.detail;
+    }
+    os << "\n";
+  }
+  if (trace.suppressed > 0) {
+    os << "  (+" << trace.suppressed << " events beyond buffer bound)\n";
+  }
+  return os.str();
+}
+
+bool TraceBuffer::HasTrace(uint64_t trace_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return traces_.count(trace_id) > 0;
+}
+
+std::vector<TraceEvent> TraceBuffer::Events(uint64_t trace_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = traces_.find(trace_id);
+  return it != traces_.end() ? it->second.events : std::vector<TraceEvent>{};
+}
+
+std::optional<uint64_t> TraceBuffer::FindTraceWithPoint(
+    const std::string& point_prefix) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = order_.rbegin(); it != order_.rend(); ++it) {
+    auto found = traces_.find(*it);
+    if (found == traces_.end()) {
+      continue;
+    }
+    for (const TraceEvent& event : found->second.events) {
+      if (event.point.compare(0, point_prefix.size(), point_prefix) == 0) {
+        return *it;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+size_t TraceBuffer::trace_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return traces_.size();
+}
+
+uint64_t TraceBuffer::evicted_traces() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evicted_;
+}
+
+uint64_t TraceBuffer::suppressed_events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return suppressed_;
+}
+
+void TraceBuffer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  traces_.clear();
+  order_.clear();
+  evicted_ = 0;
+  suppressed_ = 0;
+}
+
+}  // namespace guardians

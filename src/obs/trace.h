@@ -1,0 +1,95 @@
+// Trace-ID propagation and the bounded in-memory trace buffer.
+//
+// Every message gets a 64-bit trace id, stamped into the Envelope at the
+// first Send of a causal chain and carried through fragmentation,
+// reassembly, reply ports, system failure(...) replies and receipt acks.
+// Each layer records per-hop events (send, net delivery or drop with
+// reason, port enqueue or drop with reason, receive) into the system's
+// TraceBuffer, so a lost airline transaction can be followed hop-by-hop
+// with DumpTrace(id) — the §3.4 "silent discard" made observable.
+//
+// Propagation uses a thread-local current trace id: Receive sets it from
+// the dequeued message, Send inherits it (or mints a fresh one when the
+// thread has no active trace). This matches the process model — a guardian
+// process handles one message at a time — and costs nothing on the wire
+// beyond the 8-byte envelope field.
+#ifndef GUARDIANS_SRC_OBS_TRACE_H_
+#define GUARDIANS_SRC_OBS_TRACE_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/clock.h"
+
+namespace guardians {
+
+// The calling thread's active trace id; 0 means "no active trace". A new
+// logical operation (e.g. one clerk transaction) clears it so the next Send
+// starts a fresh trace.
+uint64_t CurrentTraceId();
+void SetCurrentTraceId(uint64_t id);
+
+// One hop event. `node` is the node that observed the event (0 for the
+// network itself). `point` identifies the layer and outcome, e.g. "send",
+// "net.drop.loss", "port.drop.retired", "recv".
+struct TraceEvent {
+  TimePoint at;
+  uint32_t node = 0;
+  std::string point;
+  std::string detail;
+};
+
+// Bounded, thread-safe store of per-trace event lists. When the trace cap
+// is hit the oldest trace is evicted; when one trace's event cap is hit
+// further events for it are counted but not stored (the dump says so).
+class TraceBuffer {
+ public:
+  explicit TraceBuffer(size_t max_traces = 4096,
+                       size_t max_events_per_trace = 256);
+
+  TraceBuffer(const TraceBuffer&) = delete;
+  TraceBuffer& operator=(const TraceBuffer&) = delete;
+
+  // No-op when trace_id is 0 (untraced message).
+  void Record(uint64_t trace_id, uint32_t node, std::string point,
+              std::string detail = std::string());
+
+  // Human-readable hop-by-hop dump; timestamps relative to the first event.
+  std::string DumpTrace(uint64_t trace_id) const;
+
+  bool HasTrace(uint64_t trace_id) const;
+  std::vector<TraceEvent> Events(uint64_t trace_id) const;
+
+  // The most recently started trace containing an event whose point starts
+  // with `point_prefix` (e.g. "port.drop" to sample a lost message).
+  std::optional<uint64_t> FindTraceWithPoint(
+      const std::string& point_prefix) const;
+
+  size_t trace_count() const;
+  uint64_t evicted_traces() const;
+  uint64_t suppressed_events() const;
+  void Clear();
+
+ private:
+  struct Trace {
+    std::vector<TraceEvent> events;
+    uint64_t suppressed = 0;  // events beyond max_events_per_trace_
+  };
+
+  mutable std::mutex mu_;
+  const size_t max_traces_;
+  const size_t max_events_per_trace_;
+  uint64_t evicted_ = 0;
+  uint64_t suppressed_ = 0;
+  std::unordered_map<uint64_t, Trace> traces_;
+  std::deque<uint64_t> order_;  // insertion order, for eviction & sampling
+};
+
+}  // namespace guardians
+
+#endif  // GUARDIANS_SRC_OBS_TRACE_H_

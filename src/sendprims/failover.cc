@@ -1,5 +1,8 @@
 #include "src/sendprims/failover.h"
 
+#include "src/guardian/node_runtime.h"
+#include "src/guardian/system.h"
+
 namespace guardians {
 
 Result<FailoverResult> FailoverCall(Guardian& caller,
@@ -8,8 +11,15 @@ Result<FailoverResult> FailoverCall(Guardian& caller,
                                     const ValueList& args,
                                     const PortType& reply_type,
                                     const RemoteCallOptions& per_target) {
+  MetricsRegistry& metrics = caller.runtime().system().metrics();
+  metrics.counter("sendprims.failover.calls")->Inc();
+  Counter* failovers_counter = metrics.counter("sendprims.failover.failovers");
   Status last(Code::kUnreachable, "no targets");
   for (size_t i = 0; i < targets.size(); ++i) {
+    if (i > 0) {
+      // Attempting the next replica because the previous one failed us.
+      failovers_counter->Inc();
+    }
     auto reply =
         RemoteCall(caller, targets[i], command, args, reply_type,
                    per_target);

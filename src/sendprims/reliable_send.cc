@@ -1,5 +1,11 @@
 #include "src/sendprims/reliable_send.h"
 
+#include <algorithm>
+#include <thread>
+
+#include "src/common/rng.h"
+#include "src/guardian/node_runtime.h"
+#include "src/guardian/system.h"
 #include "src/sendprims/sync_send.h"
 
 namespace guardians {
@@ -8,19 +14,49 @@ Result<ReliableSendResult> ReliableSend(Guardian& sender, const PortName& to,
                                         const std::string& command,
                                         const ValueList& args,
                                         const ReliableSendOptions& options) {
+  MetricsRegistry& metrics = sender.runtime().system().metrics();
+  metrics.counter("sendprims.reliable.calls")->Inc();
+  Counter* attempts_counter = metrics.counter("sendprims.reliable.attempts");
+  Counter* timeouts_counter = metrics.counter("sendprims.reliable.timeouts");
+  Histogram* backoff_hist =
+      metrics.histogram("sendprims.reliable.backoff_us");
+
+  Rng rng = sender.runtime().ForkRng();
   ReliableSendResult result;
   Status last(Code::kTimeout, "no attempts made");
+  double backoff_us =
+      static_cast<double>(options.initial_backoff.count());
   for (int attempt = 1; attempt <= options.max_attempts; ++attempt) {
     result.attempts = attempt;
+    attempts_counter->Inc();
     Status st = SyncSend(sender, to, command, args, options.ack_timeout);
     if (st.ok()) {
+      metrics.counter("sendprims.reliable.ok")->Inc();
       return result;
     }
     if (st.code() != Code::kTimeout) {
       return st;  // type error, node down, ...: retrying cannot help
     }
+    timeouts_counter->Inc();
     last = st;
+    if (attempt < options.max_attempts && backoff_us > 0.0) {
+      // ±jitter around the current backoff step, capped at max_backoff.
+      double jittered =
+          backoff_us * (1.0 + options.jitter * (2.0 * rng.NextDouble() - 1.0));
+      jittered = std::clamp(
+          jittered, 0.0, static_cast<double>(options.max_backoff.count()));
+      const Micros delay(static_cast<int64_t>(jittered));
+      if (delay.count() > 0) {
+        backoff_hist->Observe(static_cast<uint64_t>(delay.count()));
+        std::this_thread::sleep_for(delay);
+        result.total_backoff += delay;
+      }
+      backoff_us = std::min(
+          backoff_us * options.backoff_multiplier,
+          static_cast<double>(options.max_backoff.count()));
+    }
   }
+  metrics.counter("sendprims.reliable.exhausted")->Inc();
   return last;
 }
 

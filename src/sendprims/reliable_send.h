@@ -22,10 +22,21 @@ namespace guardians {
 struct ReliableSendOptions {
   Micros ack_timeout{Millis(100)};  // per-attempt wait for the receipt
   int max_attempts = 10;
+  // Exponential backoff between timed-out attempts. A resend storm into a
+  // congested port only deepens the overload that timed the ack out; each
+  // retry waits initial_backoff * backoff_multiplier^(attempt-1), capped at
+  // max_backoff, with ±jitter randomization so synchronized senders
+  // desynchronize. jitter = 0 disables randomization; initial_backoff = 0
+  // restores the old retry-immediately behaviour.
+  Micros initial_backoff{Millis(1)};
+  Micros max_backoff{Millis(50)};
+  double backoff_multiplier = 2.0;
+  double jitter = 0.5;
 };
 
 struct ReliableSendResult {
   int attempts = 0;  // sends performed (≥1 extra wire message each: the ack)
+  Micros total_backoff{0};  // time spent sleeping between attempts
 };
 
 // Blocks until the target process has received (one copy of) the message,

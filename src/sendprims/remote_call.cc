@@ -1,6 +1,7 @@
 #include "src/sendprims/remote_call.h"
 
 #include "src/guardian/node_runtime.h"
+#include "src/guardian/system.h"
 
 namespace guardians {
 
@@ -8,11 +9,16 @@ Result<RemoteReply> RemoteCall(Guardian& caller, const PortName& to,
                                const std::string& command, ValueList args,
                                const PortType& reply_type,
                                const RemoteCallOptions& options) {
+  MetricsRegistry& metrics = caller.runtime().system().metrics();
+  metrics.counter("sendprims.call.calls")->Inc();
+  Counter* attempts_counter = metrics.counter("sendprims.call.attempts");
+  Counter* timeouts_counter = metrics.counter("sendprims.call.timeouts");
   Port* reply_port = caller.AddPort(reply_type, /*capacity=*/8);
   Status last(Code::kTimeout, "no attempts made");
   RemoteReply reply;
   for (int attempt = 1; attempt <= options.max_attempts; ++attempt) {
     reply.attempts = attempt;
+    attempts_counter->Inc();
     auto sent =
         caller.SendFull(to, command, args, reply_port->name(), PortName{});
     if (!sent.ok()) {
@@ -27,6 +33,7 @@ Result<RemoteReply> RemoteCall(Guardian& caller, const PortName& to,
       if (received.status().code() == Code::kNodeDown) {
         break;
       }
+      timeouts_counter->Inc();
       continue;
     }
     if (received->command == kFailureCommand &&

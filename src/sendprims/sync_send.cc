@@ -1,11 +1,14 @@
 #include "src/sendprims/sync_send.h"
 
 #include "src/guardian/node_runtime.h"
+#include "src/guardian/system.h"
 
 namespace guardians {
 
 Status SyncSend(Guardian& sender, const PortName& to,
                 const std::string& command, ValueList args, Micros timeout) {
+  MetricsRegistry& metrics = sender.runtime().system().metrics();
+  metrics.counter("sendprims.sync.calls")->Inc();
   Port* ack_port = sender.AddPort(AckPortType(), /*capacity=*/4);
   auto sent = sender.SendFull(to, command, std::move(args), PortName{},
                               ack_port->name());
@@ -19,6 +22,9 @@ Status SyncSend(Guardian& sender, const PortName& to,
   for (;;) {
     auto received = sender.Receive(ack_port, deadline.Remaining());
     if (!received.ok()) {
+      if (received.status().code() == Code::kTimeout) {
+        metrics.counter("sendprims.sync.timeouts")->Inc();
+      }
       sender.RetirePort(ack_port);
       return received.status();
     }
@@ -30,6 +36,7 @@ Status SyncSend(Guardian& sender, const PortName& to,
     }
     // A stale or foreign ack; keep waiting until the deadline.
     if (deadline.Expired()) {
+      metrics.counter("sendprims.sync.timeouts")->Inc();
       sender.RetirePort(ack_port);
       return Status(Code::kTimeout, "no receipt acknowledgement");
     }

@@ -1,5 +1,6 @@
 #include "src/services/cabinet.h"
 
+#include "src/guardian/system.h"
 #include "src/wire/value_codec.h"
 
 namespace guardians {
@@ -74,6 +75,7 @@ void CabinetGuardian::Main() {
 }
 
 void CabinetGuardian::HandleRequest(const Received& request) {
+  runtime().system().metrics().counter("services.cabinet.requests")->Inc();
   auto reply = [&](const char* command, ValueList args) {
     if (!request.reply_to.IsNull()) {
       Status st = Send(request.reply_to, command, std::move(args));

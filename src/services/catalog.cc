@@ -1,5 +1,6 @@
 #include "src/services/catalog.h"
 
+#include "src/guardian/system.h"
 #include "src/sendprims/remote_call.h"
 
 namespace guardians {
@@ -69,6 +70,7 @@ void CatalogGuardian::Main() {
 }
 
 void CatalogGuardian::HandleRequest(const Received& request) {
+  runtime().system().metrics().counter("services.catalog.requests")->Inc();
   auto reply = [&](const char* command, ValueList args) {
     if (!request.reply_to.IsNull()) {
       Status st = Send(request.reply_to, command, std::move(args));

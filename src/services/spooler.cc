@@ -2,6 +2,8 @@
 
 #include <thread>
 
+#include "src/guardian/system.h"
+
 namespace guardians {
 
 PortType SpoolerPortType() {
@@ -56,6 +58,7 @@ void SpoolerGuardian::Main() {
       work_cv_.notify_all();
       return;
     }
+    runtime().system().metrics().counter("services.spooler.requests")->Inc();
     auto reply = [&](const char* command, ValueList args) {
       if (!received->reply_to.IsNull()) {
         Status st = Send(received->reply_to, command, std::move(args));

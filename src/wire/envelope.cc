@@ -29,6 +29,7 @@ Result<Bytes> EncodeEnvelope(const Envelope& env, const WireLimits& limits) {
   WireEncoder enc;
   enc.PutU8(kEnvelopeMagic);
   enc.PutU64(env.msg_id);
+  enc.PutU64(env.trace_id);
   enc.PutU32(env.src_node);
   EncodePortName(env.target, enc);
   EncodePortName(env.reply_to, enc);
@@ -53,6 +54,7 @@ Result<Envelope> DecodeHeaderInto(WireDecoder& dec) {
   }
   Envelope env;
   GUARDIANS_ASSIGN_OR_RETURN(env.msg_id, dec.GetU64());
+  GUARDIANS_ASSIGN_OR_RETURN(env.trace_id, dec.GetU64());
   GUARDIANS_ASSIGN_OR_RETURN(env.src_node, dec.GetU32());
   GUARDIANS_ASSIGN_OR_RETURN(env.target, DecodePortName(dec));
   GUARDIANS_ASSIGN_OR_RETURN(env.reply_to, DecodePortName(dec));

@@ -18,6 +18,8 @@ namespace guardians {
 
 struct Envelope {
   uint64_t msg_id = 0;       // unique per send; names fragments of one message
+  uint64_t trace_id = 0;     // causal chain id; stamped at the first send,
+                             // carried through replies/acks/failures
   NodeId src_node = 0;       // origin node (for system failure replies)
   PortName target;           // destination port
   PortName reply_to;         // optional; null when absent

@@ -11,7 +11,8 @@ void Packet::Seal() { crc = Crc32(payload); }
 bool Packet::Verify() const { return crc == Crc32(payload); }
 
 std::vector<Packet> Fragment(const Bytes& message, uint64_t msg_id,
-                             NodeId src, NodeId dst, uint64_t max_payload) {
+                             NodeId src, NodeId dst, uint64_t max_payload,
+                             uint64_t trace_id) {
   std::vector<Packet> packets;
   if (max_payload == 0) {
     max_payload = 1;
@@ -22,6 +23,7 @@ std::vector<Packet> Fragment(const Bytes& message, uint64_t msg_id,
   for (uint32_t i = 0; i < count; ++i) {
     Packet p;
     p.msg_id = msg_id;
+    p.trace_id = trace_id;
     p.src = src;
     p.dst = dst;
     p.frag_index = i;

@@ -24,6 +24,8 @@ namespace guardians {
 
 struct Packet {
   uint64_t msg_id = 0;
+  uint64_t trace_id = 0;  // carried beside the payload so the network can
+                          // attribute per-hop drop events to a trace
   NodeId src = 0;
   NodeId dst = 0;
   uint32_t frag_index = 0;
@@ -40,9 +42,10 @@ struct Packet {
 };
 
 // Split an encoded message into CRC-sealed packets of at most
-// `max_payload` bytes each.
+// `max_payload` bytes each. Every fragment carries the message's trace id.
 std::vector<Packet> Fragment(const Bytes& message, uint64_t msg_id,
-                             NodeId src, NodeId dst, uint64_t max_payload);
+                             NodeId src, NodeId dst, uint64_t max_payload,
+                             uint64_t trace_id = 0);
 
 // Per-node packet reassembler. Not thread-safe; callers serialize.
 class Reassembler {

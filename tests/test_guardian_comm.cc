@@ -180,13 +180,15 @@ TEST_F(CommTest, StaleNameAfterPortChangeYieldsTypeMismatchFailure) {
   auto reply_port = sender_->AddPort(
       PortType("r", {MessageSig{"ok", {}, {}}}), 8);
   ASSERT_TRUE(system_.port_types().Register(TinyPortType()).ok());
-  // Sending to the retired port: system failure "target port doesn't
-  // exist"... but the signature declares no replies, so use SendFull with
-  // a reply port via the failure path: attach reply_to through a
-  // replies-declaring command is impossible here; instead observe stats.
+  // Sending to the retired port: the drop is attributed to the port being
+  // retired — not "no port" and not "full" — so the sender can tell that
+  // retrying this name is pointless until the port is recreated.
   ASSERT_TRUE(sender_->Send(stale, "put", {Value::Int(1)}).ok());
   system_.network().DrainForTesting();
-  EXPECT_EQ(b_->stats().discarded_no_port, 1u);
+  EXPECT_EQ(b_->stats().discarded_port_retired, 1u);
+  EXPECT_EQ(b_->stats().discarded_no_port, 0u);
+  EXPECT_EQ(b_->stats().discarded_port_full, 0u);
+  EXPECT_EQ(old_port->discarded_retired(), 1u);
   (void)reply_port;
 }
 
