@@ -17,6 +17,13 @@
 namespace guardians {
 namespace {
 
+// Cross-PR perf tracking: every configuration appends one record here and
+// the file is written at process exit.
+BenchJson& PortsJson() {
+  static BenchJson json("BENCH_ports.json");
+  return json;
+}
+
 PortType StreamPortType() {
   return PortType("stream",
                   {MessageSig{"item",
@@ -138,6 +145,15 @@ void BM_PortBufferOverrun(benchmark::State& state) {
   state.counters["discard_failures"] = benchmark::Counter(
       static_cast<double>(failures_total) / state.iterations());
   state.SetItemsProcessed(state.iterations() * burst);
+  PortsJson().Record(
+      "port_buffer_overrun/capacity:" + std::to_string(capacity) +
+          "/burst:" + std::to_string(burst),
+      {{"capacity", static_cast<double>(capacity)},
+       {"burst", static_cast<double>(burst)},
+       {"accepted",
+        static_cast<double>(accepted_total) / state.iterations()},
+       {"discard_failures",
+        static_cast<double>(failures_total) / state.iterations()}});
 }
 
 void BM_ReorderingUnderJitter(benchmark::State& state) {
@@ -179,6 +195,11 @@ void BM_ReorderingUnderJitter(benchmark::State& state) {
   state.counters["out_of_order_frac"] =
       benchmark::Counter(out_of_order_frac / state.iterations());
   state.SetItemsProcessed(state.iterations() * kMessages);
+  PortsJson().Record(
+      "reordering_under_jitter/jitter_us:" +
+          std::to_string(jitter.count()),
+      {{"jitter_us", static_cast<double>(jitter.count())},
+       {"out_of_order_frac", out_of_order_frac / state.iterations()}});
 }
 
 }  // namespace

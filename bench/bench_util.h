@@ -6,8 +6,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/airline/airline_system.h"
@@ -16,6 +19,52 @@
 #include "src/sendprims/remote_call.h"
 
 namespace guardians {
+
+// Machine-readable bench results: each bench binary appends named records
+// and a JSON file is written at process exit, so the perf trajectory can be
+// tracked across PRs (diff BENCH_*.json between checkouts). Format:
+//   {"records": [{"name": "...", "fields": {"k": v, ...}}, ...]}
+class BenchJson {
+ public:
+  explicit BenchJson(std::string path) : path_(std::move(path)) {}
+  ~BenchJson() { Flush(); }
+
+  BenchJson(const BenchJson&) = delete;
+  BenchJson& operator=(const BenchJson&) = delete;
+
+  void Record(const std::string& name,
+              const std::map<std::string, double>& fields) {
+    records_.emplace_back(name, fields);
+  }
+
+  void Flush() {
+    if (records_.empty()) {
+      return;
+    }
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      return;  // benches may run in read-only sandboxes; results still print
+    }
+    std::fputs("{\"records\": [\n", f);
+    for (size_t i = 0; i < records_.size(); ++i) {
+      std::fprintf(f, "  {\"name\": \"%s\", \"fields\": {",
+                   records_[i].first.c_str());
+      size_t j = 0;
+      for (const auto& [key, value] : records_[i].second) {
+        std::fprintf(f, "%s\"%s\": %.6g", j++ == 0 ? "" : ", ", key.c_str(),
+                     value);
+      }
+      std::fprintf(f, "}}%s\n", i + 1 < records_.size() ? "," : "");
+    }
+    std::fputs("]}\n", f);
+    std::fclose(f);
+    records_.clear();
+  }
+
+ private:
+  std::string path_;
+  std::vector<std::pair<std::string, std::map<std::string, double>>> records_;
+};
 
 // A system with one "clients" node plus whatever the scenario adds.
 struct BenchWorld {

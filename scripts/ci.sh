@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Tier-1 gate: build + full test suite, then the ThreadSanitizer preset
+# over the concurrency-sensitive suites (ctest label "tsan").
+#
+# Usage: scripts/ci.sh [--skip-tsan]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SKIP_TSAN=0
+for arg in "$@"; do
+  case "$arg" in
+    --skip-tsan) SKIP_TSAN=1 ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
+
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2)"
+
+echo "==> tier-1: configure + build (preset: default)"
+cmake --preset default
+cmake --build --preset default -j "$JOBS"
+
+echo "==> tier-1: ctest (full suite)"
+ctest --preset default -j "$JOBS"
+
+if [[ "$SKIP_TSAN" -eq 1 ]]; then
+  echo "==> tsan: skipped (--skip-tsan)"
+  exit 0
+fi
+
+echo "==> tsan: configure + build (preset: tsan)"
+cmake --preset tsan
+cmake --build --preset tsan -j "$JOBS"
+
+echo "==> tsan: ctest (label: tsan)"
+ctest --preset tsan
+
+echo "==> ci: all green"

@@ -466,7 +466,7 @@ Status NodeRuntime::Transmit(Envelope env) {
   // as this returns; delivery is not guaranteed.
   system_->traces().Record(env.trace_id, id_, "send",
                            env.command + " -> " + env.target.ToString());
-  auto packets = Fragment(*bytes, env.msg_id, id_, env.target.node,
+  auto packets = Fragment(std::move(*bytes), env.msg_id, id_, env.target.node,
                           system_->limits().max_packet_payload, env.trace_id);
   for (auto& packet : packets) {
     system_->network().Send(std::move(packet));
@@ -525,17 +525,20 @@ void NodeRuntime::NoteReceived(const Received& message) {
                                     : std::string()));
 }
 
-void NodeRuntime::DeliverPacket(const Packet& packet) {
+void NodeRuntime::DeliverPacket(Packet&& packet) {
   if (!up_.load()) {
     return;
   }
+  // Only the payload moves into the reassembler; the header fields stay
+  // readable for trace attribution below.
+  const uint64_t trace_id = packet.trace_id;
   std::optional<Bytes> message;
   {
     std::lock_guard<std::mutex> lock(reassembler_mu_);
-    auto added = reassembler_.Add(packet);
+    auto added = reassembler_.Add(std::move(packet));
     if (!added.ok()) {
       counters_.drop_corrupt_fragment->Inc();
-      system_->traces().Record(packet.trace_id, id_,
+      system_->traces().Record(trace_id, id_,
                                "port.drop.corrupt_fragment",
                                added.status().message());
       std::lock_guard<std::mutex> stats_lock(stats_mu_);
@@ -552,7 +555,7 @@ void NodeRuntime::DeliverPacket(const Packet& packet) {
                             transmit_registry_.AsDecodeFn());
   if (!env.ok()) {
     counters_.drop_decode_error->Inc();
-    system_->traces().Record(packet.trace_id, id_, "port.drop.decode_error",
+    system_->traces().Record(trace_id, id_, "port.drop.decode_error",
                              env.status().message());
     {
       std::lock_guard<std::mutex> lock(stats_mu_);

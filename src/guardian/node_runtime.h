@@ -155,7 +155,11 @@ class NodeRuntime {
  private:
   friend class System;
 
-  void DeliverPacket(const Packet& packet);
+  // Sink of the network's delivery workers: consumes the packet (payload
+  // moves into the reassembler, then the decoded envelope moves into the
+  // target port) — no copy of the message bytes or argument values on the
+  // delivery path.
+  void DeliverPacket(Packet&& packet);
   void DeliverEnvelope(Envelope env);
   Status StartGuardian(Guardian* guardian, const std::string& type_name,
                        const std::string& guardian_name, GuardianId gid,

@@ -2,7 +2,7 @@
 
 namespace guardians {
 
-PushResult Port::Push(Received message) {
+PushResult Port::Push(Received&& message) {
   {
     std::lock_guard<std::mutex> lock(mailbox_->mu);
     if (retired_ || mailbox_->closed) {

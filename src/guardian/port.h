@@ -72,11 +72,11 @@ class Port {
   const PortType& type() const { return type_; }
   size_t capacity() const { return capacity_; }
 
-  // --- Runtime side (delivery thread) --------------------------------------
-  // Enqueue a delivered message. On kFull/kRetired the caller throws the
-  // message away (and synthesizes the system failure reply naming the
-  // returned reason).
-  PushResult Push(Received message);
+  // --- Runtime side (delivery workers) -------------------------------------
+  // Enqueue a delivered message (consumed by move on success). On
+  // kFull/kRetired the caller throws the message away (and synthesizes the
+  // system failure reply naming the returned reason).
+  PushResult Push(Received&& message);
 
   // Mark dead: no further pushes succeed, pending messages are dropped.
   // Used when an ephemeral reply port is retired.

@@ -7,7 +7,8 @@ namespace guardians {
 System::System(SystemConfig config)
     : config_(config),
       rng_(config.seed),
-      network_(config.seed ^ 0xA5A5A5A5ull, &metrics_, &traces_) {
+      network_(config.seed ^ 0xA5A5A5A5ull, &metrics_, &traces_,
+               config.delivery_shards) {
   network_.SetDefaultLink(config_.default_link);
   // System-defined port types every node may rely on.
   Status st = port_types_.Register(PrimordialPortType());
@@ -24,7 +25,7 @@ System::~System() {
   for (auto& node : nodes_) {
     node->Crash();
   }
-  // Then stop the delivery thread before the member destructors free the
+  // Then stop the delivery workers before the member destructors free the
   // node runtimes: a sink call already in flight runs DeliverPacket on a
   // raw NodeRuntime*, and nodes_ (declared after network_) is destroyed
   // first.
@@ -36,8 +37,8 @@ NodeRuntime& System::AddNode(const std::string& name) {
   auto runtime = std::make_unique<NodeRuntime>(this, id, name, rng_.NextU64());
   NodeRuntime* raw = runtime.get();
   nodes_.push_back(std::move(runtime));
-  network_.SetSink(id, [raw](const Packet& packet) {
-    raw->DeliverPacket(packet);
+  network_.SetSink(id, [raw](Packet&& packet) {
+    raw->DeliverPacket(std::move(packet));
   });
   Status booted = raw->Restart();
   assert(booted.ok());

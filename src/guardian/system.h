@@ -27,6 +27,10 @@ struct SystemConfig {
   uint64_t seed = 1;
   WireLimits limits;
   LinkParams default_link;
+  // Delivery worker threads in the network, sharded by destination node.
+  // Drop/corruption outcomes are seed-deterministic at any worker count
+  // (decided at Send time); this only changes delivery parallelism.
+  size_t delivery_shards = Network::kDefaultShards;
 };
 
 class System {

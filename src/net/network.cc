@@ -7,12 +7,27 @@
 
 namespace guardians {
 
-Network::Network(uint64_t seed, MetricsRegistry* metrics, TraceBuffer* traces)
+Network::Network(uint64_t seed, MetricsRegistry* metrics, TraceBuffer* traces,
+                 size_t shards)
     : rng_(seed), metrics_(metrics), traces_(traces) {
   if (metrics_ != nullptr) {
     delivery_latency_ = metrics_->histogram("net.delivery_latency_us");
   }
-  delivery_thread_ = std::thread([this] { DeliveryLoop(); });
+  shards_.reserve(std::max<size_t>(shards, 1));
+  for (size_t k = 0; k < std::max<size_t>(shards, 1); ++k) {
+    auto shard = std::make_unique<Shard>();
+    if (metrics_ != nullptr) {
+      const std::string prefix = "net.shard." + std::to_string(k) + ".";
+      shard->enqueued = metrics_->counter(prefix + "enqueued");
+      shard->delivered = metrics_->counter(prefix + "delivered");
+      shard->dropped = metrics_->counter(prefix + "dropped");
+    }
+    shards_.push_back(std::move(shard));
+  }
+  for (auto& shard : shards_) {
+    Shard* raw = shard.get();
+    raw->worker = std::thread([this, raw] { ShardLoop(*raw); });
+  }
 }
 
 Network::~Network() { Shutdown(); }
@@ -20,13 +35,24 @@ Network::~Network() { Shutdown(); }
 void Network::Shutdown() {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (stopping_) {
+    if (stopped_) {
       return;  // already shut down
     }
-    stopping_ = true;
+    stopped_ = true;
   }
-  cv_.notify_all();
-  delivery_thread_.join();
+  stopping_.store(true);
+  for (auto& shard : shards_) {
+    // Lock-then-notify so a worker between its predicate check and its
+    // wait cannot miss the stop signal.
+    { std::lock_guard<std::mutex> lock(shard->mu); }
+    shard->cv.notify_all();
+  }
+  for (auto& shard : shards_) {
+    shard->worker.join();
+  }
+  // Unblock any drainer waiting on packets the stopped workers abandoned.
+  { std::lock_guard<std::mutex> lock(drain_mu_); }
+  drained_cv_.notify_all();
 }
 
 NodeId Network::AddNode(const std::string& name) {
@@ -96,81 +122,104 @@ void Network::SetPartitioned(NodeId a, NodeId b, bool cut) {
 }
 
 void Network::Send(Packet packet) {
-  std::lock_guard<std::mutex> lock(mu_);
-  ++stats_.packets_sent;
-  stats_.bytes_sent += packet.WireSize();
-  LinkCounters* link_counters = CountersForLink(packet.src, packet.dst);
-  if (link_counters != nullptr) {
-    link_counters->sent->Inc();
-  }
-
-  const bool src_ok =
-      packet.src >= 1 && packet.src <= node_up_.size() && node_up_[packet.src - 1];
-  const bool partitioned =
-      packet.src != packet.dst &&
-      partitions_.count(LinkKey(packet.src, packet.dst)) > 0;
-  if (!src_ok || partitioned) {
-    ++stats_.packets_dropped;
-    CountDrop(packet, !src_ok ? "src_down" : "partition");
-    return;
-  }
-
-  LinkParams link = default_link_;
-  if (packet.src != packet.dst) {
-    auto it = links_.find(LinkKey(packet.src, packet.dst));
-    if (it != links_.end()) {
-      link = it->second;
-    }
-  } else {
-    link = LinkParams{Micros(0), Micros(0), 0.0, 0.0, 0.0};
-  }
-
-  if (rng_.NextBool(link.drop_prob)) {
-    ++stats_.packets_dropped;
-    CountDrop(packet, "loss");
-    return;
-  }
-  if (!packet.payload.empty() && rng_.NextBool(link.corrupt_prob)) {
-    // Flip one byte; the error-detection bits will reject the packet at the
-    // receiving node (it keeps its stale CRC on purpose).
-    const size_t at = rng_.NextBelow(packet.payload.size());
-    packet.payload[at] ^= static_cast<uint8_t>(1 + rng_.NextBelow(255));
-    ++stats_.packets_corrupted;
-    if (link_counters != nullptr) {
-      link_counters->corrupted->Inc();
-      metrics_->counter("net.corrupted")->Inc();
-    }
-    if (traces_ != nullptr) {
-      traces_->Record(packet.trace_id, 0, "net.corrupted",
-                      "n" + std::to_string(packet.src) + "->n" +
-                          std::to_string(packet.dst));
-    }
-  }
-
-  int64_t delay_us = ToMicros(link.latency);
-  if (link.jitter.count() > 0) {
-    delay_us += static_cast<int64_t>(rng_.NextNormal(
-        0.0, static_cast<double>(link.jitter.count())));
-  }
-  if (link.bytes_per_micro > 0.0) {
-    delay_us += static_cast<int64_t>(
-        static_cast<double>(packet.WireSize()) / link.bytes_per_micro);
-  }
-  delay_us = std::max<int64_t>(delay_us, 0);
-
   InFlight entry;
-  entry.sent_at = Now();
-  entry.deliver_at = entry.sent_at + Micros(delay_us);
-  entry.seq = seq_++;
-  entry.packet = std::move(packet);
-  queue_.push(std::move(entry));
-  cv_.notify_all();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.packets_sent;
+    stats_.bytes_sent += packet.WireSize();
+    LinkCounters* link_counters = CountersForLink(packet.src, packet.dst);
+    if (link_counters != nullptr) {
+      link_counters->sent->Inc();
+    }
+
+    const bool src_ok = packet.src >= 1 && packet.src <= node_up_.size() &&
+                        node_up_[packet.src - 1];
+    const bool partitioned =
+        packet.src != packet.dst &&
+        partitions_.count(LinkKey(packet.src, packet.dst)) > 0;
+    if (!src_ok || partitioned) {
+      ++stats_.packets_dropped;
+      CountDrop(packet, !src_ok ? "src_down" : "partition");
+      return;
+    }
+
+    LinkParams link = default_link_;
+    if (packet.src != packet.dst) {
+      auto it = links_.find(LinkKey(packet.src, packet.dst));
+      if (it != links_.end()) {
+        link = it->second;
+      }
+    } else {
+      link = LinkParams{Micros(0), Micros(0), 0.0, 0.0, 0.0};
+    }
+
+    if (rng_.NextBool(link.drop_prob)) {
+      ++stats_.packets_dropped;
+      CountDrop(packet, "loss");
+      return;
+    }
+    if (!packet.payload.empty() && rng_.NextBool(link.corrupt_prob)) {
+      // Flip one byte; the error-detection bits will reject the packet at
+      // the receiving node (it keeps its stale CRC on purpose).
+      const size_t at = rng_.NextBelow(packet.payload.size());
+      packet.payload[at] ^= static_cast<uint8_t>(1 + rng_.NextBelow(255));
+      ++stats_.packets_corrupted;
+      if (link_counters != nullptr) {
+        link_counters->corrupted->Inc();
+        metrics_->counter("net.corrupted")->Inc();
+      }
+      if (traces_ != nullptr) {
+        traces_->Record(packet.trace_id, 0, "net.corrupted",
+                        "n" + std::to_string(packet.src) + "->n" +
+                            std::to_string(packet.dst));
+      }
+    }
+
+    int64_t delay_us = ToMicros(link.latency);
+    if (link.jitter.count() > 0) {
+      delay_us += static_cast<int64_t>(
+          rng_.NextNormal(0.0, static_cast<double>(link.jitter.count())));
+    }
+    if (link.bytes_per_micro > 0.0) {
+      delay_us += static_cast<int64_t>(
+          static_cast<double>(packet.WireSize()) / link.bytes_per_micro);
+    }
+    delay_us = std::max<int64_t>(delay_us, 0);
+
+    entry.sent_at = Now();
+    entry.deliver_at = entry.sent_at + Micros(delay_us);
+    entry.seq = seq_++;
+    entry.packet = std::move(packet);
+  }
+
+  // The drop/corrupt/latency dice are cast; hand the packet to its
+  // destination's shard. in_flight_ rises before the worker can resolve
+  // the packet, so DrainForTesting never observes a false zero.
+  Shard& shard = ShardFor(entry.packet.dst);
+  in_flight_.fetch_add(1, std::memory_order_acq_rel);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (stopping_.load()) {
+      // Workers are gone; the packet silently vanishes (it was "in flight"
+      // when the world stopped), and the drain barrier must not wait on it.
+      in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+      return;
+    }
+    shard.heap.push_back(std::move(entry));
+    std::push_heap(shard.heap.begin(), shard.heap.end(), DueLater{});
+    if (shard.enqueued != nullptr) {
+      shard.enqueued->Inc();
+    }
+  }
+  shard.cv.notify_all();
 }
 
 void Network::DrainForTesting() {
-  std::unique_lock<std::mutex> lock(mu_);
-  drained_cv_.wait(lock,
-                   [this] { return queue_.empty() && !delivering_; });
+  std::unique_lock<std::mutex> lock(drain_mu_);
+  drained_cv_.wait(lock, [this] {
+    return in_flight_.load(std::memory_order_acquire) == 0 ||
+           stopping_.load();
+  });
 }
 
 NetworkStats Network::stats() const {
@@ -218,66 +267,82 @@ void Network::CountDrop(const Packet& packet, const char* reason) {
   }
 }
 
-void Network::DeliveryLoop() {
-  std::unique_lock<std::mutex> lock(mu_);
+void Network::ShardLoop(Shard& shard) {
+  std::unique_lock<std::mutex> lock(shard.mu);
   for (;;) {
-    if (stopping_) {
+    if (stopping_.load()) {
       return;
     }
-    if (queue_.empty()) {
-      drained_cv_.notify_all();
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+    if (shard.heap.empty()) {
+      shard.cv.wait(lock,
+                    [&] { return stopping_.load() || !shard.heap.empty(); });
       continue;
     }
-    const TimePoint next = queue_.top().deliver_at;
+    const TimePoint next = shard.heap.front().deliver_at;
     if (Now() < next) {
-      cv_.wait_until(lock, next);
+      shard.cv.wait_until(lock, next);
       continue;
     }
 
-    Packet packet = queue_.top().packet;
-    const TimePoint sent_at = queue_.top().sent_at;
-    queue_.pop();
+    std::pop_heap(shard.heap.begin(), shard.heap.end(), DueLater{});
+    InFlight entry = std::move(shard.heap.back());
+    shard.heap.pop_back();
 
-    const NodeId dst = packet.dst;
-    PacketSink sink;
-    bool deliverable = dst >= 1 && dst <= node_up_.size() &&
-                       node_up_[dst - 1] && sinks_[dst - 1];
+    // Deliver outside the shard lock: the sink may immediately Send (e.g.
+    // a system failure reply) or hand off to guardian processes, and other
+    // shards' sinks run concurrently with this one.
+    lock.unlock();
+    DeliverOne(shard, std::move(entry));
+    FinishOne();
+    lock.lock();
+  }
+}
+
+void Network::DeliverOne(Shard& shard, InFlight entry) {
+  const NodeId dst = entry.packet.dst;
+  PacketSink sink;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const bool deliverable = dst >= 1 && dst <= node_up_.size() &&
+                             node_up_[dst - 1] && sinks_[dst - 1];
     if (deliverable) {
       sink = sinks_[dst - 1];
       ++stats_.packets_delivered;
       if (delivery_latency_ != nullptr) {
-        delivery_latency_->Observe(
-            static_cast<uint64_t>(std::max<int64_t>(
-                ToMicros(Now() - sent_at), 0)));
+        delivery_latency_->Observe(static_cast<uint64_t>(
+            std::max<int64_t>(ToMicros(Now() - entry.sent_at), 0)));
       }
-      LinkCounters* link_counters = CountersForLink(packet.src, dst);
+      LinkCounters* link_counters = CountersForLink(entry.packet.src, dst);
       if (link_counters != nullptr) {
         link_counters->delivered->Inc();
       }
       if (traces_ != nullptr) {
-        traces_->Record(packet.trace_id, 0, "net.delivered",
-                        "n" + std::to_string(packet.src) + "->n" +
+        traces_->Record(entry.packet.trace_id, 0, "net.delivered",
+                        "n" + std::to_string(entry.packet.src) + "->n" +
                             std::to_string(dst) + " frag " +
-                            std::to_string(packet.frag_index + 1) + "/" +
-                            std::to_string(packet.frag_count));
+                            std::to_string(entry.packet.frag_index + 1) +
+                            "/" + std::to_string(entry.packet.frag_count));
       }
     } else {
       ++stats_.packets_dropped;
-      CountDrop(packet, "dst_down");
+      CountDrop(entry.packet, "dst_down");
     }
-    if (sink) {
-      // Deliver outside the lock: the sink may immediately Send (e.g. a
-      // system failure reply) or hand off to guardian processes.
-      delivering_ = true;
-      lock.unlock();
-      sink(packet);
-      lock.lock();
-      delivering_ = false;
+  }
+  if (sink) {
+    if (shard.delivered != nullptr) {
+      shard.delivered->Inc();
     }
-    if (queue_.empty() && !delivering_) {
-      drained_cv_.notify_all();
-    }
+    sink(std::move(entry.packet));
+  } else if (shard.dropped != nullptr) {
+    shard.dropped->Inc();
+  }
+}
+
+void Network::FinishOne() {
+  if (in_flight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    // Synchronize with a drainer between its predicate check and its wait.
+    { std::lock_guard<std::mutex> lock(drain_mu_); }
+    drained_cv_.notify_all();
   }
 }
 

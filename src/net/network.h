@@ -10,6 +10,15 @@
 // serialization delay. Links may be partitioned, and nodes marked down lose
 // all packets addressed to them — exactly what a peer observes of a crash.
 //
+// Delivery engine: packets are sharded by destination node across N worker
+// threads, each owning its own timing heap and condition variable. §3.4
+// promises *unordered* best-effort delivery across destinations, so the
+// only order that matters — packets to one node — is preserved (one node
+// always maps to one shard). Loss, corruption, and latency are decided
+// seed-deterministically at Send() time under one lock, so drop and
+// corruption counts are bit-identical for a given seed at every worker
+// count; only wall-clock parallelism changes.
+//
 // The substitution for the paper's physical network is documented in
 // DESIGN.md: every failure mode the paper reasons about (loss, reordering,
 // corruption, unreachable nodes) is reproduced with controllable,
@@ -17,11 +26,12 @@
 #ifndef GUARDIANS_SRC_NET_NETWORK_H_
 #define GUARDIANS_SRC_NET_NETWORK_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
-#include <queue>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -55,17 +65,25 @@ struct NetworkStats {
   uint64_t bytes_sent = 0;
 };
 
-// Receives reassembly-ready packets at a node. Called on the network's
-// delivery thread; implementations must be quick and must not block.
-using PacketSink = std::function<void(const Packet&)>;
+// Receives reassembly-ready packets at a node. Called on a delivery worker
+// thread; the packet is handed over by move (the network keeps nothing).
+// Implementations must be quick and must not block. Sinks for different
+// nodes may run concurrently; the sink of one node never runs reentrantly.
+using PacketSink = std::function<void(Packet&&)>;
 
 class Network {
  public:
+  static constexpr size_t kDefaultShards = 4;
+
   // `metrics`/`traces` are optional observability sinks (owned by the
   // caller, usually the System): per-link packet counters, drop-reason
-  // counters, a delivery-latency histogram, and per-hop trace events.
+  // counters, per-shard delivery counters, a delivery-latency histogram,
+  // and per-hop trace events. `shards` is the number of delivery worker
+  // threads (clamped to >= 1); destination nodes are statically assigned
+  // to shards round-robin.
   explicit Network(uint64_t seed = 1, MetricsRegistry* metrics = nullptr,
-                   TraceBuffer* traces = nullptr);
+                   TraceBuffer* traces = nullptr,
+                   size_t shards = kDefaultShards);
   ~Network();
 
   Network(const Network&) = delete;
@@ -77,6 +95,7 @@ class Network {
   // AddNode reallocated the vector after the lock is released.
   std::string NodeName(NodeId id) const;
   size_t node_count() const;
+  size_t shard_count() const { return shards_.size(); }
 
   // Delivery callback for a node. Replaces any previous sink.
   void SetSink(NodeId node, PacketSink sink);
@@ -94,18 +113,22 @@ class Network {
   // Cut or restore connectivity between two nodes (both directions).
   void SetPartitioned(NodeId a, NodeId b, bool cut);
 
-  // Inject one packet. Loss/corruption/latency are decided here; delivery
-  // happens later on the delivery thread. Local (src == dst) delivery still
-  // goes through the queue but with zero link cost.
+  // Inject one packet. Loss/corruption/latency are decided here, under one
+  // lock and one rng, so outcomes depend only on the seed and the Send
+  // order — never on worker count. Delivery happens later on the
+  // destination's shard worker. Local (src == dst) delivery still goes
+  // through the shard queue but with zero link cost.
   void Send(Packet packet);
 
-  // Block until no packets remain in flight (useful in tests).
+  // Block until no packets remain in flight on any shard and no sink is
+  // mid-call (useful in tests). Packets a sink re-sends while draining are
+  // waited for too. Returns immediately after Shutdown().
   void DrainForTesting();
 
-  // Stop the delivery thread and join it; no sink runs after this returns.
-  // Idempotent. System teardown calls it before destroying the node
-  // runtimes the sinks point into (they would otherwise race a delivery
-  // already in flight); ~Network calls it too.
+  // Stop every delivery worker and join them; no sink runs after this
+  // returns. Idempotent. System teardown calls it before destroying the
+  // node runtimes the sinks point into (they would otherwise race a
+  // delivery already in flight); ~Network calls it too.
   void Shutdown();
 
   NetworkStats stats() const;
@@ -114,14 +137,32 @@ class Network {
   struct InFlight {
     TimePoint deliver_at;
     TimePoint sent_at;  // for the delivery-latency histogram
-    uint64_t seq;  // tie-break so the heap is deterministic
+    uint64_t seq;  // assigned at Send under the global lock; tie-break so
+                   // each shard's heap pops in a deterministic order
     Packet packet;
-    bool operator>(const InFlight& other) const {
-      if (deliver_at != other.deliver_at) {
-        return deliver_at > other.deliver_at;
+  };
+
+  // Min-heap order on (deliver_at, seq).
+  struct DueLater {
+    bool operator()(const InFlight& a, const InFlight& b) const {
+      if (a.deliver_at != b.deliver_at) {
+        return a.deliver_at > b.deliver_at;
       }
-      return seq > other.seq;
+      return a.seq > b.seq;
     }
+  };
+
+  // One delivery worker: a timing heap of packets addressed to the nodes
+  // this shard owns, its own lock/condvar, and per-shard counters
+  // (net.shard.<k>.{enqueued,delivered,dropped}).
+  struct Shard {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::vector<InFlight> heap;  // guarded by mu; DueLater min-heap
+    std::thread worker;
+    Counter* enqueued = nullptr;   // may be null (no registry)
+    Counter* delivered = nullptr;
+    Counter* dropped = nullptr;
   };
 
   static uint64_t LinkKey(NodeId a, NodeId b) {
@@ -136,16 +177,21 @@ class Network {
     Counter* corrupted = nullptr;
   };
 
-  void DeliveryLoop();
+  Shard& ShardFor(NodeId dst) {
+    return *shards_[dst == 0 ? 0 : (dst - 1) % shards_.size()];
+  }
+  void ShardLoop(Shard& shard);
+  void DeliverOne(Shard& shard, InFlight entry);
+  // One packet left the system (delivered or dropped at delivery time);
+  // wakes DrainForTesting when the last one resolves.
+  void FinishOne();
   // Requires mu_ held (names the link by node names).
   LinkCounters* CountersForLink(NodeId src, NodeId dst);
   void CountDrop(const Packet& packet, const char* reason);
 
   mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::condition_variable drained_cv_;
-  bool stopping_ = false;
-  bool delivering_ = false;  // a sink callback is running right now
+  std::atomic<bool> stopping_{false};
+  bool stopped_ = false;  // guarded by mu_; makes Shutdown idempotent
   uint64_t seq_ = 0;
   Rng rng_;
   LinkParams default_link_;
@@ -159,8 +205,15 @@ class Network {
   TraceBuffer* traces_;       // may be null
   Histogram* delivery_latency_ = nullptr;
   std::unordered_map<uint64_t, LinkCounters> link_counters_;
-  std::priority_queue<InFlight, std::vector<InFlight>, std::greater<>> queue_;
-  std::thread delivery_thread_;
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  // Packets accepted at Send but not yet resolved by a worker. The drain
+  // barrier is shard-aware through this single count: it covers every
+  // shard's heap plus any sink call still running.
+  std::atomic<uint64_t> in_flight_{0};
+  std::mutex drain_mu_;
+  std::condition_variable drained_cv_;
 };
 
 }  // namespace guardians

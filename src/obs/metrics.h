@@ -11,6 +11,8 @@
 //
 // Naming convention (dots separate subsystems, see DESIGN.md §7):
 //   net.link.<a>-><b>.sent          per-link packet counters
+//   net.shard.<k>.<event>           enqueued / delivered / dropped per
+//                                   delivery worker (shard) of the network
 //   net.drop.<reason>               loss / partition / src_down / dst_down
 //   deliver.drop.<reason>           no_guardian / no_port / port_retired /
 //                                   port_full / type_mismatch / decode_error

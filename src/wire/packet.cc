@@ -10,8 +10,8 @@ void Packet::Seal() { crc = Crc32(payload); }
 
 bool Packet::Verify() const { return crc == Crc32(payload); }
 
-std::vector<Packet> Fragment(const Bytes& message, uint64_t msg_id,
-                             NodeId src, NodeId dst, uint64_t max_payload,
+std::vector<Packet> Fragment(Bytes message, uint64_t msg_id, NodeId src,
+                             NodeId dst, uint64_t max_payload,
                              uint64_t trace_id) {
   std::vector<Packet> packets;
   if (max_payload == 0) {
@@ -28,38 +28,44 @@ std::vector<Packet> Fragment(const Bytes& message, uint64_t msg_id,
     p.dst = dst;
     p.frag_index = i;
     p.frag_count = count;
-    const size_t begin = static_cast<size_t>(i) * max_payload;
-    const size_t end = std::min(message.size(), begin + max_payload);
-    p.payload.assign(message.begin() + static_cast<long>(begin),
-                     message.begin() + static_cast<long>(end));
+    if (count == 1) {
+      p.payload = std::move(message);
+    } else {
+      const size_t begin = static_cast<size_t>(i) * max_payload;
+      const size_t end = std::min(message.size(), begin + max_payload);
+      p.payload.assign(message.begin() + static_cast<long>(begin),
+                       message.begin() + static_cast<long>(end));
+    }
     p.Seal();
     packets.push_back(std::move(p));
   }
   return packets;
 }
 
-Result<std::optional<Bytes>> Reassembler::Add(const Packet& packet) {
+Result<std::optional<Bytes>> Reassembler::Add(Packet&& packet) {
+  const Key key{packet.src, packet.msg_id};
   if (!packet.Verify()) {
     ++corrupt_dropped_;
-    partial_.erase(packet.msg_id);
+    partial_.erase(key);
     return Status(Code::kCorrupt, "packet failed error detection");
   }
   if (packet.frag_count == 0 || packet.frag_index >= packet.frag_count) {
     ++corrupt_dropped_;
-    partial_.erase(packet.msg_id);
+    partial_.erase(key);
     return Status(Code::kCorrupt, "inconsistent fragment header");
   }
   if (packet.frag_count == 1) {
-    return std::optional<Bytes>(packet.payload);
+    return std::optional<Bytes>(std::move(packet.payload));
   }
 
-  auto it = partial_.find(packet.msg_id);
+  auto it = partial_.find(key);
   if (it == partial_.end()) {
     EvictOldestIfNeeded();
     Partial fresh;
     fresh.frags.resize(packet.frag_count);
+    fresh.have.assign(packet.frag_count, 0);
     fresh.first_seen_seq = seq_++;
-    it = partial_.emplace(packet.msg_id, std::move(fresh)).first;
+    it = partial_.emplace(key, std::move(fresh)).first;
   }
   Partial& part = it->second;
   if (part.frags.size() != packet.frag_count) {
@@ -68,14 +74,17 @@ Result<std::optional<Bytes>> Reassembler::Add(const Packet& packet) {
     ++corrupt_dropped_;
     return Status(Code::kCorrupt, "fragment count mismatch");
   }
-  if (part.frags[packet.frag_index].empty()) {
-    part.frags[packet.frag_index] = packet.payload;
+  if (!part.have[packet.frag_index]) {
+    part.have[packet.frag_index] = 1;
+    part.total_bytes += packet.payload.size();
+    part.frags[packet.frag_index] = std::move(packet.payload);
     ++part.received;
   }
   if (part.received < packet.frag_count) {
     return std::optional<Bytes>(std::nullopt);
   }
   Bytes message;
+  message.reserve(part.total_bytes);
   for (const auto& frag : part.frags) {
     message.insert(message.end(), frag.begin(), frag.end());
   }

@@ -43,8 +43,10 @@ struct Packet {
 
 // Split an encoded message into CRC-sealed packets of at most
 // `max_payload` bytes each. Every fragment carries the message's trace id.
-std::vector<Packet> Fragment(const Bytes& message, uint64_t msg_id,
-                             NodeId src, NodeId dst, uint64_t max_payload,
+// Takes the message by value: a single-fragment message (the common case)
+// moves the bytes straight into the packet instead of copying them.
+std::vector<Packet> Fragment(Bytes message, uint64_t msg_id, NodeId src,
+                             NodeId dst, uint64_t max_payload,
                              uint64_t trace_id = 0);
 
 // Per-node packet reassembler. Not thread-safe; callers serialize.
@@ -55,20 +57,43 @@ class Reassembler {
   explicit Reassembler(size_t max_partial = 1024)
       : max_partial_(max_partial) {}
 
-  // Feed one packet. Returns:
+  // Feed one packet (consumed: its payload is moved into the partial).
+  // Returns:
   //  - the full message bytes when this packet completed a message,
   //  - std::nullopt when more packets are needed,
   //  - kCorrupt when the packet fails its CRC or is inconsistent (dropped;
   //    any partial state for that message is discarded).
-  Result<std::optional<Bytes>> Add(const Packet& packet);
+  // Partials are keyed by (src, msg_id): two senders minting the same
+  // msg_id toward one destination reassemble independently instead of
+  // interleaving into (and corrupting) a shared partial.
+  Result<std::optional<Bytes>> Add(Packet&& packet);
 
   size_t partial_count() const { return partial_.size(); }
   uint64_t corrupt_dropped() const { return corrupt_dropped_; }
 
  private:
+  struct Key {
+    NodeId src = 0;
+    uint64_t msg_id = 0;
+    bool operator==(const Key& other) const {
+      return src == other.src && msg_id == other.msg_id;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      uint64_t h = k.msg_id * 0x9E3779B97F4A7C15ull;
+      h ^= static_cast<uint64_t>(k.src) + (h << 6) + (h >> 2);
+      return static_cast<size_t>(h);
+    }
+  };
+
   struct Partial {
     std::vector<Bytes> frags;
+    // Explicit received-flags: an empty payload is a valid fragment body,
+    // so emptiness cannot double as "not yet seen".
+    std::vector<uint8_t> have;
     uint32_t received = 0;
+    size_t total_bytes = 0;  // pre-sizes the join on completion
     uint64_t first_seen_seq = 0;
   };
 
@@ -77,7 +102,7 @@ class Reassembler {
   size_t max_partial_;
   uint64_t seq_ = 0;
   uint64_t corrupt_dropped_ = 0;
-  std::unordered_map<uint64_t, Partial> partial_;
+  std::unordered_map<Key, Partial, KeyHash> partial_;
 };
 
 }  // namespace guardians

@@ -27,7 +27,7 @@ TEST(NetworkTest, DeliversToRegisteredSink) {
   const NodeId b = network.AddNode("b");
   CountdownLatch arrived(1);
   std::atomic<uint64_t> got{0};
-  network.SetSink(b, [&](const Packet& p) {
+  network.SetSink(b, [&](Packet&& p) {
     got = p.msg_id;
     arrived.CountDown();
   });
@@ -43,7 +43,7 @@ TEST(NetworkTest, LatencyIsApplied) {
   const NodeId a = network.AddNode("a");
   const NodeId b = network.AddNode("b");
   CountdownLatch arrived(1);
-  network.SetSink(b, [&](const Packet&) { arrived.CountDown(); });
+  network.SetSink(b, [&](Packet&&) { arrived.CountDown(); });
   network.SetDefaultLink(LinkParams{Millis(20), Micros(0), 0, 0, 0});
   const TimePoint begin = Now();
   network.Send(MakePacket(a, b, 1));
@@ -56,7 +56,7 @@ TEST(NetworkTest, DropProbabilityLosesRoughlyThatFraction) {
   const NodeId a = network.AddNode("a");
   const NodeId b = network.AddNode("b");
   std::atomic<int> delivered{0};
-  network.SetSink(b, [&](const Packet&) { ++delivered; });
+  network.SetSink(b, [&](Packet&&) { ++delivered; });
   network.SetDefaultLink(LinkParams{Micros(10), Micros(0), 0.5, 0, 0});
   constexpr int kPackets = 600;
   for (int i = 0; i < kPackets; ++i) {
@@ -76,7 +76,7 @@ TEST(NetworkTest, CorruptionFlipsBitsButDelivers) {
   const NodeId b = network.AddNode("b");
   std::atomic<int> failed_crc{0};
   std::atomic<int> total{0};
-  network.SetSink(b, [&](const Packet& p) {
+  network.SetSink(b, [&](Packet&& p) {
     ++total;
     if (!p.Verify()) {
       ++failed_crc;
@@ -99,8 +99,8 @@ TEST(NetworkTest, PartitionCutsBothDirections) {
   const NodeId a = network.AddNode("a");
   const NodeId b = network.AddNode("b");
   std::atomic<int> delivered{0};
-  network.SetSink(a, [&](const Packet&) { ++delivered; });
-  network.SetSink(b, [&](const Packet&) { ++delivered; });
+  network.SetSink(a, [&](Packet&&) { ++delivered; });
+  network.SetSink(b, [&](Packet&&) { ++delivered; });
   network.SetDefaultLink(LinkParams{Micros(10), Micros(0), 0, 0, 0});
   network.SetPartitioned(a, b, true);
   network.Send(MakePacket(a, b, 1));
@@ -118,7 +118,7 @@ TEST(NetworkTest, DownNodeNeitherSendsNorReceives) {
   const NodeId a = network.AddNode("a");
   const NodeId b = network.AddNode("b");
   std::atomic<int> delivered{0};
-  network.SetSink(b, [&](const Packet&) { ++delivered; });
+  network.SetSink(b, [&](Packet&&) { ++delivered; });
   network.SetDefaultLink(LinkParams{Micros(10), Micros(0), 0, 0, 0});
 
   network.SetNodeUp(b, false);
@@ -143,7 +143,7 @@ TEST(NetworkTest, InFlightPacketsLostWhenDestinationCrashes) {
   const NodeId a = network.AddNode("a");
   const NodeId b = network.AddNode("b");
   std::atomic<int> delivered{0};
-  network.SetSink(b, [&](const Packet&) { ++delivered; });
+  network.SetSink(b, [&](Packet&&) { ++delivered; });
   network.SetDefaultLink(LinkParams{Millis(50), Micros(0), 0, 0, 0});
   network.Send(MakePacket(a, b, 1));
   network.SetNodeUp(b, false);  // crash while the packet is in flight
@@ -163,7 +163,7 @@ TEST(NetworkTest, PerLinkParamsOverrideDefault) {
   EXPECT_EQ(network.GetLink(a, c).latency, Millis(30));
 
   CountdownLatch fast(1);
-  network.SetSink(b, [&](const Packet&) { fast.CountDown(); });
+  network.SetSink(b, [&](Packet&&) { fast.CountDown(); });
   const TimePoint begin = Now();
   network.Send(MakePacket(a, b, 1));
   ASSERT_TRUE(fast.WaitFor(Millis(2000)));
@@ -175,7 +175,7 @@ TEST(NetworkTest, BandwidthAddsSerializationDelay) {
   const NodeId a = network.AddNode("a");
   const NodeId b = network.AddNode("b");
   CountdownLatch arrived(1);
-  network.SetSink(b, [&](const Packet&) { arrived.CountDown(); });
+  network.SetSink(b, [&](Packet&&) { arrived.CountDown(); });
   // 1 byte per microsecond: a ~1KB packet takes ~1ms extra.
   network.SetDefaultLink(LinkParams{Micros(0), Micros(0), 0, 0, 1.0});
   const TimePoint begin = Now();
@@ -188,7 +188,7 @@ TEST(NetworkTest, LocalDeliveryBypassesLinkParams) {
   Network network(1);
   const NodeId a = network.AddNode("a");
   CountdownLatch arrived(1);
-  network.SetSink(a, [&](const Packet&) { arrived.CountDown(); });
+  network.SetSink(a, [&](Packet&&) { arrived.CountDown(); });
   network.SetDefaultLink(LinkParams{Millis(60), Micros(0), 1.0, 0, 0});
   network.Send(MakePacket(a, a, 1));
   // Same-node traffic is immediate and lossless despite the brutal link.

@@ -164,7 +164,7 @@ TEST(TopologyTest, CampusPartitionCutsOnlyWanPairs) {
 
   std::atomic<int> delivered{0};
   for (NodeId n = 1; n <= 4; ++n) {
-    network.SetSink(n, [&](const Packet&) { ++delivered; });
+    network.SetSink(n, [&](Packet&&) { ++delivered; });
   }
   PartitionCampuses(network, topology, 0, 1, true);
 

@@ -364,7 +364,7 @@ TEST(PacketTest, ReassemblyInOrder) {
   auto packets = Fragment(msg, 7, 1, 2, 8);
   Reassembler reassembler;
   for (size_t i = 0; i < packets.size(); ++i) {
-    auto out = reassembler.Add(packets[i]);
+    auto out = reassembler.Add(std::move(packets[i]));
     ASSERT_TRUE(out.ok());
     if (i + 1 < packets.size()) {
       EXPECT_FALSE(out->has_value());
@@ -384,7 +384,7 @@ TEST(PacketTest, ReassemblyOutOfOrderAndDuplicates) {
   std::optional<Bytes> complete;
   for (auto it = packets.rbegin(); it != packets.rend(); ++it) {
     for (int dup = 0; dup < 2; ++dup) {
-      auto out = reassembler.Add(*it);
+      auto out = reassembler.Add(Packet(*it));  // Add consumes; keep the dup
       ASSERT_TRUE(out.ok());
       if (out->has_value()) {
         complete = **out;
@@ -400,7 +400,7 @@ TEST(PacketTest, CorruptPacketDroppedByErrorDetection) {
   auto packets = Fragment(msg, 11, 1, 2, 8);
   packets[1].payload[0] ^= 0x40;  // keep stale CRC
   Reassembler reassembler;
-  auto st = reassembler.Add(packets[1]);
+  auto st = reassembler.Add(std::move(packets[1]));
   EXPECT_EQ(st.status().code(), Code::kCorrupt);
   EXPECT_EQ(reassembler.corrupt_dropped(), 1u);
 }
@@ -414,7 +414,7 @@ TEST(PacketTest, InterleavedMessagesReassembleIndependently) {
   int completed = 0;
   for (size_t i = 0; i < std::max(p1.size(), p2.size()); ++i) {
     if (i < p1.size()) {
-      auto out = reassembler.Add(p1[i]);
+      auto out = reassembler.Add(std::move(p1[i]));
       ASSERT_TRUE(out.ok());
       if (out->has_value()) {
         EXPECT_EQ(**out, m1);
@@ -422,7 +422,7 @@ TEST(PacketTest, InterleavedMessagesReassembleIndependently) {
       }
     }
     if (i < p2.size()) {
-      auto out = reassembler.Add(p2[i]);
+      auto out = reassembler.Add(std::move(p2[i]));
       ASSERT_TRUE(out.ok());
       if (out->has_value()) {
         EXPECT_EQ(**out, m2);
@@ -437,7 +437,7 @@ TEST(PacketTest, PartialEvictionBoundsMemory) {
   Reassembler reassembler(/*max_partial=*/4);
   for (uint64_t m = 0; m < 10; ++m) {
     auto packets = Fragment(Bytes(64, 1), m, 1, 2, 16);
-    ASSERT_TRUE(reassembler.Add(packets[0]).ok());  // never complete
+    ASSERT_TRUE(reassembler.Add(std::move(packets[0])).ok());  // never complete
   }
   EXPECT_LE(reassembler.partial_count(), 4u);
 }
@@ -450,7 +450,49 @@ TEST(PacketTest, InconsistentFragmentHeaderRejected) {
   p.payload = {1, 2, 3};
   p.Seal();
   Reassembler reassembler;
-  EXPECT_EQ(reassembler.Add(p).status().code(), Code::kCorrupt);
+  EXPECT_EQ(reassembler.Add(std::move(p)).status().code(), Code::kCorrupt);
+}
+
+TEST(PacketTest, SameMsgIdFromTwoSendersReassemblesIndependently) {
+  // Regression: partials used to be keyed by msg_id alone, so two senders
+  // minting the same id toward one destination interleaved into a single
+  // partial and corrupted (or rejected) both messages. Keying by
+  // (src, msg_id) keeps them apart.
+  const Bytes from_a(29, 0xAA);  // 5 fragments of <= 7 bytes
+  const Bytes from_b(50, 0xBB);  // 8 fragments of <= 7 bytes
+  constexpr uint64_t kCollidingId = 77;
+  auto pa = Fragment(from_a, kCollidingId, /*src=*/1, /*dst=*/3, 7);
+  auto pb = Fragment(from_b, kCollidingId, /*src=*/2, /*dst=*/3, 7);
+  ASSERT_GT(pa.size(), 1u);
+  ASSERT_GT(pb.size(), 1u);
+  ASSERT_NE(pa.size(), pb.size());  // clashing counts made the old code drop
+
+  Reassembler reassembler;
+  std::optional<Bytes> got_a;
+  std::optional<Bytes> got_b;
+  // Strictly interleave the two senders' fragments.
+  for (size_t i = 0; i < std::max(pa.size(), pb.size()); ++i) {
+    if (i < pa.size()) {
+      auto out = reassembler.Add(std::move(pa[i]));
+      ASSERT_TRUE(out.ok()) << out.status();
+      if (out->has_value()) {
+        got_a = **out;
+      }
+    }
+    if (i < pb.size()) {
+      auto out = reassembler.Add(std::move(pb[i]));
+      ASSERT_TRUE(out.ok()) << out.status();
+      if (out->has_value()) {
+        got_b = **out;
+      }
+    }
+  }
+  ASSERT_TRUE(got_a.has_value());
+  ASSERT_TRUE(got_b.has_value());
+  EXPECT_EQ(*got_a, from_a);
+  EXPECT_EQ(*got_b, from_b);
+  EXPECT_EQ(reassembler.corrupt_dropped(), 0u);
+  EXPECT_EQ(reassembler.partial_count(), 0u);
 }
 
 }  // namespace
