@@ -10,10 +10,27 @@
 //     linear in K.
 // (c) Checkpointing ablation: with periodic checkpoints the replayed
 //     suffix — and therefore recovery time — stays bounded.
+// (d) Crash-schedule exploration: the full (crashpoint x hit) enumeration
+//     of src/fault/explorer.h runs after the benchmarks; its coverage and
+//     mean supervised-recovery time land in BENCH_robustness.json, and any
+//     permanence violation fails the binary (exit 1) — the bench doubles
+//     as a robustness gate.
 #include "bench/bench_util.h"
+#include "src/fault/explorer.h"
 
 namespace guardians {
 namespace {
+
+struct ReplayOutcome {
+  int ops = 0;
+  int checkpoint_every = 0;
+  double restart_ms = 0;
+};
+
+std::vector<ReplayOutcome>& ReplayOutcomes() {
+  static std::vector<ReplayOutcome> outcomes;
+  return outcomes;
+}
 
 struct RobustWorld {
   RobustWorld(bool logging, Micros write_latency, int checkpoint_every)
@@ -94,7 +111,11 @@ void BM_RecoveryReplay(benchmark::State& state) {
     state.ResumeTiming();
 
     // Timed region: boot + recovery replay of the log.
+    const TimePoint t0 = Now();
     Status restarted = world->node->Restart();
+    ReplayOutcomes().push_back(
+        {ops, checkpoint_every,
+         static_cast<double>(ToMicros(Now() - t0)) / 1000.0});
 
     state.PauseTiming();
     if (!restarted.ok()) {
@@ -118,6 +139,40 @@ void BM_RecoveryReplay(benchmark::State& state) {
 }
 
 }  // namespace
+
+// After the benchmarks: run the exhaustive crash-schedule exploration and
+// write everything to BENCH_robustness.json. Returns the process exit
+// code — a schedule that violates permanence fails the bench.
+int ExploreAndRecord() {
+  BenchJson json("BENCH_robustness.json");
+  for (const ReplayOutcome& r : ReplayOutcomes()) {
+    json.Record("recovery_replay/ops:" + std::to_string(r.ops) +
+                    "/checkpoint_every:" + std::to_string(r.checkpoint_every),
+                {{"ops", static_cast<double>(r.ops)},
+                 {"checkpoint_every", static_cast<double>(r.checkpoint_every)},
+                 {"restart_ms", r.restart_ms}});
+  }
+
+  ExplorerConfig config;
+  auto report = ExploreCrashSchedules(config);
+  if (!report.ok()) {
+    std::fprintf(stderr, "crash explorer failed to run: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("crash explorer: %s\n", report->Summary().c_str());
+  json.Record("crash_explorer",
+              {{"sites", static_cast<double>(report->baseline_hits.size())},
+               {"schedules", static_cast<double>(report->schedules.size())},
+               {"triggered", static_cast<double>(report->triggered)},
+               {"failures", static_cast<double>(report->failures)},
+               {"mean_recovery_ms", report->mean_recovery_us / 1000.0}});
+  return report->failures == 0 &&
+                 report->triggered == report->schedules.size()
+             ? 0
+             : 1;
+}
+
 }  // namespace guardians
 
 BENCHMARK(guardians::BM_LoggingOverhead)
@@ -140,4 +195,9 @@ BENCHMARK(guardians::BM_RecoveryReplay)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return guardians::ExploreAndRecord();
+}

@@ -1,15 +1,20 @@
 #!/usr/bin/env bash
 # Tier-1 gate: build + full test suite, then the ThreadSanitizer preset
-# over the concurrency-sensitive suites (ctest label "tsan").
+# over the concurrency-sensitive suites (ctest label "tsan"). Optionally
+# (--asan) the AddressSanitizer preset over the full suite — the fault
+# layer's crash/restart churn makes lifetime bugs likely, so the asan
+# stage is the cheap way to catch them.
 #
-# Usage: scripts/ci.sh [--skip-tsan]
+# Usage: scripts/ci.sh [--skip-tsan] [--asan]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 SKIP_TSAN=0
+RUN_ASAN=0
 for arg in "$@"; do
   case "$arg" in
     --skip-tsan) SKIP_TSAN=1 ;;
+    --asan) RUN_ASAN=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
@@ -25,14 +30,22 @@ ctest --preset default -j "$JOBS"
 
 if [[ "$SKIP_TSAN" -eq 1 ]]; then
   echo "==> tsan: skipped (--skip-tsan)"
-  exit 0
+else
+  echo "==> tsan: configure + build (preset: tsan)"
+  cmake --preset tsan
+  cmake --build --preset tsan -j "$JOBS"
+
+  echo "==> tsan: ctest (label: tsan)"
+  ctest --preset tsan
 fi
 
-echo "==> tsan: configure + build (preset: tsan)"
-cmake --preset tsan
-cmake --build --preset tsan -j "$JOBS"
+if [[ "$RUN_ASAN" -eq 1 ]]; then
+  echo "==> asan: configure + build (preset: asan)"
+  cmake --preset asan
+  cmake --build --preset asan -j "$JOBS"
 
-echo "==> tsan: ctest (label: tsan)"
-ctest --preset tsan
+  echo "==> asan: ctest (full suite)"
+  ctest --preset asan -j "$JOBS"
+fi
 
 echo "==> ci: all green"

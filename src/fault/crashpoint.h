@@ -1,0 +1,168 @@
+// Deterministic crashpoints: named injection sites compiled into the
+// durability-critical code paths (Wal::Append, Wal::Checkpoint between the
+// snapshot write and the log truncate, StableStore's media write,
+// NodeRuntime's creation-persist path, the flight guardian's log-then-reply
+// window).
+//
+// Section 2.2's permanence claim is about exactly these windows: a guardian
+// logs before it replies, and recovery must rebuild a consistent state no
+// matter which instruction the power failed at. Crashing a node *between*
+// operations (what test code could do before this layer existed) never
+// exercises those windows; a CrashPlan{point, nth_hit} crashes *inside*
+// one, at a precise, repeatable instruction.
+//
+// Model: each site is a namespace-scope `CrashPoint` static, so the full
+// set registers itself before main() and the crash-schedule explorer can
+// enumerate it. `Hit()` costs one relaxed atomic load and a predicted
+// branch while the layer is inactive, so the sites stay compiled into
+// release binaries (bench_fig45 measures no difference). Arming a plan for
+// a scope (a NodeRuntime*) makes the Nth hit of that site — by a thread
+// whose ScopedFaultScope matches — simulate a power failure there: the
+// injector runs the crash action (NodeRuntime::BeginCrash) and throws
+// CrashPointTriggered so no statement after the site executes. Everything
+// already on stable storage survives; everything after the site never
+// happens. That is the fault model, made schedulable.
+#ifndef GUARDIANS_SRC_FAULT_CRASHPOINT_H_
+#define GUARDIANS_SRC_FAULT_CRASHPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+
+namespace guardians {
+
+namespace internal {
+// One process-wide flag gates every site's fast path. Inline so Hit() can
+// stay header-only; relaxed because arming happens-before driving the
+// workload through ordinary synchronization (thread creation, mutexes).
+inline std::atomic<bool> g_fault_layer_active{false};
+}  // namespace internal
+
+// True while the injector is counting or armed. StableStore uses this to
+// decide whether to model an append as two half-writes (so a crash between
+// them leaves a torn tail, as real media would).
+inline bool FaultInjectionActive() {
+  return internal::g_fault_layer_active.load(std::memory_order_relaxed);
+}
+
+// Thrown by an armed CrashPoint at its Nth hit, after the crash action has
+// run. Unwinds the doomed thread so the operation in progress is abandoned
+// mid-flight; Guardian::Fork and NodeRuntime's entry points catch it.
+struct CrashPointTriggered {
+  std::string point;
+  uint64_t hit = 0;
+};
+
+// One schedule: crash at the nth_hit-th hit of `point` (1-based).
+struct CrashPlan {
+  std::string point;
+  uint64_t nth_hit = 1;
+};
+
+// The calling thread's fault scope: which node's stable-storage work it is
+// doing. Guardian processes and NodeRuntime entry points set it to the
+// owning NodeRuntime*, so hits are attributed to the right node even
+// though the registry is process-wide.
+class ScopedFaultScope {
+ public:
+  explicit ScopedFaultScope(const void* scope);
+  ~ScopedFaultScope();
+
+  ScopedFaultScope(const ScopedFaultScope&) = delete;
+  ScopedFaultScope& operator=(const ScopedFaultScope&) = delete;
+
+  static const void* Current();
+
+ private:
+  const void* previous_;
+};
+
+class CrashPoint;
+
+// Process-wide singleton: the site registry plus at most one armed plan
+// and at most one counting window at a time (the explorer runs schedules
+// sequentially; concurrent Systems hitting sites from other scopes are
+// simply not matched).
+class FaultInjector {
+ public:
+  static FaultInjector& Instance();
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // Every registered site name, sorted (the explorer's enumeration input).
+  std::vector<std::string> SiteNames() const;
+
+  // Counting window: tally hits attributed to `scope` until StopCounting,
+  // which returns the per-site totals. The explorer's baseline run uses
+  // this to learn how many (point x hit) schedules exist.
+  void StartCounting(const void* scope);
+  std::map<std::string, uint64_t> StopCounting();
+
+  // Arm one plan: the nth hit of plan.point by a thread scoped to `scope`
+  // runs `on_crash` (typically NodeRuntime::BeginCrash) and then throws
+  // CrashPointTriggered. Fails on an unknown point or if already armed.
+  Status Arm(const CrashPlan& plan, const void* scope,
+             std::function<void()> on_crash);
+  void Disarm();
+  // True once the armed plan has fired (it fires at most once per Arm).
+  bool triggered() const { return triggered_.load(); }
+
+ private:
+  friend class CrashPoint;
+
+  FaultInjector() = default;
+  void Register(CrashPoint* point);
+  void OnHit(CrashPoint* point);  // slow path behind the active flag
+  void UpdateActiveLocked();
+
+  mutable std::mutex mu_;
+  std::vector<CrashPoint*> points_;
+
+  bool counting_ = false;
+  const void* count_scope_ = nullptr;
+  std::map<std::string, uint64_t> counts_;
+
+  CrashPoint* armed_point_ = nullptr;
+  uint64_t armed_nth_ = 0;
+  uint64_t armed_hits_ = 0;
+  const void* armed_scope_ = nullptr;
+  std::function<void()> on_crash_;
+  std::atomic<bool> triggered_{false};
+};
+
+// A named injection site. Define at namespace scope next to the code path
+// it instruments and call Hit() at the exact instruction a power failure
+// should be schedulable at.
+class CrashPoint {
+ public:
+  explicit CrashPoint(const char* name) : name_(name) {
+    FaultInjector::Instance().Register(this);
+  }
+
+  CrashPoint(const CrashPoint&) = delete;
+  CrashPoint& operator=(const CrashPoint&) = delete;
+
+  const char* name() const { return name_; }
+
+  // The site. Zero work unless the injector is counting or armed.
+  void Hit() {
+    if (!FaultInjectionActive()) {
+      return;
+    }
+    FaultInjector::Instance().OnHit(this);
+  }
+
+ private:
+  const char* name_;
+};
+
+}  // namespace guardians
+
+#endif  // GUARDIANS_SRC_FAULT_CRASHPOINT_H_

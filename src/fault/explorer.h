@@ -1,0 +1,80 @@
+// Crash-schedule explorer: systematic coverage of the §2.2 fault model.
+//
+// A baseline run of an airline workload counts how many times each
+// registered crashpoint is hit by the region node; that yields the full
+// set of (point x hit-ordinal) schedules the workload can reach. The
+// explorer then re-runs the workload once per schedule — enumerated, not
+// sampled — crashing the region node exactly there, letting a Supervisor
+// restart it, and checking the permanence invariants on the recovered
+// state:
+//
+//   - every acked operation survives (a reserve acked "ok"/"pre_reserved"
+//     is present after recovery; an acked cancel stays absent),
+//   - no phantoms (every passenger in the recovered db was actually
+//     requested by the workload),
+//   - guardian ids and port names are stable across the crash,
+//   - the FlightDb's own invariants hold,
+//   - a persistent guardian whose remote creation was acked still exists.
+//
+// Used by tests/test_fault_explorer.cc (tier-1) and bench_robustness.
+#ifndef GUARDIANS_SRC_FAULT_EXPLORER_H_
+#define GUARDIANS_SRC_FAULT_EXPLORER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/result.h"
+#include "src/fault/crashpoint.h"
+#include "src/fault/supervisor.h"
+
+namespace guardians {
+
+struct ExplorerConfig {
+  uint64_t seed = 1979;
+  // Clerk operations against flight f1 (reserves with periodic cancels);
+  // halfway through, a second persistent flight is created remotely.
+  int ops = 8;
+  // Small so checkpoints happen *inside* the workload window and the
+  // checkpoint crashpoints get real hits.
+  int checkpoint_every = 3;
+  Micros op_timeout{Millis(250)};
+  int op_attempts = 8;  // retries ride out the supervised restart
+  Micros verify_deadline{Millis(10000)};
+  SupervisorConfig supervisor = FastSupervisor();
+
+  // Supervisor tuned for explorer turnaround: tight poll, short backoff,
+  // and a strike budget one-shot crashes can never exhaust.
+  static SupervisorConfig FastSupervisor();
+};
+
+struct ScheduleOutcome {
+  CrashPlan plan;
+  bool triggered = false;      // the armed hit was actually reached
+  Status verdict = OkStatus();  // invariant check result
+  Micros recovery{0};          // mean supervised Restart() time of the run
+  int acked = 0;               // operations the clerk saw acked
+};
+
+struct ExplorerReport {
+  // Per-site hit counts of the baseline run; the schedule space is its sum.
+  std::map<std::string, uint64_t> baseline_hits;
+  std::vector<ScheduleOutcome> schedules;
+  size_t triggered = 0;
+  size_t failures = 0;
+  double mean_recovery_us = 0;
+
+  // "52 schedules over 12 sites, 52 triggered, 0 failures, ..."
+  std::string Summary() const;
+};
+
+// Runs the whole enumeration. An error Status means the harness itself
+// could not run (e.g. the baseline run failed verification); per-schedule
+// invariant violations are reported in the outcomes' verdicts.
+Result<ExplorerReport> ExploreCrashSchedules(const ExplorerConfig& config);
+
+}  // namespace guardians
+
+#endif  // GUARDIANS_SRC_FAULT_EXPLORER_H_

@@ -4,6 +4,7 @@
 
 #include "src/common/bytes.h"
 #include "src/common/log.h"
+#include "src/fault/crashpoint.h"
 #include "src/guardian/node_runtime.h"
 #include "src/guardian/system.h"
 #include "src/obs/trace.h"
@@ -195,7 +196,20 @@ Result<uint64_t> Guardian::Unseal(const Token& token) const {
 }
 
 void Guardian::Fork(std::string process_name, std::function<void()> body) {
-  processes_.Fork(name_ + "/" + process_name, std::move(body));
+  // Guardian processes run under the owning node's fault scope, so armed
+  // crashpoints attribute their stable-storage work to the right node; a
+  // triggered crashpoint throws to abandon the doomed operation and must
+  // end the process here rather than escape into std::thread.
+  NodeRuntime* node = runtime_;
+  processes_.Fork(name_ + "/" + process_name,
+                  [node, body = std::move(body)] {
+                    ScopedFaultScope scope(node);
+                    try {
+                      body();
+                    } catch (const CrashPointTriggered&) {
+                      // The node is crashing; this process dies with it.
+                    }
+                  });
 }
 
 void Guardian::ReapProcesses() { processes_.Reap(); }

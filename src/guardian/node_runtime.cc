@@ -1,8 +1,10 @@
 #include "src/guardian/node_runtime.h"
 
 #include <cassert>
+#include <thread>
 
 #include "src/common/log.h"
+#include "src/fault/crashpoint.h"
 #include "src/guardian/system.h"
 #include "src/obs/trace.h"
 #include "src/wire/codec.h"
@@ -10,6 +12,13 @@
 namespace guardians {
 
 namespace {
+
+// The creation-persist path: a crash between handing out a guardian id (or
+// starting the guardian) and logging the creation record must not leave a
+// recoverable half-guardian or reuse an id.
+CrashPoint crash_persist_next_id("node.persist_next_id.before_put");
+CrashPoint crash_persist_creation_before("node.persist_creation.before_log");
+CrashPoint crash_persist_creation_after("node.persist_creation.after_log");
 
 constexpr GuardianId kPrimordialId = 1;
 constexpr char kMetaLogName[] = "node/meta";
@@ -151,6 +160,20 @@ Result<Guardian*> NodeRuntime::CreateGuardian(const std::string& type_name,
                                               const std::string& guardian_name,
                                               const ValueList& args,
                                               bool persistent) {
+  // Creation does stable-storage work for this node, so it runs under this
+  // node's fault scope; a crashpoint firing inside turns into the same
+  // kNodeDown the caller would see racing a real crash.
+  ScopedFaultScope scope(this);
+  try {
+    return CreateGuardianImpl(type_name, guardian_name, args, persistent);
+  } catch (const CrashPointTriggered&) {
+    return Status(Code::kNodeDown, "node crashed during guardian creation");
+  }
+}
+
+Result<Guardian*> NodeRuntime::CreateGuardianImpl(
+    const std::string& type_name, const std::string& guardian_name,
+    const ValueList& args, bool persistent) {
   if (!up_.load()) {
     return Status(Code::kNodeDown, "node is down");
   }
@@ -206,6 +229,15 @@ Result<Guardian*> NodeRuntime::CreateGuardianForRemote(
 }
 
 Status NodeRuntime::DestroyGuardian(GuardianId gid) {
+  ScopedFaultScope scope(this);
+  try {
+    return DestroyGuardianImpl(gid);
+  } catch (const CrashPointTriggered&) {
+    return Status(Code::kNodeDown, "node crashed during guardian destruction");
+  }
+}
+
+Status NodeRuntime::DestroyGuardianImpl(GuardianId gid) {
   std::unique_ptr<Guardian> victim;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -285,11 +317,15 @@ void NodeRuntime::PersistCreation(const std::string& type_name,
                                 {"name", Value::Str(guardian_name)},
                                 {"id", Value::Int(static_cast<int64_t>(gid))},
                                 {"args", Value::Array(args)}});
+  crash_persist_creation_before.Hit();
   Status st = meta.AppendValue(record);
   if (!st.ok()) {
     GLOG_ERROR << "failed to persist creation of '" << guardian_name
                << "': " << st;
   }
+  // A crash here: the guardian is durably recoverable but its creator
+  // never hears so — the classic logged-but-not-acked window.
+  crash_persist_creation_after.Hit();
 }
 
 void NodeRuntime::PersistNextId() {
@@ -300,28 +336,62 @@ void NodeRuntime::PersistNextId() {
   }
   WireEncoder enc;
   enc.PutU64(next);
-  stable_store_.PutCell(kNextIdCell, enc.bytes());
+  crash_persist_next_id.Hit();
+  Status st = stable_store_.PutCell(kNextIdCell, enc.bytes());
+  if (!st.ok()) {
+    GLOG_ERROR << "failed to persist next guardian id: " << st;
+  }
+}
+
+std::vector<Guardian*> NodeRuntime::LiveGuardians() const {
+  std::vector<Guardian*> gs;
+  std::lock_guard<std::mutex> lock(mu_);
+  gs.reserve(guardians_.size());
+  for (const auto& [gid, guardian] : guardians_) {
+    gs.push_back(guardian.get());
+  }
+  return gs;
 }
 
 void NodeRuntime::Crash() {
+  BeginCrash();
+  FinishCrash();
+}
+
+void NodeRuntime::BeginCrash() {
+  int expected = kNoCrash;
+  if (!crash_state_.compare_exchange_strong(expected, kCrashBeginning)) {
+    return;  // another thread is already crashing the node
+  }
   if (!up_.exchange(false)) {
+    // The node was already down and fully retired (e.g. double Crash()).
+    crash_state_.store(kNoCrash);
     return;
   }
   system_->network().SetNodeUp(id_, false);
-
-  // Close every mailbox so blocked receives return kNodeDown...
-  std::vector<Guardian*> gs;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    gs.reserve(guardians_.size());
-    for (auto& [gid, guardian] : guardians_) {
-      gs.push_back(guardian.get());
-    }
-  }
-  for (Guardian* g : gs) {
+  // Close every mailbox so blocked receives return kNodeDown and every
+  // guardian process starts winding down.
+  for (Guardian* g : LiveGuardians()) {
     g->CloseMailbox();
   }
-  // ...then wait for every process to observe the crash and exit...
+  crash_state_.store(kCrashBegun);
+}
+
+void NodeRuntime::FinishCrash() {
+  // A BeginCrash may still be running on another thread (a crashpoint
+  // fires on a guardian thread; Crash()/Restart() come from outside): wait
+  // for it to publish kCrashBegun before claiming the cleanup.
+  int state = crash_state_.load();
+  while (state == kCrashBeginning) {
+    std::this_thread::yield();
+    state = crash_state_.load();
+  }
+  if (state != kCrashBegun ||
+      !crash_state_.compare_exchange_strong(state, kNoCrash)) {
+    return;  // nothing pending, or another FinishCrash claimed it
+  }
+  std::vector<Guardian*> gs = LiveGuardians();
+  // Wait for every process to observe the crash and exit...
   for (Guardian* g : gs) {
     g->JoinProcesses();
   }
@@ -342,6 +412,18 @@ void NodeRuntime::Crash() {
 }
 
 Status NodeRuntime::Restart() {
+  // Complete any crashpoint-initiated crash first, then boot under this
+  // node's fault scope (recovery replay is stable-storage work too).
+  FinishCrash();
+  ScopedFaultScope scope(this);
+  try {
+    return RestartImpl();
+  } catch (const CrashPointTriggered&) {
+    return Status(Code::kNodeDown, "node crashed during recovery");
+  }
+}
+
+Status NodeRuntime::RestartImpl() {
   if (up_.load()) {
     return Status(Code::kInvalidArgument, "node is already up");
   }

@@ -128,7 +128,16 @@ class NodeRuntime {
   // --- Crash & recovery (Section 2.2) -------------------------------------------
   // Power-fail: volatile state of every guardian is destroyed, processes
   // stop, in-flight traffic to the node is lost. The stable store survives.
+  // Equivalent to BeginCrash() + FinishCrash().
   void Crash();
+  // The crash split in two, so a crashpoint firing *on a guardian thread*
+  // can take the node down without self-joining. BeginCrash marks the node
+  // down and closes every mailbox (safe from any thread, including the
+  // crashing one); FinishCrash joins the processes and retires the dead
+  // incarnation's guardians, and must come from outside the node (a test,
+  // the supervisor, or the next Crash()/Restart(), which both imply it).
+  void BeginCrash();
+  void FinishCrash();
   // Boot: recreate the primordial guardian, then every persistent guardian
   // (same ids), running their recovery processes.
   Status Restart();
@@ -161,6 +170,12 @@ class NodeRuntime {
   // delivery path.
   void DeliverPacket(Packet&& packet);
   void DeliverEnvelope(Envelope env);
+  Result<Guardian*> CreateGuardianImpl(const std::string& type_name,
+                                       const std::string& guardian_name,
+                                       const ValueList& args, bool persistent);
+  Status DestroyGuardianImpl(GuardianId gid);
+  Status RestartImpl();
+  std::vector<Guardian*> LiveGuardians() const;
   Status StartGuardian(Guardian* guardian, const std::string& type_name,
                        const std::string& guardian_name, GuardianId gid,
                        const ValueList& args, bool recovering);
@@ -192,6 +207,12 @@ class NodeRuntime {
   Reassembler reassembler_;
 
   std::atomic<bool> up_{false};
+  // Crash progress, ordered with up_: BeginCrash publishes kCrashBeginning
+  // *before* clearing up_, so any observer of a down node sees a state
+  // FinishCrash can wait on (no window where the node looks down but a
+  // concurrent Restart could boot under a still-running BeginCrash).
+  enum : int { kNoCrash = 0, kCrashBeginning = 1, kCrashBegun = 2 };
+  std::atomic<int> crash_state_{kNoCrash};
   std::atomic<uint64_t> msg_counter_{0};
 
   mutable std::mutex stats_mu_;

@@ -22,6 +22,7 @@ System::System(SystemConfig config)
 
 System::~System() {
   // Stop nodes (joins all guardian processes) before the network dies.
+  // (No nodes_mu_: a supervisor must be stopped before its System dies.)
   for (auto& node : nodes_) {
     node->Crash();
   }
@@ -36,7 +37,10 @@ NodeRuntime& System::AddNode(const std::string& name) {
   const NodeId id = network_.AddNode(name);
   auto runtime = std::make_unique<NodeRuntime>(this, id, name, rng_.NextU64());
   NodeRuntime* raw = runtime.get();
-  nodes_.push_back(std::move(runtime));
+  {
+    std::lock_guard<std::mutex> lock(nodes_mu_);
+    nodes_.push_back(std::move(runtime));
+  }
   network_.SetSink(id, [raw](Packet&& packet) {
     raw->DeliverPacket(std::move(packet));
   });
@@ -47,15 +51,42 @@ NodeRuntime& System::AddNode(const std::string& name) {
 }
 
 NodeRuntime& System::node(NodeId id) {
+  std::lock_guard<std::mutex> lock(nodes_mu_);
   assert(id >= 1 && id <= nodes_.size());
   return *nodes_[id - 1];
 }
 
-size_t System::node_count() const { return nodes_.size(); }
+size_t System::node_count() const {
+  std::lock_guard<std::mutex> lock(nodes_mu_);
+  return nodes_.size();
+}
+
+void System::SetHealthOracle(HealthOracle quarantined) {
+  std::lock_guard<std::mutex> lock(oracle_mu_);
+  quarantined_ = std::move(quarantined);
+}
+
+bool System::NodeQuarantined(NodeId id) {
+  HealthOracle oracle;
+  {
+    std::lock_guard<std::mutex> lock(oracle_mu_);
+    oracle = quarantined_;
+  }
+  // Invoked outside the lock: the oracle takes the supervisor's own mutex.
+  return oracle && oracle(id);
+}
 
 std::string System::Report() {
   std::string out = "=== system report ===\n";
-  for (auto& node : nodes_) {
+  std::vector<NodeRuntime*> nodes;
+  {
+    std::lock_guard<std::mutex> lock(nodes_mu_);
+    nodes.reserve(nodes_.size());
+    for (auto& node : nodes_) {
+      nodes.push_back(node.get());
+    }
+  }
+  for (NodeRuntime* node : nodes) {
     out += node->Report();
   }
   out += metrics_.Report();

@@ -9,7 +9,9 @@
 #ifndef GUARDIANS_SRC_GUARDIAN_SYSTEM_H_
 #define GUARDIANS_SRC_GUARDIAN_SYSTEM_H_
 
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -54,6 +56,15 @@ class System {
   MetricsRegistry& metrics() { return metrics_; }
   TraceBuffer& traces() { return traces_; }
 
+  // Node-health oracle, installed by an attached fault Supervisor (see
+  // src/fault/supervisor.h) and consulted by FailoverCall: true when the
+  // supervisor has quarantined the node as crash-looping. Kept as an
+  // injected function so the send primitives need no fault-layer types.
+  using HealthOracle = std::function<bool(NodeId)>;
+  void SetHealthOracle(HealthOracle quarantined);
+  // False when no oracle is installed (no supervisor: nothing is known).
+  bool NodeQuarantined(NodeId id);
+
   // Text snapshot of the whole system: every node's NodeRuntime::Report()
   // (port depths and drop reasons) plus the metrics registry dump and the
   // trace-buffer occupancy. What the benches and demos print.
@@ -68,7 +79,12 @@ class System {
   TraceBuffer traces_;
   Network network_;
   PortTypeRegistry port_types_;
+  // Guards nodes_ (the supervisor scans from its own thread while tests
+  // may still be adding nodes); NodeRuntime pointers themselves are stable.
+  mutable std::mutex nodes_mu_;
   std::vector<std::unique_ptr<NodeRuntime>> nodes_;
+  std::mutex oracle_mu_;
+  HealthOracle quarantined_;
 };
 
 }  // namespace guardians

@@ -11,12 +11,31 @@ Result<FailoverResult> FailoverCall(Guardian& caller,
                                     const ValueList& args,
                                     const PortType& reply_type,
                                     const RemoteCallOptions& per_target) {
-  MetricsRegistry& metrics = caller.runtime().system().metrics();
+  System& system = caller.runtime().system();
+  MetricsRegistry& metrics = system.metrics();
   metrics.counter("sendprims.failover.calls")->Inc();
   Counter* failovers_counter = metrics.counter("sendprims.failover.failovers");
-  Status last(Code::kUnreachable, "no targets");
+
+  // Replica order: healthy first. A replica the supervisor has quarantined
+  // is known to be crash-looping, so trying it first would burn a full
+  // per-target timeout; it is demoted to a last resort (not skipped
+  // outright — the caller's list is still exhausted before giving up).
+  std::vector<size_t> order;
+  std::vector<size_t> demoted;
+  order.reserve(targets.size());
   for (size_t i = 0; i < targets.size(); ++i) {
-    if (i > 0) {
+    (system.NodeQuarantined(targets[i].node) ? demoted : order).push_back(i);
+  }
+  if (!demoted.empty()) {
+    metrics.counter("sendprims.failover.quarantine_skips")
+        ->Inc(demoted.size());
+    order.insert(order.end(), demoted.begin(), demoted.end());
+  }
+
+  Status last(Code::kUnreachable, "no targets");
+  for (size_t attempt = 0; attempt < order.size(); ++attempt) {
+    const size_t i = order[attempt];
+    if (attempt > 0) {
       // Attempting the next replica because the previous one failed us.
       failovers_counter->Inc();
     }

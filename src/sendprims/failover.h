@@ -25,6 +25,10 @@ struct FailoverResult {
 
 // Try `targets` in order with the given per-target options; the first
 // non-failure reply wins. kUnreachable when every replica failed.
+// Replicas whose node a fault Supervisor has quarantined (known
+// crash-looping — see System::NodeQuarantined) are demoted to the end of
+// the order instead of burning a full per-target timeout up front;
+// target_index always refers to the caller's original list.
 Result<FailoverResult> FailoverCall(Guardian& caller,
                                     const std::vector<PortName>& targets,
                                     const std::string& command,

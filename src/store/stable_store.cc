@@ -2,17 +2,47 @@
 
 #include <thread>
 
+#include "src/fault/crashpoint.h"
+
 namespace guardians {
 
+namespace {
+// A crash inside the media write itself: the first half of the data is on
+// the device, the rest never arrives — the torn tail the WAL's framing
+// must tolerate.
+CrashPoint crash_store_append_partial("store.append.partial");
+}  // namespace
+
+Status StableStore::FailedLocked() const {
+  return failed_ ? Status(Code::kStorageError, "stable storage device failed")
+                 : OkStatus();
+}
+
 Status StableStore::Append(const std::string& name, const Bytes& data) {
+  // While the fault layer is active the write lands in two halves with a
+  // crashpoint between them, so an armed crash leaves a torn tail exactly
+  // as a power failure mid-write would. Each stream has a single writer
+  // (its guardian's WAL), so the split is unobservable without a crash.
+  // Inactive (the normal case), it is the plain single insert.
+  const bool two_phase = FaultInjectionActive() && data.size() > 1;
+  const size_t first_half = two_phase ? data.size() / 2 : data.size();
   Micros latency{0};
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (failed_) {
-      return Status(Code::kStorageError, "stable storage device failed");
-    }
+    GUARDIANS_RETURN_IF_ERROR(FailedLocked());
     Bytes& stream = streams_[name];
-    stream.insert(stream.end(), data.begin(), data.end());
+    stream.insert(stream.end(), data.begin(), data.begin() + first_half);
+    if (!two_phase) {
+      ++append_count_;
+      latency = write_latency_;
+    }
+  }
+  if (two_phase) {
+    crash_store_append_partial.Hit();
+    std::lock_guard<std::mutex> lock(mu_);
+    GUARDIANS_RETURN_IF_ERROR(FailedLocked());
+    Bytes& stream = streams_[name];
+    stream.insert(stream.end(), data.begin() + first_half, data.end());
     ++append_count_;
     latency = write_latency_;
   }
@@ -37,6 +67,7 @@ size_t StableStore::StreamSize(const std::string& name) const {
 
 Status StableStore::Truncate(const std::string& name, size_t new_size) {
   std::lock_guard<std::mutex> lock(mu_);
+  GUARDIANS_RETURN_IF_ERROR(FailedLocked());
   auto it = streams_.find(name);
   if (it == streams_.end()) {
     return Status(Code::kNotFound, "no stream '" + name + "'");
@@ -47,14 +78,18 @@ Status StableStore::Truncate(const std::string& name, size_t new_size) {
   return OkStatus();
 }
 
-void StableStore::Delete(const std::string& name) {
+Status StableStore::Delete(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
+  GUARDIANS_RETURN_IF_ERROR(FailedLocked());
   streams_.erase(name);
+  return OkStatus();
 }
 
-void StableStore::PutCell(const std::string& name, const Bytes& data) {
+Status StableStore::PutCell(const std::string& name, const Bytes& data) {
   std::lock_guard<std::mutex> lock(mu_);
+  GUARDIANS_RETURN_IF_ERROR(FailedLocked());
   cells_[name] = data;
+  return OkStatus();
 }
 
 Result<Bytes> StableStore::GetCell(const std::string& name) const {
@@ -66,9 +101,11 @@ Result<Bytes> StableStore::GetCell(const std::string& name) const {
   return it->second;
 }
 
-void StableStore::DeleteCell(const std::string& name) {
+Status StableStore::DeleteCell(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
+  GUARDIANS_RETURN_IF_ERROR(FailedLocked());
   cells_.erase(name);
+  return OkStatus();
 }
 
 std::vector<std::string> StableStore::ListStreams() const {

@@ -37,12 +37,12 @@ class StableStore {
   Bytes Read(const std::string& name) const;
   size_t StreamSize(const std::string& name) const;
   Status Truncate(const std::string& name, size_t new_size);
-  void Delete(const std::string& name);
+  Status Delete(const std::string& name);
 
   // --- Cells (small replace-on-write values) ------------------------------
-  void PutCell(const std::string& name, const Bytes& data);
+  Status PutCell(const std::string& name, const Bytes& data);
   Result<Bytes> GetCell(const std::string& name) const;
-  void DeleteCell(const std::string& name);
+  Status DeleteCell(const std::string& name);
 
   std::vector<std::string> ListStreams() const;
   size_t TotalBytes() const;
@@ -53,12 +53,16 @@ class StableStore {
   // Fault injection: chop `n` bytes off a stream's tail, as a crash in the
   // middle of a write would. The WAL's framing must recover.
   void ChopTail(const std::string& name, size_t n);
-  // Device failure injection: subsequent Appends fail with kStorageError.
+  // Device failure injection: every subsequent mutating op (Append, PutCell,
+  // Truncate, Delete, DeleteCell) fails with kStorageError; reads still
+  // work, like a disk gone read-only.
   void SetFailed(bool failed);
 
   uint64_t append_count() const;
 
  private:
+  Status FailedLocked() const;
+
   mutable std::mutex mu_;
   std::map<std::string, Bytes> streams_;
   std::map<std::string, Bytes> cells_;

@@ -8,10 +8,20 @@
 // CRC-failing final frame is discarded, everything before it is returned.
 // A bad frame *followed by* more valid data indicates device corruption and
 // fails with kLogCorrupt.
+//
+// Checkpoints are crash-atomic via an epoch protocol: the snapshot cell is
+// written as [u64 epoch][payload] and a separate epoch cell records the
+// last *committed* checkpoint epoch, updated only after the log truncate.
+// Recovery that finds a snapshot epoch ahead of the committed epoch knows
+// a crash interrupted Checkpoint() between the snapshot write and the
+// truncate; the log's records are all covered by that snapshot, so it
+// ignores them and rolls the repair forward (re-truncates, commits the
+// epoch) instead of replaying covered records on top of the snapshot.
 #ifndef GUARDIANS_SRC_STORE_WAL_H_
 #define GUARDIANS_SRC_STORE_WAL_H_
 
 #include <atomic>
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
@@ -27,6 +37,10 @@ struct WalRecovery {
   std::optional<Bytes> snapshot;  // most recent checkpoint, if any
   std::vector<Bytes> records;     // records appended after the checkpoint
   bool torn_tail = false;         // an incomplete final record was discarded
+  // A crash hit Checkpoint() between the snapshot write and the truncate;
+  // the snapshot won, the covered log records were discarded and the
+  // half-done checkpoint was rolled forward.
+  bool interrupted_checkpoint = false;
 };
 
 class Wal {
@@ -41,14 +55,16 @@ class Wal {
   Status AppendValue(const Value& v);
 
   // Replace the checkpoint with `snapshot` and truncate the record log.
-  // Crash-safe ordering: the new snapshot is written before the log is
-  // truncated, so recovery always sees a consistent pair.
+  // Crash-safe at any interior point (see the epoch protocol above); fails
+  // with kStorageError when the device has failed, in which case the
+  // checkpoint may be half-done on media — recovery repairs it.
   Status Checkpoint(const Bytes& snapshot);
 
-  // Read everything back (the recovery process's input).
-  Result<WalRecovery> Recover() const;
+  // Read everything back (the recovery process's input). Non-const: it
+  // rolls an interrupted checkpoint forward on the store.
+  Result<WalRecovery> Recover();
   // Value-decoding variant for logs written with AppendValue.
-  Result<std::vector<Value>> RecoverValues() const;
+  Result<std::vector<Value>> RecoverValues();
 
   // Number of records appended since construction (not counting recovered
   // ones); for experiments. Appends may come from several processes.
@@ -60,6 +76,9 @@ class Wal {
  private:
   std::string LogStream() const { return name_ + ".log"; }
   std::string SnapCell() const { return name_ + ".snap"; }
+  std::string EpochCell() const { return name_ + ".epoch"; }
+
+  uint64_t CommittedEpoch() const;
 
   StableStore* store_;
   std::string name_;

@@ -1,6 +1,7 @@
 // Unit tests for stable storage and the write-ahead log (Section 2.2).
 #include <gtest/gtest.h>
 
+#include "src/fault/crashpoint.h"
 #include "src/store/stable_store.h"
 #include "src/store/wal.h"
 #include "src/wire/value_codec.h"
@@ -54,6 +55,22 @@ TEST(StableStoreTest, DeviceFailure) {
   EXPECT_EQ(store.Append("s", ToBytes("x")).code(), Code::kStorageError);
   store.SetFailed(false);
   EXPECT_TRUE(store.Append("s", ToBytes("x")).ok());
+}
+
+TEST(StableStoreTest, FailedDeviceRejectsAllMutatingOps) {
+  StableStore store;
+  ASSERT_TRUE(store.Append("s", ToBytes("data")).ok());
+  store.PutCell("c", ToBytes("v1"));
+  store.SetFailed(true);
+  // Every mutating operation fails; nothing reaches the media.
+  EXPECT_EQ(store.Append("s", ToBytes("x")).code(), Code::kStorageError);
+  EXPECT_EQ(store.PutCell("c", ToBytes("v2")).code(), Code::kStorageError);
+  EXPECT_EQ(store.Truncate("s", 1).code(), Code::kStorageError);
+  EXPECT_EQ(store.Delete("s").code(), Code::kStorageError);
+  EXPECT_EQ(store.DeleteCell("c").code(), Code::kStorageError);
+  // Reads still serve what was stable before the failure.
+  EXPECT_EQ(ToString(store.Read("s")), "data");
+  EXPECT_EQ(ToString(*store.GetCell("c")), "v1");
 }
 
 TEST(StableStoreTest, AccountingAndListing) {
@@ -155,6 +172,81 @@ TEST(WalTest, CheckpointReplacesPrefix) {
   EXPECT_EQ(ToString(*recovery->snapshot), "SNAP");
   ASSERT_EQ(recovery->records.size(), 1u);
   EXPECT_EQ(ToString(recovery->records[0]), "new-1");
+}
+
+TEST(WalTest, CheckpointPropagatesDeviceFailure) {
+  StableStore store;
+  Wal wal(&store, "g/devfail");
+  ASSERT_TRUE(wal.Append(ToBytes("op-1")).ok());
+  store.SetFailed(true);
+  EXPECT_EQ(wal.Checkpoint(ToBytes("SNAP")).code(), Code::kStorageError);
+  store.SetFailed(false);
+  // The failed checkpoint left no committed snapshot; the log still wins.
+  auto recovery = wal.Recover();
+  ASSERT_TRUE(recovery.ok()) << recovery.status();
+  EXPECT_FALSE(recovery->snapshot.has_value());
+  ASSERT_EQ(recovery->records.size(), 1u);
+  EXPECT_EQ(ToString(recovery->records[0]), "op-1");
+}
+
+TEST(WalTest, CrashBetweenSnapshotWriteAndTruncateRollsForward) {
+  StableStore store;
+  Wal wal(&store, "g/mid");
+  ASSERT_TRUE(wal.Append(ToBytes("old-1")).ok());
+  ASSERT_TRUE(wal.Checkpoint(ToBytes("SNAP1")).ok());
+  ASSERT_TRUE(wal.Append(ToBytes("covered-1")).ok());
+  ASSERT_TRUE(wal.Append(ToBytes("covered-2")).ok());
+
+  // Crash the checkpoint through the real injection machinery: arm the
+  // site between the snapshot write and the truncate, scoped to this
+  // thread.
+  ScopedFaultScope scope(&store);
+  ASSERT_TRUE(FaultInjector::Instance()
+                  .Arm({"wal.checkpoint.after_snapshot", 1}, &store, nullptr)
+                  .ok());
+  EXPECT_THROW(
+      { Status st = wal.Checkpoint(ToBytes("SNAP2")); (void)st; },
+      CrashPointTriggered);
+  FaultInjector::Instance().Disarm();
+
+  // The new snapshot is on media but the covered records were never
+  // truncated. Recovery must prefer the snapshot (it covers them) rather
+  // than replaying them on top of it, and must repair the half-done
+  // checkpoint.
+  auto recovery = wal.Recover();
+  ASSERT_TRUE(recovery.ok()) << recovery.status();
+  EXPECT_TRUE(recovery->interrupted_checkpoint);
+  ASSERT_TRUE(recovery->snapshot.has_value());
+  EXPECT_EQ(ToString(*recovery->snapshot), "SNAP2");
+  EXPECT_TRUE(recovery->records.empty());
+
+  // Rolled forward: a second recovery is ordinary, and the log keeps
+  // working.
+  auto again = wal.Recover();
+  ASSERT_TRUE(again.ok());
+  EXPECT_FALSE(again->interrupted_checkpoint);
+  EXPECT_EQ(ToString(*again->snapshot), "SNAP2");
+  ASSERT_TRUE(wal.Append(ToBytes("new-1")).ok());
+  auto final_rec = wal.Recover();
+  ASSERT_TRUE(final_rec.ok());
+  ASSERT_EQ(final_rec->records.size(), 1u);
+  EXPECT_EQ(ToString(final_rec->records[0]), "new-1");
+}
+
+TEST(WalTest, RecoverValuesRejectsUndecodablePayload) {
+  StableStore store;
+  Wal wal(&store, "g/undec");
+  // A CRC-valid frame whose payload is not a wire-encoded Value: framing
+  // accepts it, value decoding must not.
+  ASSERT_TRUE(wal.Append(Bytes{0xFF, 0xFE, 0xFD}).ok());
+  ASSERT_TRUE(wal.AppendValue(Value::Record({{"op", Value::Str("x")}}))
+                  .ok());
+  auto values = wal.RecoverValues();
+  EXPECT_FALSE(values.ok());
+  // Framing-level recovery of the same log is fine.
+  auto raw = wal.Recover();
+  ASSERT_TRUE(raw.ok());
+  EXPECT_EQ(raw->records.size(), 2u);
 }
 
 TEST(WalTest, ValueRecords) {
