@@ -80,6 +80,11 @@ class SinkGuardian : public Guardian {
           batch_received = 0;
         }
       } else if (received->command == "ask") {
+        asks_total_.fetch_add(1);
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          asks_distinct_.insert(received->args[0].int_value());
+        }
         if (!received->reply_to.IsNull()) {
           Status st = Send(received->reply_to, "answer",
                            {Value::Int(received->args[0].int_value() + 1)});
@@ -90,21 +95,32 @@ class SinkGuardian : public Guardian {
   }
 
   std::atomic<int64_t> consumed_{0};
+  // Executions of "ask": total vs distinct arguments. Their difference is
+  // the re-execution count — the number the at-most-once layer must hold
+  // at zero however many duplicates and retries hit the port.
+  std::atomic<int64_t> asks_total_{0};
 
   size_t Distinct() const {
     std::lock_guard<std::mutex> lock(mu_);
     return distinct_.size();
   }
 
+  size_t AsksDistinct() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return asks_distinct_.size();
+  }
+
  private:
   mutable std::mutex mu_;
   std::set<int64_t> distinct_;
+  std::set<int64_t> asks_distinct_;
 };
 
 struct SendWorld {
   explicit SendWorld(Micros latency) : world(MakeConfig(latency)) {
     NodeRuntime& a = world.system.AddNode("a");
     NodeRuntime& b = world.system.AddNode("b");
+    sink_node = &b;
     b.RegisterGuardianType("sink", MakeFactory<SinkGuardian>());
     driver = world.Shell(a, "driver");
     auto created = b.Create<SinkGuardian>("sink", "sink", {}, false);
@@ -127,6 +143,7 @@ struct SendWorld {
   BenchWorld world;
   Guardian* driver = nullptr;
   SinkGuardian* sink = nullptr;
+  NodeRuntime* sink_node = nullptr;
   PortName sink_port;
 };
 
@@ -274,6 +291,134 @@ void BM_DeliveryGuarantee(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * kMessages);
 }
 
+// Experiment DEDUP — the at-most-once layer under a duplicate storm. A
+// sweep over dup_prob (with loss on the heaviest point so retries and
+// cached-reply replays really happen) drives tracked remote transactions
+// and measures re-executions — total "ask" executions minus distinct ones —
+// which the dedup layer must hold at exactly zero.
+struct DedupOutcome {
+  int64_t logical = 0;     // remote calls issued
+  int64_t succeeded = 0;   // calls that got a reply
+  int64_t executed = 0;    // "ask" bodies actually run at the sink
+  int64_t distinct = 0;    // distinct ask arguments seen
+  uint64_t duplicated = 0;  // packets the network duplicated
+  uint64_t suppressed = 0;  // duplicates the receiver suppressed
+  uint64_t replayed = 0;    // retries answered from the reply cache
+};
+
+std::map<int, DedupOutcome>& DedupOutcomes() {
+  static auto* outcomes = new std::map<int, DedupOutcome>();
+  return *outcomes;
+}
+
+void BM_DuplicateStorm(benchmark::State& state) {
+  const int dup_pct = static_cast<int>(state.range(0));
+  const int loss_pct = static_cast<int>(state.range(1));
+  constexpr int kCalls = 120;
+  DedupOutcome outcome;
+  for (auto _ : state) {
+    state.PauseTiming();
+    SendWorld world(Micros(200));
+    LinkParams link;
+    link.latency = Micros(200);
+    link.drop_prob = static_cast<double>(loss_pct) / 100.0;
+    link.dup_prob = static_cast<double>(dup_pct) / 100.0;
+    world.world.system.network().SetLink(1, 2, link);
+    RemoteCallOptions options;
+    options.timeout = Millis(30);
+    options.max_attempts = 50;
+    state.ResumeTiming();
+
+    for (int i = 0; i < kCalls; ++i) {
+      auto reply = RemoteCall(*world.driver, world.sink_port, "ask",
+                              {Value::Int(i)}, SinkReplyType(), options);
+      ++outcome.logical;
+      if (reply.ok()) {
+        ++outcome.succeeded;
+      }
+    }
+
+    state.PauseTiming();
+    world.world.system.network().DrainForTesting();
+    outcome.executed += world.sink->asks_total_.load();
+    outcome.distinct += static_cast<int64_t>(world.sink->AsksDistinct());
+    outcome.duplicated +=
+        world.world.system.network().stats().packets_duplicated;
+    outcome.suppressed += world.sink_node->stats().duplicates_suppressed;
+    outcome.replayed += world.sink_node->stats().replies_replayed;
+    state.ResumeTiming();
+  }
+  state.counters["dup_pct"] = dup_pct;
+  state.counters["loss_pct"] = loss_pct;
+  state.counters["re_executions"] =
+      static_cast<double>(outcome.executed - outcome.distinct);
+  state.counters["suppressed"] = static_cast<double>(outcome.suppressed);
+  state.counters["replayed"] = static_cast<double>(outcome.replayed);
+  state.SetItemsProcessed(state.iterations() * kCalls);
+  DedupOutcomes()[dup_pct * 1000 + loss_pct] = outcome;
+}
+
+// Verifies the DEDUP property over the collected outcomes and writes
+// BENCH_sendprims.json. Returns 0 on success.
+int CheckAndRecord() {
+  auto& outcomes = DedupOutcomes();
+  if (outcomes.empty()) {
+    return 0;  // filtered run (--benchmark_filter): nothing to check
+  }
+  BenchJson json("BENCH_sendprims.json");
+  int failures = 0;
+  for (const auto& [key, outcome] : outcomes) {
+    const int dup_pct = key / 1000;
+    const int loss_pct = key % 1000;
+    const int64_t re_executions = outcome.executed - outcome.distinct;
+    json.Record("sendprims_dedup/dup:" + std::to_string(dup_pct) +
+                    "/loss:" + std::to_string(loss_pct),
+                {{"dup_pct", static_cast<double>(dup_pct)},
+                 {"loss_pct", static_cast<double>(loss_pct)},
+                 {"logical", static_cast<double>(outcome.logical)},
+                 {"succeeded", static_cast<double>(outcome.succeeded)},
+                 {"executed", static_cast<double>(outcome.executed)},
+                 {"re_executions", static_cast<double>(re_executions)},
+                 {"duplicated", static_cast<double>(outcome.duplicated)},
+                 {"suppressed", static_cast<double>(outcome.suppressed)},
+                 {"replayed", static_cast<double>(outcome.replayed)}});
+    std::printf("DEDUP dup=%d%% loss=%d%%: %lld calls, %lld executed, "
+                "%lld re-executions, %llu suppressed, %llu replayed\n",
+                dup_pct, loss_pct,
+                static_cast<long long>(outcome.logical),
+                static_cast<long long>(outcome.executed),
+                static_cast<long long>(re_executions),
+                static_cast<unsigned long long>(outcome.suppressed),
+                static_cast<unsigned long long>(outcome.replayed));
+    if (re_executions != 0) {
+      std::fprintf(stderr,
+                   "DEDUP FAIL: %lld re-executions at dup=%d%% loss=%d%% "
+                   "(at-most-once violated)\n",
+                   static_cast<long long>(re_executions), dup_pct, loss_pct);
+      ++failures;
+    }
+    if (dup_pct > 0 && outcome.suppressed == 0) {
+      std::fprintf(stderr,
+                   "DEDUP FAIL: dup=%d%% injected no suppression — the "
+                   "sweep did not exercise the dedup layer\n",
+                   dup_pct);
+      ++failures;
+    }
+    // An executed op may outnumber the acks (a reply can be lost for good
+    // once attempts exhaust) but never the other way around.
+    if (outcome.distinct < outcome.succeeded) {
+      std::fprintf(stderr,
+                   "DEDUP FAIL: %lld acked calls but only %lld distinct "
+                   "executions at dup=%d%% loss=%d%%\n",
+                   static_cast<long long>(outcome.succeeded),
+                   static_cast<long long>(outcome.distinct), dup_pct,
+                   loss_pct);
+      ++failures;
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}
+
 }  // namespace
 }  // namespace guardians
 
@@ -314,5 +459,19 @@ BENCHMARK(guardians::BM_DeliveryGuarantee)
     ->Iterations(1)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
+BENCHMARK(guardians::BM_DuplicateStorm)
+    ->ArgNames({"dup_pct", "loss_pct"})
+    ->Args({0, 0})
+    ->Args({25, 0})
+    ->Args({100, 0})
+    ->Args({100, 10})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return guardians::CheckAndRecord();
+}

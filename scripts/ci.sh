@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
 # Tier-1 gate: build + full test suite, then the ThreadSanitizer preset
-# over the concurrency-sensitive suites (ctest label "tsan"). Optionally
+# over the concurrency-sensitive suites (ctest label "tsan" — including
+# test_dedup, whose at-most-once table is hit concurrently by delivery
+# workers and replying guardian threads). Optionally
 # (--asan) the AddressSanitizer preset over the full suite — the fault
 # layer's crash/restart churn makes lifetime bugs likely, so the asan
 # stage is the cheap way to catch them.

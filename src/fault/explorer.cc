@@ -49,6 +49,7 @@ Result<std::unique_ptr<CrashWorld>> BuildWorld(const ExplorerConfig& config) {
   SystemConfig sc;
   sc.seed = config.seed;
   sc.default_link.latency = Micros(100);
+  sc.default_link.dup_prob = config.dup_prob;
   auto world = std::make_unique<CrashWorld>(sc);
   world->region = &world->system.AddNode("region");
   world->client = &world->system.AddNode("client");
@@ -125,11 +126,13 @@ void DriveWorkload(CrashWorld& world, const ExplorerConfig& config,
     if (i == config.ops / 2) {
       // Remote persistent creation mid-workload: exercises the
       // node.persist_creation / persist_next_id sites from the message
-      // path. Creation is not idempotent, so one attempt only.
+      // path. Creation is not idempotent, but retrying it is: duplicates
+      // are suppressed at the region and creation is keyed by guardian
+      // name there, so the retries converge on one f2.
       auto ports = CreateGuardianAt(
           *world.clerk, world.region->PrimordialPort(), "flight", "f2",
           MakeFlightConfig(config, kFlight2).ToArgs(),
-          /*persistent=*/true, config.op_timeout);
+          /*persistent=*/true, config.op_timeout, config.op_attempts);
       if (ports.ok() && !ports->empty()) {
         trace.f2_acked = true;
         trace.f2_port = (*ports)[0];
@@ -227,6 +230,34 @@ Status VerifySchedule(CrashWorld& world, const ExplorerConfig& config,
     // The creation was acked, so the guardian is permanent state too.
     GUARDIANS_RETURN_IF_ERROR(
         VerifyFlight(world, trace, kFlight2, trace.f2_port));
+  }
+  // Creation-retry convergence: re-issuing the (non-idempotent) remote
+  // creation of f2 after recovery must land on ONE guardian, whatever the
+  // crash did to the original request — never executed, executed but the
+  // ack lost, or logged-but-not-acked. Two back-to-back creations must
+  // agree with each other, and with the workload's ack when there was one.
+  auto first = CreateGuardianAt(
+      *world.clerk, world.region->PrimordialPort(), "flight", "f2",
+      MakeFlightConfig(config, kFlight2).ToArgs(),
+      /*persistent=*/true, config.op_timeout, config.op_attempts);
+  if (!first.ok() || first->empty()) {
+    return Fail("post-recovery creation of f2 failed: " +
+                first.status().ToString());
+  }
+  auto second = CreateGuardianAt(
+      *world.clerk, world.region->PrimordialPort(), "flight", "f2",
+      MakeFlightConfig(config, kFlight2).ToArgs(),
+      /*persistent=*/true, config.op_timeout, config.op_attempts);
+  if (!second.ok() || second->empty()) {
+    return Fail("repeated creation of f2 failed: " +
+                second.status().ToString());
+  }
+  if (!((*first)[0] == (*second)[0])) {
+    return Fail("creation retries diverged: two guardians answer to f2");
+  }
+  if (trace.f2_acked && !((*first)[0] == trace.f2_port)) {
+    return Fail("phantom guardian: post-recovery creation of f2 did not "
+                "converge on the acked one");
   }
   return OkStatus();
 }

@@ -42,6 +42,13 @@ struct ExplorerConfig {
   int checkpoint_every = 3;
   Micros op_timeout{Millis(250)};
   int op_attempts = 8;  // retries ride out the supervised restart
+  // Every link duplicates this fraction of packets (seed-deterministic),
+  // so each schedule also proves the at-most-once layer: duplicates and
+  // retries of non-idempotent ops — reserves, cancels, remote creation —
+  // must leave no double effects. Hit counts stay deterministic because
+  // exactly one copy of a tracked request executes; the rest are
+  // suppressed before they reach any journaling site.
+  double dup_prob = 0.05;
   Micros verify_deadline{Millis(10000)};
   SupervisorConfig supervisor = FastSupervisor();
 

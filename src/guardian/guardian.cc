@@ -88,9 +88,16 @@ Status Guardian::Send(const PortName& to, const std::string& command,
 Result<uint64_t> Guardian::SendFull(const PortName& to,
                                     const std::string& command,
                                     ValueList args, const PortName& reply_to,
-                                    const PortName& ack_to) {
+                                    const PortName& ack_to,
+                                    uint64_t dedup_seq) {
   Envelope env;
   env.msg_id = runtime_->NextMsgId();
+  if (dedup_seq != 0) {
+    // Tracked send: the receiver deduplicates on (session, seq), so every
+    // retry of one logical operation must pass the same seq back in.
+    env.session_id = runtime_->SendSession();
+    env.dedup_seq = dedup_seq;
+  }
   // Join the causal chain this process is working in, or start a new trace
   // (identified by this message's globally unique id) at an origin send.
   uint64_t trace_id = CurrentTraceId();

@@ -93,10 +93,14 @@ class Guardian {
   Status Send(const PortName& to, const std::string& command, ValueList args,
               const PortName& reply_to);
   // Full form used by the higher-level send primitives; returns the message
-  // id so a receipt acknowledgement can be matched to the send.
+  // id so a receipt acknowledgement can be matched to the send. A nonzero
+  // `dedup_seq` (from NodeRuntime::NextDedupSeq) makes the send *tracked*:
+  // the envelope carries this node's at-most-once session and the given
+  // sequence number, and the receiving node suppresses re-deliveries —
+  // retries of one logical operation must reuse one seq.
   Result<uint64_t> SendFull(const PortName& to, const std::string& command,
                             ValueList args, const PortName& reply_to,
-                            const PortName& ack_to);
+                            const PortName& ack_to, uint64_t dedup_seq = 0);
 
   // receive on <port list> ... with timeout. Ports are scanned in list
   // order — that is the priority rule. All ports must belong to this

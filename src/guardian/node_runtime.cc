@@ -1,7 +1,9 @@
 #include "src/guardian/node_runtime.h"
 
+#include <algorithm>
 #include <cassert>
 #include <thread>
+#include <utility>
 
 #include "src/common/log.h"
 #include "src/fault/crashpoint.h"
@@ -19,10 +21,23 @@ namespace {
 CrashPoint crash_persist_next_id("node.persist_next_id.before_put");
 CrashPoint crash_persist_creation_before("node.persist_creation.before_log");
 CrashPoint crash_persist_creation_after("node.persist_creation.after_log");
+// The log-reply window of the at-most-once layer: a crash between the
+// guardian producing a reply and that reply being journaled (before) means
+// the retry re-executes — only application idempotence or name-keyed
+// creation covers it; a crash after the journal but before the reply
+// reaches the wire (after) means the sender retries and must be answered
+// from the recovered cache.
+CrashPoint crash_dedup_before_journal("node.dedup.before_journal");
+CrashPoint crash_dedup_after_journal("node.dedup.after_journal");
 
 constexpr GuardianId kPrimordialId = 1;
 constexpr char kMetaLogName[] = "node/meta";
 constexpr char kNextIdCell[] = "node/next_guardian_id";
+constexpr char kDedupLogName[] = "node/dedup";
+// Compact the dedup journal (checkpoint + re-append of the live cache)
+// after this many appends, so it stays proportional to the reply cache
+// rather than to message volume.
+constexpr uint64_t kDedupCompactEvery = 512;
 
 // The primordial guardian: created with the node, never persistent-logged
 // (it is always re-created on restart). It creates guardians at its node in
@@ -136,6 +151,9 @@ NodeRuntime::NodeRuntime(System* system, NodeId id, std::string name,
   counters_.failures_synthesized =
       metrics.counter("deliver.failures_synthesized");
   counters_.acks_sent = metrics.counter("deliver.acks_sent");
+  counters_.dup_suppressed = metrics.counter("deliver.dup.suppressed");
+  counters_.dup_replayed = metrics.counter("deliver.dup.replayed");
+  counters_.dedup_journaled = metrics.counter("node.dedup.journaled");
 }
 
 NodeRuntime::~NodeRuntime() { Crash(); }
@@ -225,7 +243,32 @@ Result<Guardian*> NodeRuntime::CreateGuardianForRemote(
                   "node '" + name_ + "' refused creation of '" + type_name +
                       "' for node " + std::to_string(requester));
   }
+  // Remote creation is idempotent by (non-empty) name: a retried
+  // create_guardian — sender resend, network duplicate that slipped past
+  // dedup, or a retry after a crash in the logged-but-not-acked window —
+  // converges on the guardian the first execution made instead of minting
+  // a phantom. The primordial guardian serves creations one at a time, so
+  // the check-then-create pair cannot race itself.
+  if (!guardian_name.empty()) {
+    if (Guardian* existing = FindGuardianByName(guardian_name)) {
+      return existing;
+    }
+  }
   return CreateGuardian(type_name, guardian_name, args, persistent);
+}
+
+Guardian* NodeRuntime::FindGuardianByName(
+    const std::string& guardian_name) const {
+  if (guardian_name.empty()) {
+    return nullptr;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [gid, guardian] : guardians_) {
+    if (guardian->name() == guardian_name) {
+      return guardian.get();
+    }
+  }
+  return nullptr;
 }
 
 Status NodeRuntime::DestroyGuardian(GuardianId gid) {
@@ -409,6 +452,14 @@ void NodeRuntime::FinishCrash() {
     std::lock_guard<std::mutex> lock(reassembler_mu_);
     reassembler_ = Reassembler();
   }
+  {
+    // The dedup table is volatile state of the dead incarnation; the next
+    // Restart rebuilds what matters (seen floors, cached replies) from the
+    // dedup journal.
+    std::lock_guard<std::mutex> lock(dedup_mu_);
+    dedup_.Clear();
+    pending_replies_.clear();
+  }
 }
 
 Status NodeRuntime::Restart() {
@@ -441,6 +492,17 @@ Status NodeRuntime::RestartImpl() {
       }
     }
   }
+  // A fresh at-most-once session: nonzero and random, so sequence numbers
+  // issued before the crash can never be mistaken for this incarnation's.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    send_session_.store(rng_.NextU64() | 1);
+  }
+  dedup_seq_.store(0);
+  // Rebuild the receiver-side dedup state from the journal before any
+  // traffic can arrive, so retries of pre-crash operations are recognised.
+  GUARDIANS_RETURN_IF_ERROR(RecoverDedup());
+
   up_.store(true);
   system_->network().SetNodeUp(id_, true);
 
@@ -544,6 +606,10 @@ Status NodeRuntime::Transmit(Envelope env) {
   if (!bytes.ok()) {
     return bytes.status();
   }
+  // If this send answers a tracked request, journal and cache it *before*
+  // it can reach the wire: once the sender has seen the reply, the reply
+  // must survive our crash, or a retry would re-execute the operation.
+  MaybeJournalReply(env);
   // Step 3: fragment and hand to the network. The sender continues as soon
   // as this returns; delivery is not guaranteed.
   system_->traces().Record(env.trace_id, id_, "send",
@@ -583,6 +649,13 @@ void NodeRuntime::SendSystemFailure(const PortName& to,
 }
 
 void NodeRuntime::SendAck(const Received& message) {
+  if (message.dedup_seq != 0) {
+    // The application has genuinely dequeued this tracked message; from
+    // now on a suppressed duplicate may be answered with a replacement
+    // ack (the original ack might be the very packet that was lost).
+    std::lock_guard<std::mutex> lock(dedup_mu_);
+    dedup_.MarkAcked(message.session_id, message.dedup_seq);
+  }
   Envelope env;
   env.msg_id = NextMsgId();
   env.trace_id = message.trace_id;
@@ -658,6 +731,14 @@ void NodeRuntime::DeliverPacket(Packet&& packet) {
 }
 
 void NodeRuntime::DeliverEnvelope(Envelope env) {
+  // At-most-once gate: a tracked envelope already accepted for execution
+  // is never executed again, whatever else this function would decide.
+  // Checked before the guardian/port lookups so even a request whose
+  // target has since retired or been destroyed is answered (or silently
+  // absorbed) instead of re-dispatched.
+  if (env.Tracked() && SuppressDuplicate(env)) {
+    return;
+  }
   Guardian* guardian = FindGuardian(env.target.guardian);
   if (guardian == nullptr) {
     counters_.drop_no_guardian->Inc();
@@ -704,7 +785,35 @@ void NodeRuntime::DeliverEnvelope(Envelope env) {
   message.src_node = env.src_node;
   message.msg_id = env.msg_id;
   message.trace_id = env.trace_id;
-  switch (port->Push(std::move(message))) {
+  message.session_id = env.session_id;
+  message.dedup_seq = env.dedup_seq;
+  if (env.Tracked()) {
+    // Mark seen and register the reply correlation BEFORE the push makes
+    // the message visible: the guardian may dequeue and reply the instant
+    // Push signals the mailbox, and by then the pending-reply entry must
+    // already exist or the reply escapes unjournaled and uncached. A
+    // failed push rolls both back so a retry can still land.
+    std::lock_guard<std::mutex> lock(dedup_mu_);
+    dedup_.MarkSeen(env.session_id, env.dedup_seq);
+    if (env.HasReply()) {
+      pending_replies_[env.reply_to] =
+          PendingReply{env.session_id, env.dedup_seq};
+    }
+  }
+  const PushResult pushed = port->Push(std::move(message));
+  if (pushed != PushResult::kOk && env.Tracked()) {
+    std::lock_guard<std::mutex> lock(dedup_mu_);
+    dedup_.Unmark(env.session_id, env.dedup_seq);
+    if (env.HasReply()) {
+      auto it = pending_replies_.find(env.reply_to);
+      if (it != pending_replies_.end() &&
+          it->second.session == env.session_id &&
+          it->second.seq == env.dedup_seq) {
+        pending_replies_.erase(it);
+      }
+    }
+  }
+  switch (pushed) {
     case PushResult::kOk:
       break;
     case PushResult::kRetired:
@@ -737,6 +846,190 @@ void NodeRuntime::DeliverEnvelope(Envelope env) {
   ++stats_.messages_delivered;
 }
 
+bool NodeRuntime::SuppressDuplicate(const Envelope& env) {
+  DedupTable::CachedReply replay;
+  DedupTable::Verdict verdict;
+  bool original_acked = false;
+  {
+    std::lock_guard<std::mutex> lock(dedup_mu_);
+    verdict = dedup_.Classify(env.session_id, env.dedup_seq, &replay);
+    original_acked = dedup_.Acked(env.session_id, env.dedup_seq);
+  }
+  if (verdict == DedupTable::Verdict::kFresh) {
+    return false;
+  }
+  counters_.dup_suppressed->Inc();
+  system_->traces().Record(env.trace_id, id_, "dedup.suppressed",
+                           env.command + " seq " +
+                               std::to_string(env.dedup_seq));
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.duplicates_suppressed;
+  }
+  // A suppressed duplicate earns a replacement receipt acknowledgement —
+  // but only if the original was genuinely dequeued (its ack went out and
+  // may have been lost). Without the replacement, a ReliableSend whose
+  // first ack was lost would retry forever against a receiver that drops
+  // every retry; without the dequeue condition, a duplicate of a message
+  // still sitting in the buffer would fake a receipt the application never
+  // gave.
+  if (env.HasAck() && original_acked) {
+    Envelope ack;
+    ack.msg_id = NextMsgId();
+    ack.trace_id = env.trace_id;
+    ack.src_node = id_;
+    ack.target = env.ack_to;
+    ack.command = "ack";
+    ack.args = {Value::Str(std::to_string(env.msg_id))};
+    Status st = Transmit(std::move(ack));
+    (void)st;
+    counters_.acks_sent->Inc();
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.acks_sent;
+  }
+  if (verdict == DedupTable::Verdict::kReplay) {
+    // Answer from the cache: a fresh msg_id, the duplicate's trace id so
+    // the resend joins the retry's causal chain, and the duplicate's reply
+    // port (retries reuse one reply port; fall back on the cached one for
+    // a blind network duplicate).
+    Envelope reply;
+    reply.msg_id = NextMsgId();
+    reply.trace_id = env.trace_id;
+    reply.src_node = id_;
+    reply.target = env.HasReply() ? env.reply_to : replay.reply_to;
+    reply.command = std::move(replay.command);
+    reply.args = std::move(replay.args);
+    system_->traces().Record(env.trace_id, id_, "dedup.replayed",
+                             reply.command + " -> " +
+                                 reply.target.ToString());
+    Status st = Transmit(std::move(reply));
+    (void)st;
+    counters_.dup_replayed->Inc();
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.replies_replayed;
+  }
+  return true;
+}
+
+void NodeRuntime::MaybeJournalReply(const Envelope& env) {
+  PendingReply pending;
+  uint64_t high_water = 0;
+  {
+    std::lock_guard<std::mutex> lock(dedup_mu_);
+    auto it = pending_replies_.find(env.target);
+    if (it == pending_replies_.end()) {
+      return;
+    }
+    pending = it->second;
+    pending_replies_.erase(it);
+    high_water =
+        std::max(dedup_.HighWater(pending.session), pending.seq);
+  }
+  // One record per replied-to operation: identity, the session's receive
+  // high-water mark (recovery's conservative floor), and the reply itself
+  // in component form so RecoverValues can rebuild it without the
+  // abstract-type registry.
+  Value record = Value::Record(
+      {{"s", Value::Int(static_cast<int64_t>(pending.session))},
+       {"q", Value::Int(static_cast<int64_t>(pending.seq))},
+       {"hw", Value::Int(static_cast<int64_t>(high_water))},
+       {"to", Value::OfPort(env.target)},
+       {"cmd", Value::Str(env.command)},
+       {"args", Value::Array(env.args)}});
+  {
+    std::lock_guard<std::mutex> log_lock(dedup_log_mu_);
+    Wal dedup_log(&stable_store_, kDedupLogName);
+    crash_dedup_before_journal.Hit();
+    Status st = dedup_log.AppendValue(record);
+    if (!st.ok()) {
+      GLOG_ERROR << "failed to journal reply for dedup seq "
+                 << pending.seq << ": " << st;
+    }
+    // The logged-but-not-sent window: the reply is durable but the sender
+    // never hears it; the retry must be answered from the recovered cache.
+    crash_dedup_after_journal.Hit();
+    counters_.dedup_journaled->Inc();
+    if (++dedup_appends_since_compact_ >= kDedupCompactEvery) {
+      // Compact: keep only the live reply cache (the meta-log pattern —
+      // checkpoint, then re-append). A crash mid-compaction can lose dedup
+      // records; retries of those old operations then fall back on
+      // application idempotence / name-keyed creation.
+      dedup_appends_since_compact_ = 0;
+      std::vector<std::pair<std::pair<uint64_t, uint64_t>,
+                            DedupTable::CachedReply>>
+          live;
+      {
+        std::lock_guard<std::mutex> lock(dedup_mu_);
+        live = dedup_.Snapshot();
+      }
+      Status checkpointed = dedup_log.Checkpoint({});
+      (void)checkpointed;
+      for (auto& [key, reply] : live) {
+        uint64_t hw;
+        {
+          std::lock_guard<std::mutex> lock(dedup_mu_);
+          hw = dedup_.HighWater(key.first);
+        }
+        Value kept = Value::Record(
+            {{"s", Value::Int(static_cast<int64_t>(key.first))},
+             {"q", Value::Int(static_cast<int64_t>(key.second))},
+             {"hw", Value::Int(static_cast<int64_t>(hw))},
+             {"to", Value::OfPort(reply.reply_to)},
+             {"cmd", Value::Str(reply.command)},
+             {"args", Value::Array(reply.args)}});
+        Status appended = dedup_log.AppendValue(kept);
+        (void)appended;
+      }
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(dedup_mu_);
+    dedup_.CacheReply(pending.session, pending.seq,
+                      DedupTable::CachedReply{env.command, env.args,
+                                              env.target});
+  }
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++stats_.replies_journaled;
+}
+
+Status NodeRuntime::RecoverDedup() {
+  std::lock_guard<std::mutex> log_lock(dedup_log_mu_);
+  Wal dedup_log(&stable_store_, kDedupLogName);
+  auto recovery = dedup_log.RecoverValues();
+  if (!recovery.ok()) {
+    return recovery.status();
+  }
+  std::lock_guard<std::mutex> lock(dedup_mu_);
+  dedup_.Clear();
+  pending_replies_.clear();
+  for (const auto& record : *recovery) {
+    auto session_field = record.field("s");
+    auto seq_field = record.field("q");
+    if (!session_field.ok() || !seq_field.ok()) {
+      continue;
+    }
+    const uint64_t session =
+        static_cast<uint64_t>(session_field->int_value());
+    auto hw_field = record.field("hw");
+    if (hw_field.ok()) {
+      dedup_.RestoreFloor(session,
+                          static_cast<uint64_t>(hw_field->int_value()));
+    }
+    const uint64_t seq = static_cast<uint64_t>(seq_field->int_value());
+    auto to_field = record.field("to");
+    auto cmd_field = record.field("cmd");
+    auto args_field = record.field("args");
+    if (seq == 0 || !to_field.ok() || !cmd_field.ok() || !args_field.ok()) {
+      continue;
+    }
+    dedup_.CacheReply(session, seq,
+                      DedupTable::CachedReply{cmd_field->string_value(),
+                                              args_field->items(),
+                                              to_field->port_value()});
+  }
+  return OkStatus();
+}
+
 std::string NodeRuntime::Report() const {
   std::string out = "node '" + name_ + "' (id " + std::to_string(id_) + ") " +
                     (up_.load() ? "up" : "down") + "\n";
@@ -757,6 +1050,9 @@ std::string NodeRuntime::Report() const {
   line("discarded_corrupt", s.discarded_corrupt);
   line("failures_synthesized", s.failures_synthesized);
   line("acks_sent", s.acks_sent);
+  line("duplicates_suppressed", s.duplicates_suppressed);
+  line("replies_replayed", s.replies_replayed);
+  line("replies_journaled", s.replies_journaled);
   std::vector<Guardian*> gs;
   {
     std::lock_guard<std::mutex> lock(mu_);

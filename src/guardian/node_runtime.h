@@ -27,6 +27,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/common/result.h"
@@ -60,6 +61,14 @@ struct NodeStats {
   uint64_t discarded_corrupt = 0;
   uint64_t failures_synthesized = 0;
   uint64_t acks_sent = 0;
+  // At-most-once layer (DESIGN.md §10): tracked messages recognised as
+  // re-deliveries and thrown away instead of executed; how many of those
+  // were answered from the reply cache; replies journaled for crash
+  // survival. `messages_delivered` counts *executions*, so under dup_prob
+  // or retries it stays below the network's delivered-packet count.
+  uint64_t duplicates_suppressed = 0;
+  uint64_t replies_replayed = 0;
+  uint64_t replies_journaled = 0;
 };
 
 class NodeRuntime {
@@ -122,6 +131,10 @@ class NodeRuntime {
   Status DestroyGuardian(GuardianId gid);
 
   Guardian* FindGuardian(GuardianId gid) const;
+  // First live guardian attached with this (non-empty) name; creation
+  // idempotence keys on it so a retried create_guardian converges on the
+  // guardian the first execution made.
+  Guardian* FindGuardianByName(const std::string& guardian_name) const;
   // The port other nodes use to reach this node's primordial guardian.
   PortName PrimordialPort() const;
 
@@ -151,6 +164,13 @@ class NodeRuntime {
   // --- Transport internals (used by Guardian and the send primitives) ----------
   Status Transmit(Envelope env);
   uint64_t NextMsgId();
+  // At-most-once sender identity. The session id names this incarnation of
+  // the node (random per Restart, so pre-crash seqs can never collide with
+  // post-crash ones); each tracked logical operation draws one sequence
+  // number and reuses it across every retry — that is what makes the
+  // retries recognisable as duplicates at the receiver.
+  uint64_t SendSession() const { return send_session_.load(); }
+  uint64_t NextDedupSeq() { return dedup_seq_.fetch_add(1) + 1; }
   // `trace_id` ties the synthesized failure into the lost message's trace.
   void SendSystemFailure(const PortName& to, const std::string& reason,
                          uint64_t trace_id = 0);
@@ -183,6 +203,15 @@ class NodeRuntime {
                        const std::string& guardian_name, GuardianId gid,
                        const ValueList& args);
   void PersistNextId();
+  // If `env` answers a pending tracked request, journal it through the
+  // dedup Wal (before it reaches the network — log-then-reply) and cache
+  // it for replay. Runs on the replying guardian's thread.
+  void MaybeJournalReply(const Envelope& env);
+  // Rebuild the dedup table from the journal at boot.
+  Status RecoverDedup();
+  // True when the envelope was recognised as a re-delivery and fully
+  // handled (suppressed, acked, and/or answered from the reply cache).
+  bool SuppressDuplicate(const Envelope& env);
 
   System* system_;
   const NodeId id_;
@@ -215,6 +244,28 @@ class NodeRuntime {
   std::atomic<int> crash_state_{kNoCrash};
   std::atomic<uint64_t> msg_counter_{0};
 
+  // --- At-most-once receiver/sender state -----------------------------------
+  // dedup_mu_ guards the table and the pending-reply map; it is never held
+  // across a Transmit (a cached reply is copied out, then resent outside
+  // the lock, so the journal path cannot deadlock against delivery).
+  mutable std::mutex dedup_mu_;
+  DedupTable dedup_;
+  struct PendingReply {
+    uint64_t session = 0;
+    uint64_t seq = 0;
+  };
+  // reply port of an executing tracked request -> its dedup identity;
+  // filled when the request is enqueued, consumed by the first send the
+  // node makes to that port (the reply).
+  std::unordered_map<PortName, PendingReply, PortNameHash> pending_replies_;
+  std::atomic<uint64_t> send_session_{0};
+  std::atomic<uint64_t> dedup_seq_{0};
+  // Serializes appends/compactions of the dedup journal (several guardian
+  // threads may reply concurrently). Ordered before dedup_mu_ when both
+  // are needed; never held while touching a mailbox or the network.
+  std::mutex dedup_log_mu_;
+  uint64_t dedup_appends_since_compact_ = 0;  // guarded by dedup_log_mu_
+
   mutable std::mutex stats_mu_;
   NodeStats stats_;
 
@@ -233,6 +284,9 @@ class NodeRuntime {
     Counter* drop_corrupt_fragment = nullptr;
     Counter* failures_synthesized = nullptr;
     Counter* acks_sent = nullptr;
+    Counter* dup_suppressed = nullptr;
+    Counter* dup_replayed = nullptr;
+    Counter* dedup_journaled = nullptr;
   };
   DeliveryCounters counters_;
 };

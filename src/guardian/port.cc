@@ -1,5 +1,7 @@
 #include "src/guardian/port.h"
 
+#include <algorithm>
+
 namespace guardians {
 
 PushResult Port::Push(Received&& message) {
@@ -56,6 +58,124 @@ uint64_t Port::discarded_retired() const {
 size_t Port::depth() const {
   std::lock_guard<std::mutex> lock(mailbox_->mu);
   return queue_.size();
+}
+
+DedupTable::Verdict DedupTable::Classify(uint64_t session, uint64_t seq,
+                                         CachedReply* replay) const {
+  auto it = sessions_.find(session);
+  if (it == sessions_.end()) {
+    return Verdict::kFresh;
+  }
+  const Session& s = it->second;
+  const bool seen = seq <= s.floor || s.seen.count(seq) > 0;
+  if (!seen) {
+    return Verdict::kFresh;
+  }
+  auto reply = replies_.find(Key{session, seq});
+  if (reply == replies_.end()) {
+    return Verdict::kDuplicate;
+  }
+  if (replay != nullptr) {
+    *replay = reply->second;
+  }
+  return Verdict::kReplay;
+}
+
+void DedupTable::MarkSeen(uint64_t session, uint64_t seq) {
+  Session& s = sessions_[session];
+  s.seen.insert(seq);
+  if (seq > s.high_water) {
+    s.high_water = seq;
+  }
+  // Slide the window: everything at or below the floor is implicitly seen,
+  // so the set only holds the (window)-many most recent seqs.
+  if (s.high_water > config_.window) {
+    s.floor = std::max(s.floor, s.high_water - config_.window);
+  }
+  while (!s.seen.empty() && *s.seen.begin() <= s.floor) {
+    s.seen.erase(s.seen.begin());
+  }
+  while (!s.acked.empty() && *s.acked.begin() <= s.floor) {
+    s.acked.erase(s.acked.begin());
+  }
+}
+
+void DedupTable::Unmark(uint64_t session, uint64_t seq) {
+  auto it = sessions_.find(session);
+  if (it == sessions_.end()) {
+    return;
+  }
+  // The high-water mark stays where MarkSeen left it — at worst the floor
+  // is conservatively high, which only drops (never re-executes) seqs.
+  it->second.seen.erase(seq);
+  it->second.acked.erase(seq);
+}
+
+void DedupTable::MarkAcked(uint64_t session, uint64_t seq) {
+  auto it = sessions_.find(session);
+  if (it == sessions_.end() || seq <= it->second.floor) {
+    return;  // at or below the floor: Acked() already reports true
+  }
+  it->second.acked.insert(seq);
+}
+
+bool DedupTable::Acked(uint64_t session, uint64_t seq) const {
+  auto it = sessions_.find(session);
+  if (it == sessions_.end()) {
+    return false;
+  }
+  return seq <= it->second.floor || it->second.acked.count(seq) > 0;
+}
+
+void DedupTable::RestoreFloor(uint64_t session, uint64_t floor) {
+  Session& s = sessions_[session];
+  s.floor = std::max(s.floor, floor);
+  s.high_water = std::max(s.high_water, floor);
+  while (!s.seen.empty() && *s.seen.begin() <= s.floor) {
+    s.seen.erase(s.seen.begin());
+  }
+  while (!s.acked.empty() && *s.acked.begin() <= s.floor) {
+    s.acked.erase(s.acked.begin());
+  }
+}
+
+void DedupTable::CacheReply(uint64_t session, uint64_t seq,
+                            CachedReply reply) {
+  MarkSeen(session, seq);
+  const Key key{session, seq};
+  auto [it, inserted] = replies_.emplace(key, std::move(reply));
+  if (!inserted) {
+    return;  // already cached (journal replay after recovery)
+  }
+  reply_fifo_.push_back(key);
+  while (replies_.size() > config_.reply_cache_capacity) {
+    replies_.erase(reply_fifo_.front());
+    reply_fifo_.pop_front();
+  }
+}
+
+uint64_t DedupTable::HighWater(uint64_t session) const {
+  auto it = sessions_.find(session);
+  return it != sessions_.end() ? it->second.high_water : 0;
+}
+
+std::vector<std::pair<std::pair<uint64_t, uint64_t>, DedupTable::CachedReply>>
+DedupTable::Snapshot() const {
+  std::vector<std::pair<Key, CachedReply>> out;
+  out.reserve(reply_fifo_.size());
+  for (const Key& key : reply_fifo_) {
+    auto it = replies_.find(key);
+    if (it != replies_.end()) {
+      out.emplace_back(key, it->second);
+    }
+  }
+  return out;
+}
+
+void DedupTable::Clear() {
+  sessions_.clear();
+  replies_.clear();
+  reply_fifo_.clear();
 }
 
 }  // namespace guardians

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <optional>
 
 #include "src/common/log.h"
 
@@ -123,6 +124,7 @@ void Network::SetPartitioned(NodeId a, NodeId b, bool cut) {
 
 void Network::Send(Packet packet) {
   InFlight entry;
+  std::optional<InFlight> duplicate;
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.packets_sent;
@@ -175,40 +177,78 @@ void Network::Send(Packet packet) {
       }
     }
 
-    int64_t delay_us = ToMicros(link.latency);
-    if (link.jitter.count() > 0) {
-      delay_us += static_cast<int64_t>(
-          rng_.NextNormal(0.0, static_cast<double>(link.jitter.count())));
-    }
-    if (link.bytes_per_micro > 0.0) {
-      delay_us += static_cast<int64_t>(
-          static_cast<double>(packet.WireSize()) / link.bytes_per_micro);
-    }
-    delay_us = std::max<int64_t>(delay_us, 0);
+    // Each copy rolls its own latency/jitter, so a duplicate reorders
+    // freely against the original (it may even arrive first).
+    auto roll_delay = [&]() {
+      int64_t delay_us = ToMicros(link.latency);
+      if (link.jitter.count() > 0) {
+        delay_us += static_cast<int64_t>(
+            rng_.NextNormal(0.0, static_cast<double>(link.jitter.count())));
+      }
+      if (link.bytes_per_micro > 0.0) {
+        delay_us += static_cast<int64_t>(
+            static_cast<double>(packet.WireSize()) / link.bytes_per_micro);
+      }
+      return std::max<int64_t>(delay_us, 0);
+    };
 
     entry.sent_at = Now();
-    entry.deliver_at = entry.sent_at + Micros(delay_us);
+    entry.deliver_at = entry.sent_at + Micros(roll_delay());
     entry.seq = seq_++;
+
+    if (rng_.NextBool(link.dup_prob)) {
+      // The network invents a second in-flight copy of the same packet
+      // (§1.1: the network may duplicate messages). Both copies resolve
+      // independently downstream, so packets_delivered + packets_dropped
+      // balances against packets_sent + packets_duplicated.
+      ++stats_.packets_duplicated;
+      if (metrics_ != nullptr) {
+        metrics_->counter("net.dup.injected")->Inc();
+      }
+      if (link_counters != nullptr) {
+        link_counters->duplicated->Inc();
+      }
+      if (traces_ != nullptr) {
+        traces_->Record(packet.trace_id, 0, "net.duplicated",
+                        "n" + std::to_string(packet.src) + "->n" +
+                            std::to_string(packet.dst) + " frag " +
+                            std::to_string(packet.frag_index + 1) + "/" +
+                            std::to_string(packet.frag_count));
+      }
+      InFlight copy;
+      copy.sent_at = entry.sent_at;
+      copy.deliver_at = entry.sent_at + Micros(roll_delay());
+      copy.seq = seq_++;
+      copy.packet = packet;  // the original still owns `packet` below
+      duplicate.emplace(std::move(copy));
+    }
     entry.packet = std::move(packet);
   }
 
-  // The drop/corrupt/latency dice are cast; hand the packet to its
+  // The drop/corrupt/latency/duplication dice are cast; hand the copy (or
+  // copies — a duplicate shares the destination, hence the shard) to its
   // destination's shard. in_flight_ rises before the worker can resolve
-  // the packet, so DrainForTesting never observes a false zero.
+  // the packets, so DrainForTesting never observes a false zero.
   Shard& shard = ShardFor(entry.packet.dst);
-  in_flight_.fetch_add(1, std::memory_order_acq_rel);
+  const uint64_t copies = duplicate.has_value() ? 2 : 1;
+  in_flight_.fetch_add(copies, std::memory_order_acq_rel);
   {
     std::lock_guard<std::mutex> lock(shard.mu);
     if (stopping_.load()) {
-      // Workers are gone; the packet silently vanishes (it was "in flight"
-      // when the world stopped), and the drain barrier must not wait on it.
-      in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+      // Workers are gone; the packets silently vanish (they were "in
+      // flight" when the world stopped), and the drain barrier must not
+      // wait on them.
+      in_flight_.fetch_sub(copies, std::memory_order_acq_rel);
       return;
     }
     shard.heap.push_back(std::move(entry));
     std::push_heap(shard.heap.begin(), shard.heap.end(), DueLater{});
+    if (duplicate.has_value()) {
+      shard.heap.push_back(std::move(*duplicate));
+      std::push_heap(shard.heap.begin(), shard.heap.end(), DueLater{});
+    }
     if (shard.enqueued != nullptr) {
-      shard.enqueued->Inc();
+      shard.enqueued->Inc(copies);
     }
   }
   shard.cv.notify_all();
@@ -245,6 +285,7 @@ Network::LinkCounters* Network::CountersForLink(NodeId src, NodeId dst) {
     counters.delivered = metrics_->counter(prefix + "delivered");
     counters.dropped = metrics_->counter(prefix + "dropped");
     counters.corrupted = metrics_->counter(prefix + "corrupted");
+    counters.duplicated = metrics_->counter(prefix + "duplicated");
     it = link_counters_.emplace(key, counters).first;
   }
   return &it->second;

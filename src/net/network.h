@@ -14,10 +14,10 @@
 // threads, each owning its own timing heap and condition variable. §3.4
 // promises *unordered* best-effort delivery across destinations, so the
 // only order that matters — packets to one node — is preserved (one node
-// always maps to one shard). Loss, corruption, and latency are decided
-// seed-deterministically at Send() time under one lock, so drop and
-// corruption counts are bit-identical for a given seed at every worker
-// count; only wall-clock parallelism changes.
+// always maps to one shard). Loss, corruption, duplication, and latency
+// are decided seed-deterministically at Send() time under one lock, so
+// drop, corruption, and duplicate counts are bit-identical for a given
+// seed at every worker count; only wall-clock parallelism changes.
 //
 // The substitution for the paper's physical network is documented in
 // DESIGN.md: every failure mode the paper reasons about (loss, reordering,
@@ -54,14 +54,26 @@ struct LinkParams {
   double drop_prob = 0.0;     // silent loss probability per packet
   double corrupt_prob = 0.0;  // bit-error probability per packet
   double bytes_per_micro = 0.0;  // bandwidth; 0 means unlimited
+  // Duplicate-delivery probability per packet (§1.1: the network "may
+  // lose, duplicate, and reorder messages"). The extra copy gets its own
+  // latency/jitter roll, so the two copies reorder freely. Decided at
+  // Send() under the global lock, like loss and corruption, so duplicate
+  // counts are bit-identical for a given seed at every shard count.
+  double dup_prob = 0.0;
 };
 
-// Counters for experiments; all monotically increasing.
+// Counters for experiments; all monotonically increasing. Conservation
+// law once the network is drained:
+//   packets_delivered + packets_dropped == packets_sent + packets_duplicated
+// Send-time drops (loss, partition, src down) count one per *send*; a
+// duplicated packet adds one extra in-flight copy, and each copy resolves
+// independently as delivered or dropped (dst down) at delivery time.
 struct NetworkStats {
-  uint64_t packets_sent = 0;
-  uint64_t packets_delivered = 0;
-  uint64_t packets_dropped = 0;     // loss + partitions + down nodes
+  uint64_t packets_sent = 0;        // Send() calls accepted (copies excluded)
+  uint64_t packets_delivered = 0;   // copies handed to a sink
+  uint64_t packets_dropped = 0;     // loss + partitions + down nodes, per copy
   uint64_t packets_corrupted = 0;   // delivered with flipped bits
+  uint64_t packets_duplicated = 0;  // extra copies injected by dup_prob
   uint64_t bytes_sent = 0;
 };
 
@@ -175,6 +187,7 @@ class Network {
     Counter* delivered = nullptr;
     Counter* dropped = nullptr;
     Counter* corrupted = nullptr;
+    Counter* duplicated = nullptr;
   };
 
   Shard& ShardFor(NodeId dst) {

@@ -26,10 +26,24 @@ Result<ReliableSendResult> ReliableSend(Guardian& sender, const PortName& to,
   Status last(Code::kTimeout, "no attempts made");
   double backoff_us =
       static_cast<double>(options.initial_backoff.count());
+  // One dedup sequence number for the whole call: every resend is the same
+  // logical operation, so the receiver executes at most one of them.
+  const uint64_t dedup_seq = sender.runtime().NextDedupSeq();
+  const Deadline overall = options.deadline.count() > 0
+                               ? Deadline(options.deadline)
+                               : Deadline::Infinite();
   for (int attempt = 1; attempt <= options.max_attempts; ++attempt) {
+    if (overall.Expired()) {
+      metrics.counter("sendprims.reliable.deadline_exceeded")->Inc();
+      return Status(Code::kTimeout, "reliable send deadline exceeded after " +
+                                        std::to_string(result.attempts) +
+                                        " attempts");
+    }
     result.attempts = attempt;
     attempts_counter->Inc();
-    Status st = SyncSend(sender, to, command, args, options.ack_timeout);
+    Status st = SyncSend(sender, to, command, args,
+                         std::min(options.ack_timeout, overall.Remaining()),
+                         dedup_seq);
     if (st.ok()) {
       metrics.counter("sendprims.reliable.ok")->Inc();
       return result;
@@ -40,11 +54,16 @@ Result<ReliableSendResult> ReliableSend(Guardian& sender, const PortName& to,
     timeouts_counter->Inc();
     last = st;
     if (attempt < options.max_attempts && backoff_us > 0.0) {
-      // ±jitter around the current backoff step, capped at max_backoff.
+      // ±jitter around the current backoff step, capped at max_backoff and
+      // never sleeping past the overall deadline.
       double jittered =
           backoff_us * (1.0 + options.jitter * (2.0 * rng.NextDouble() - 1.0));
       jittered = std::clamp(
           jittered, 0.0, static_cast<double>(options.max_backoff.count()));
+      if (!overall.IsInfinite()) {
+        jittered = std::min(
+            jittered, static_cast<double>(overall.Remaining().count()));
+      }
       const Micros delay(static_cast<int64_t>(jittered));
       if (delay.count() > 0) {
         backoff_hist->Observe(static_cast<uint64_t>(delay.count()));

@@ -6,10 +6,12 @@
 // build is this loop — send, await the receipt, resend on timeout — which
 // is possible precisely because the chosen primitive composes.
 //
-// Delivery becomes at-least-once: the receiving process may see duplicates
-// (a resend racing a delayed ack), so reliable sends are for idempotent or
-// receiver-deduplicated messages — the same discipline as every retry in
-// this system.
+// Delivery used to be at-least-once: a resend racing a delayed ack
+// duplicates the message on the wire. Every ReliableSend is now *tracked*
+// (one dedup sequence number spans all its attempts), so the receiving
+// node's at-most-once layer (DESIGN.md §10) suppresses those duplicates —
+// while still acknowledging their receipt — and the receiving process sees
+// at most one copy. The old caveat about idempotent-only payloads is gone.
 #ifndef GUARDIANS_SRC_SENDPRIMS_RELIABLE_SEND_H_
 #define GUARDIANS_SRC_SENDPRIMS_RELIABLE_SEND_H_
 
@@ -32,6 +34,12 @@ struct ReliableSendOptions {
   Micros max_backoff{Millis(50)};
   double backoff_multiplier = 2.0;
   double jitter = 0.5;
+  // Overall wall-clock bound across every attempt and backoff sleep; 0
+  // disables it (the old behaviour, where max_attempts × max_backoff was
+  // the only bound). When it expires the call fails with kTimeout and
+  // counts in sendprims.reliable.deadline_exceeded; per-attempt ack waits
+  // are clipped to the time remaining so the bound is honoured exactly.
+  Micros deadline{0};
 };
 
 struct ReliableSendResult {

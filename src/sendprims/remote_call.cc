@@ -16,11 +16,15 @@ Result<RemoteReply> RemoteCall(Guardian& caller, const PortName& to,
   Port* reply_port = caller.AddPort(reply_type, /*capacity=*/8);
   Status last(Code::kTimeout, "no attempts made");
   RemoteReply reply;
+  // One dedup sequence number and one reply port for the whole call:
+  // every attempt is the same logical request, so the receiver executes at
+  // most one and a replayed cached reply still lands where we are waiting.
+  const uint64_t dedup_seq = caller.runtime().NextDedupSeq();
   for (int attempt = 1; attempt <= options.max_attempts; ++attempt) {
     reply.attempts = attempt;
     attempts_counter->Inc();
-    auto sent =
-        caller.SendFull(to, command, args, reply_port->name(), PortName{});
+    auto sent = caller.SendFull(to, command, args, reply_port->name(),
+                                PortName{}, dedup_seq);
     if (!sent.ok()) {
       // Local errors (type error, encode failure, node down) will not be
       // cured by retrying.
@@ -57,10 +61,13 @@ Result<RemoteReply> RemoteCall(Guardian& caller, const PortName& to,
 Result<std::vector<PortName>> CreateGuardianAt(
     Guardian& caller, const PortName& primordial,
     const std::string& type_name, const std::string& guardian_name,
-    ValueList creation_args, bool persistent, Micros timeout) {
+    ValueList creation_args, bool persistent, Micros timeout,
+    int max_attempts) {
   RemoteCallOptions options;
   options.timeout = timeout;
-  options.max_attempts = 1;  // creation is not idempotent
+  // Safe despite creation being non-idempotent: duplicates are suppressed
+  // at the target, and remote creation is keyed by guardian name there.
+  options.max_attempts = max_attempts;
   GUARDIANS_ASSIGN_OR_RETURN(
       RemoteReply reply,
       RemoteCall(caller, primordial, "create_guardian",

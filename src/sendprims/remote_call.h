@@ -6,8 +6,11 @@
 // Built on the no-wait send: the request carries an ephemeral reply port;
 // the caller blocks on it with a timeout. On timeout "nothing is known
 // about the true state of affairs: the request may never be done, or it
-// might already be done" (Section 3.5) — so retries are sound only for
-// idempotent requests, which the options make explicit.
+// might already be done" (Section 3.5). Historically that made retries
+// sound only for idempotent requests; now every call is *tracked* — one
+// dedup sequence number spans all attempts, the receiving node executes at
+// most one of them and answers later attempts from its reply cache
+// (DESIGN.md §10) — so retrying a non-idempotent request is safe.
 #ifndef GUARDIANS_SRC_SENDPRIMS_REMOTE_CALL_H_
 #define GUARDIANS_SRC_SENDPRIMS_REMOTE_CALL_H_
 
@@ -24,9 +27,11 @@ struct RemoteCallOptions {
   // enough to permit the request to complete under reasonable
   // circumstances").
   Micros timeout{Millis(500)};
-  // Total attempts. >1 is only sound when the request is idempotent ("many
-  // performances are equivalent to one"); non-idempotent callers keep 1 and
-  // surface the uncertainty, as the Figure 5 transaction process does.
+  // Total attempts. The at-most-once layer makes >1 sound even for
+  // non-idempotent requests: re-deliveries are suppressed at the receiver
+  // and answered from its reply cache, so "many performances" literally
+  // are one performance. On exhaustion the uncertainty remains (the one
+  // execution may still have happened), as Section 3.5 warns.
   int max_attempts = 1;
 };
 
@@ -47,11 +52,16 @@ Result<RemoteReply> RemoteCall(Guardian& caller, const PortName& to,
 
 // Convenience for the common remote-creation flow: ask `primordial` (the
 // primordial port of another node) to create a guardian there, returning
-// the provided ports. Creation is NOT idempotent, so this never retries.
+// the provided ports. Creation is not idempotent, but retrying it is safe:
+// the request is tracked (duplicates answered from the reply cache), and
+// the target node keys remote creation by guardian name, so retries — even
+// across a crash of the target in the logged-but-not-acked window —
+// converge on the one guardian the first execution made.
 Result<std::vector<PortName>> CreateGuardianAt(
     Guardian& caller, const PortName& primordial,
     const std::string& type_name, const std::string& guardian_name,
-    ValueList creation_args, bool persistent, Micros timeout);
+    ValueList creation_args, bool persistent, Micros timeout,
+    int max_attempts = 3);
 
 }  // namespace guardians
 

@@ -6,12 +6,13 @@
 namespace guardians {
 
 Status SyncSend(Guardian& sender, const PortName& to,
-                const std::string& command, ValueList args, Micros timeout) {
+                const std::string& command, ValueList args, Micros timeout,
+                uint64_t dedup_seq) {
   MetricsRegistry& metrics = sender.runtime().system().metrics();
   metrics.counter("sendprims.sync.calls")->Inc();
   Port* ack_port = sender.AddPort(AckPortType(), /*capacity=*/4);
   auto sent = sender.SendFull(to, command, std::move(args), PortName{},
-                              ack_port->name());
+                              ack_port->name(), dedup_seq);
   if (!sent.ok()) {
     sender.RetirePort(ack_port);
     return sent.status();

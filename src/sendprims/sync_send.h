@@ -25,8 +25,14 @@ namespace guardians {
 // caller forever — "a subsequent node failure will disrupt communication").
 // A kTimeout result leaves the true state unknown: the message may yet be
 // received.
+//
+// A nonzero `dedup_seq` makes the send tracked for at-most-once execution:
+// the receiving node suppresses re-deliveries of the same (session, seq) —
+// including our own resends — but still acknowledges their receipt, so a
+// retry loop above this primitive terminates without re-executing.
 Status SyncSend(Guardian& sender, const PortName& to,
-                const std::string& command, ValueList args, Micros timeout);
+                const std::string& command, ValueList args, Micros timeout,
+                uint64_t dedup_seq = 0);
 
 }  // namespace guardians
 

@@ -31,6 +31,8 @@ Result<Bytes> EncodeEnvelope(const Envelope& env, const WireLimits& limits) {
   enc.PutU64(env.msg_id);
   enc.PutU64(env.trace_id);
   enc.PutU32(env.src_node);
+  enc.PutU64(env.session_id);
+  enc.PutU64(env.dedup_seq);
   EncodePortName(env.target, enc);
   EncodePortName(env.reply_to, enc);
   EncodePortName(env.ack_to, enc);
@@ -56,6 +58,8 @@ Result<Envelope> DecodeHeaderInto(WireDecoder& dec) {
   GUARDIANS_ASSIGN_OR_RETURN(env.msg_id, dec.GetU64());
   GUARDIANS_ASSIGN_OR_RETURN(env.trace_id, dec.GetU64());
   GUARDIANS_ASSIGN_OR_RETURN(env.src_node, dec.GetU32());
+  GUARDIANS_ASSIGN_OR_RETURN(env.session_id, dec.GetU64());
+  GUARDIANS_ASSIGN_OR_RETURN(env.dedup_seq, dec.GetU64());
   GUARDIANS_ASSIGN_OR_RETURN(env.target, DecodePortName(dec));
   GUARDIANS_ASSIGN_OR_RETURN(env.reply_to, DecodePortName(dec));
   GUARDIANS_ASSIGN_OR_RETURN(env.ack_to, DecodePortName(dec));

@@ -21,6 +21,14 @@ struct Envelope {
   uint64_t trace_id = 0;     // causal chain id; stamped at the first send,
                              // carried through replies/acks/failures
   NodeId src_node = 0;       // origin node (for system failure replies)
+  // At-most-once identity. session_id names one incarnation of the sending
+  // node (random per boot, so seqs from before a crash can never collide
+  // with seqs after it); dedup_seq orders tracked sends within the session.
+  // Retries of one logical operation reuse the same (session, seq) pair —
+  // that is what lets the receiver recognise them as duplicates. A seq of 0
+  // means "untracked": plain no-wait sends skip the dedup machinery.
+  uint64_t session_id = 0;
+  uint64_t dedup_seq = 0;
   PortName target;           // destination port
   PortName reply_to;         // optional; null when absent
   PortName ack_to;           // optional; used by the synchronization send
@@ -29,6 +37,7 @@ struct Envelope {
 
   bool HasReply() const { return !reply_to.IsNull(); }
   bool HasAck() const { return !ack_to.IsNull(); }
+  bool Tracked() const { return dedup_seq != 0; }
 
   std::string ToString() const;
 };

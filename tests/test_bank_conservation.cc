@@ -120,5 +120,90 @@ TEST_P(ConservationTest, TransfersUnderLossConserveMoney) {
 INSTANTIATE_TEST_SUITE_P(Seeds, ConservationTest,
                          ::testing::Values(11, 222, 3333));
 
+TEST(PartitionHealTest, RetryStormAfterHealDoesNotDoubleApplyTransfers) {
+  // The link between teller and branch is cut mid-workload and then
+  // restored, with every surviving packet duplicated on the wire. The
+  // retry storm that follows the heal — resent requests plus their network
+  // duplicates — must be deduplicated: each transfer applies once, so the
+  // total supply is conserved exactly.
+  SystemConfig config;
+  config.seed = 808;
+  config.default_link.latency = Micros(150);
+  config.default_link.dup_prob = 1.0;
+  System system(config);
+
+  NodeRuntime& hq = system.AddNode("hq");
+  NodeRuntime& branch_node = system.AddNode("branch-town");
+  for (NodeRuntime* node : {&hq, &branch_node}) {
+    node->RegisterGuardianType(AccountGuardian::kTypeName,
+                               MakeFactory<AccountGuardian>());
+    node->RegisterGuardianType(BranchGuardian::kTypeName,
+                               MakeFactory<BranchGuardian>());
+    node->RegisterGuardianType("shell", MakeFactory<ShellGuardian>());
+  }
+
+  constexpr int kAccounts = 2;
+  constexpr int64_t kInitial = 100;
+  std::vector<PortName> account_ports;
+  for (int i = 0; i < kAccounts; ++i) {
+    auto account = hq.Create<AccountGuardian>(
+        AccountGuardian::kTypeName, "acct-" + std::to_string(i),
+        {Value::Str("owner-" + std::to_string(i)), Value::Int(kInitial)},
+        /*persistent=*/true);
+    ASSERT_TRUE(account.ok());
+    account_ports.push_back((*account)->ProvidedPorts()[0]);
+  }
+  auto branch = hq.Create<BranchGuardian>(
+      BranchGuardian::kTypeName, "branch",
+      {Value::Int(60000), Value::Int(4)}, /*persistent=*/true);
+  ASSERT_TRUE(branch.ok());
+  const PortName branch_port = (*branch)->ProvidedPorts()[0];
+  auto teller = branch_node.Create<ShellGuardian>("shell", "teller", {});
+  ASSERT_TRUE(teller.ok());
+
+  system.network().SetPartitioned(hq.id(), branch_node.id(), true);
+  std::thread healer([&] {
+    std::this_thread::sleep_for(Millis(400));
+    system.network().SetPartitioned(hq.id(), branch_node.id(), false);
+  });
+
+  constexpr int kTransfers = 6;
+  int applied = 0;
+  for (int i = 0; i < kTransfers; ++i) {
+    RemoteCallOptions options;
+    options.timeout = Millis(150);
+    options.max_attempts = 20;  // the first call's storm spans the heal
+    auto reply = RemoteCall(
+        **teller, branch_port, "transfer",
+        {Value::OfPort(account_ports[0]), Value::OfPort(account_ports[1]),
+         Value::Int(5), Value::Str("heal-tx-" + std::to_string(i))},
+        BankReplyType(), options);
+    if (reply.ok() && reply->command == "transfer_done") {
+      ++applied;
+    }
+  }
+  healer.join();
+  EXPECT_EQ(applied, kTransfers);
+
+  system.network().DrainForTesting();
+  auto balance = [&](int i) {
+    return dynamic_cast<AccountGuardian*>(
+               hq.FindGuardian(account_ports[i].guardian))
+        ->BalanceForTesting();
+  };
+  // Deadline loop: the last transfer's debit/credit legs may still be
+  // settling inside the branch when the reply arrives.
+  const Deadline deadline(Millis(8000));
+  while (!deadline.Expired() &&
+         balance(1) != kInitial + 5 * kTransfers) {
+    std::this_thread::sleep_for(Millis(25));
+  }
+  // Exactly once each: duplicates suppressed, no double-applied legs.
+  EXPECT_EQ(balance(0), kInitial - 5 * kTransfers);
+  EXPECT_EQ(balance(1), kInitial + 5 * kTransfers);
+  EXPECT_EQ(balance(0) + balance(1), kAccounts * kInitial);
+  EXPECT_GE(hq.stats().duplicates_suppressed, 1u);
+}
+
 }  // namespace
 }  // namespace guardians

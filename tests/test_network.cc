@@ -203,5 +203,85 @@ TEST(NetworkTest, NodeNames) {
   EXPECT_EQ(network.node_count(), 1u);
 }
 
+TEST(NetworkTest, DuplicationDeliversExtraCopies) {
+  Network network(11);
+  const NodeId a = network.AddNode("a");
+  const NodeId b = network.AddNode("b");
+  std::atomic<int> delivered{0};
+  network.SetSink(b, [&](Packet&&) { ++delivered; });
+  network.SetDefaultLink(LinkParams{Micros(10), Micros(0), 0, 0, 0, 1.0});
+  constexpr int kPackets = 40;
+  for (int i = 0; i < kPackets; ++i) {
+    network.Send(MakePacket(a, b, i));
+  }
+  network.DrainForTesting();
+  // dup_prob = 1: every send produces exactly one extra in-flight copy.
+  EXPECT_EQ(delivered.load(), 2 * kPackets);
+  const NetworkStats stats = network.stats();
+  EXPECT_EQ(stats.packets_sent, static_cast<uint64_t>(kPackets));
+  EXPECT_EQ(stats.packets_duplicated, static_cast<uint64_t>(kPackets));
+  EXPECT_EQ(stats.packets_delivered, static_cast<uint64_t>(2 * kPackets));
+  EXPECT_EQ(stats.packets_dropped, 0u);
+}
+
+TEST(NetworkTest, ConservationLawHoldsUnderLossAndDuplication) {
+  Network network(23);
+  const NodeId a = network.AddNode("a");
+  const NodeId b = network.AddNode("b");
+  std::atomic<int> delivered{0};
+  network.SetSink(b, [&](Packet&&) { ++delivered; });
+  // Loss and duplication together: a send-time drop consumes the packet
+  // before the duplication roll, a surviving send may add one extra copy.
+  network.SetDefaultLink(LinkParams{Micros(10), Micros(0), 0.3, 0, 0, 0.3});
+  constexpr int kPackets = 500;
+  for (int i = 0; i < kPackets; ++i) {
+    network.Send(MakePacket(a, b, i));
+  }
+  network.DrainForTesting();
+  const NetworkStats stats = network.stats();
+  EXPECT_EQ(stats.packets_sent, static_cast<uint64_t>(kPackets));
+  EXPECT_GT(stats.packets_duplicated, 0u);
+  EXPECT_GT(stats.packets_dropped, 0u);
+  // The conservation law: every accepted send and every injected copy is
+  // eventually resolved exactly once, as a delivery or as a drop.
+  EXPECT_EQ(stats.packets_delivered + stats.packets_dropped,
+            stats.packets_sent + stats.packets_duplicated);
+  EXPECT_EQ(stats.packets_delivered,
+            static_cast<uint64_t>(delivered.load()));
+}
+
+TEST(NetworkTest, DuplicateCountsBitIdenticalAcrossShardCounts) {
+  // Loss, duplication, and corruption are all decided at Send() under one
+  // lock and one rng: for a fixed seed the counts must not depend on how
+  // many delivery workers drain the heaps.
+  constexpr uint64_t kSeed = 1979;
+  constexpr int kPackets = 400;
+  std::vector<NetworkStats> runs;
+  for (size_t shards : {1u, 2u, 4u}) {
+    Network network(kSeed, nullptr, nullptr, shards);
+    const NodeId a = network.AddNode("a");
+    const NodeId b = network.AddNode("b");
+    network.SetSink(b, [](Packet&&) {});
+    network.SetDefaultLink(
+        LinkParams{Micros(10), Micros(5), 0.2, 0.1, 0, 0.25});
+    for (int i = 0; i < kPackets; ++i) {
+      network.Send(MakePacket(a, b, i));
+    }
+    network.DrainForTesting();
+    runs.push_back(network.stats());
+  }
+  ASSERT_EQ(runs.size(), 3u);
+  for (size_t i = 1; i < runs.size(); ++i) {
+    EXPECT_EQ(runs[i].packets_duplicated, runs[0].packets_duplicated)
+        << "shard count changed the duplicate count";
+    EXPECT_EQ(runs[i].packets_dropped, runs[0].packets_dropped);
+    EXPECT_EQ(runs[i].packets_corrupted, runs[0].packets_corrupted);
+    EXPECT_EQ(runs[i].packets_delivered, runs[0].packets_delivered);
+    EXPECT_EQ(runs[i].packets_delivered + runs[i].packets_dropped,
+              runs[i].packets_sent + runs[i].packets_duplicated);
+  }
+  EXPECT_GT(runs[0].packets_duplicated, 0u);
+}
+
 }  // namespace
 }  // namespace guardians
