@@ -1,0 +1,325 @@
+// Experiment FLOW — credit-based flow control under saturation.
+//
+// §3.4 makes overflow loss a designed-in behaviour ("if there is no room
+// for the message, the message is thrown away"); DESIGN.md §11 layers an
+// AIMD congestion window over the receipt-ack channel so senders stop
+// throwing messages at ports that have no room. This bench drives one
+// slow sink (fixed per-message service time, 16-slot port) from an
+// open-loop sender pool at {0.5, 1, 1.5, 2}x the sink's saturation rate,
+// once with flow control on and once with it off, and measures goodput
+// (messages consumed per second) and deliver.drop.port_full.
+//
+// Three properties are checked, not just measured, by the custom main
+// (hard failure, exit 1):
+//  - goodput holds at saturation: with flow on, goodput at 2x offered
+//    load is within 10% of the peak flow-on goodput — the window sheds
+//    the excess at the *sender*, so overload does not erode throughput;
+//  - drops collapse: deliver.drop.port_full at 2x with flow on is at
+//    least 90% below the flow-off baseline at 2x;
+//  - determinism survives: drop/dup counts of a seeded scenario are
+//    bit-identical at delivery_shards 1 and 4 with flow control active.
+// Results land in BENCH_flowctl.json for cross-PR tracking.
+#include <atomic>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/sendprims/sync_send.h"
+
+namespace guardians {
+namespace {
+
+constexpr auto kServiceTime = Micros(100);  // sink's per-message work
+constexpr size_t kSinkCapacity = 16;
+constexpr int kSenderThreads = 24;  // > capacity, so the window binds
+constexpr auto kLegDuration = Millis(400);
+constexpr auto kAckTimeout = Millis(5);
+
+PortType SinkPortType() {
+  return PortType("flow_sink",
+                  {MessageSig{"put", {ArgType::Of(TypeTag::kString)}, {}}});
+}
+
+struct LegOutcome {
+  double goodput = 0;       // consumed msgs/sec over the leg
+  double attempted = 0;     // sends the pool actually issued
+  double consumed = 0;      // messages the sink dequeued by sender join
+  double port_full = 0;     // deliver.drop.port_full
+  double full_nacks = 0;    // flow.full_nacks
+  double deferred = 0;      // flow.sends_deferred
+};
+// Keyed by (load_pct, flow_on), cross-checked after all runs.
+std::map<std::pair<int, int>, LegOutcome>& Outcomes() {
+  static std::map<std::pair<int, int>, LegOutcome> outcomes;
+  return outcomes;
+}
+
+// One leg: open-loop pool of kSenderThreads, each ticking at an interval
+// chosen so the pool's aggregate offered rate is load_pct% of the sink's
+// saturation rate (1 message per kServiceTime). A tick that finds its
+// thread still blocked (flow deferral, full queue ack wait) is not banked:
+// that is the backpressure reaching the source.
+LegOutcome RunLeg(int load_pct, bool flow_on) {
+  SystemConfig config;
+  config.seed = 41;
+  config.default_link.latency = Micros(20);
+  config.flow.enabled = flow_on;
+  BenchWorld world(config);
+  NodeRuntime& senders = world.system.AddNode("senders");
+  NodeRuntime& sink_node = world.system.AddNode("sink");
+  Guardian* sink = world.Shell(sink_node, "sink");
+  Port* target = sink->AddPort(SinkPortType(), kSinkCapacity);
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> consumed{0};
+  std::thread consumer([sink, target, &stop, &consumed] {
+    while (!stop.load()) {
+      auto got = sink->Receive(target, Millis(50));
+      if (got.ok()) {
+        std::this_thread::sleep_for(kServiceTime);
+        consumed.fetch_add(1);
+      }
+    }
+  });
+
+  const auto interval =
+      Micros(kSenderThreads * ToMicros(kServiceTime) * 100 / load_pct);
+  std::atomic<uint64_t> attempted{0};
+  std::vector<std::thread> pool;
+  const TimePoint start = Now();
+  const TimePoint leg_end = start + kLegDuration;
+  for (int t = 0; t < kSenderThreads; ++t) {
+    Guardian* shell =
+        world.Shell(senders, "sender" + std::to_string(t));
+    pool.emplace_back([shell, target, &senders, &attempted, interval,
+                       leg_end] {
+      TimePoint next = Now();
+      while (true) {
+        next += interval;
+        const TimePoint now = Now();
+        if (now >= leg_end) {
+          break;
+        }
+        if (next > now) {
+          std::this_thread::sleep_until(next);
+        } else {
+          next = now;  // fell behind: do not bank missed ticks
+        }
+        attempted.fetch_add(1);
+        (void)SyncSend(*shell, target->name(), "put", {Value::Str("m")},
+                       kAckTimeout, senders.NextDedupSeq());
+      }
+    });
+  }
+  for (auto& t : pool) {
+    t.join();
+  }
+  const double seconds = static_cast<double>(ToMicros(Now() - start)) / 1e6;
+  const uint64_t consumed_at_join = consumed.load();
+  stop.store(true);
+  consumer.join();
+
+  LegOutcome out;
+  out.goodput = static_cast<double>(consumed_at_join) / seconds;
+  out.attempted = static_cast<double>(attempted.load());
+  out.consumed = static_cast<double>(consumed_at_join);
+  out.port_full = static_cast<double>(
+      world.system.metrics().CounterValue("deliver.drop.port_full"));
+  out.full_nacks = static_cast<double>(
+      world.system.metrics().CounterValue("flow.full_nacks"));
+  out.deferred = static_cast<double>(
+      world.system.metrics().CounterValue("flow.sends_deferred"));
+  return out;
+}
+
+void BM_Saturation(benchmark::State& state) {
+  const int load_pct = static_cast<int>(state.range(0));
+  const bool flow_on = state.range(1) != 0;
+  LegOutcome out;
+  for (auto _ : state) {
+    out = RunLeg(load_pct, flow_on);
+    state.SetIterationTime(static_cast<double>(ToMicros(kLegDuration)) /
+                           1e6);
+  }
+  state.counters["goodput_msgs_per_s"] = benchmark::Counter(out.goodput);
+  state.counters["port_full"] = out.port_full;
+  state.counters["deferred"] = out.deferred;
+  state.SetItemsProcessed(static_cast<int64_t>(out.consumed));
+  Outcomes()[{load_pct, flow_on ? 1 : 0}] = out;
+}
+
+// The determinism leg: a seeded lossy/duplicating scenario, flow control
+// on, replayed at delivery_shards 1 and 4 — every count must match.
+struct DetCounts {
+  NetworkStats net;
+  uint64_t suppressed = 0;
+  uint64_t credits = 0;
+  bool operator==(const DetCounts& o) const {
+    return net.packets_sent == o.net.packets_sent &&
+           net.packets_dropped == o.net.packets_dropped &&
+           net.packets_duplicated == o.net.packets_duplicated &&
+           net.packets_delivered == o.net.packets_delivered &&
+           suppressed == o.suppressed && credits == o.credits;
+  }
+};
+
+DetCounts RunDeterminismLeg(size_t shards) {
+  SystemConfig config;
+  config.seed = 43;
+  config.delivery_shards = shards;
+  config.default_link.latency = Micros(30);
+  config.default_link.jitter = Micros(10);
+  config.default_link.drop_prob = 0.05;
+  config.default_link.dup_prob = 0.02;
+  BenchWorld world(config);
+  NodeRuntime& a = world.system.AddNode("a");
+  NodeRuntime& b = world.system.AddNode("b");
+  Guardian* sender = world.Shell(a, "sender");
+  Guardian* receiver = world.Shell(b, "receiver");
+  Port* target = receiver->AddPort(SinkPortType(), /*capacity=*/1024);
+  for (int i = 0; i < 400; ++i) {
+    (void)sender->SendFull(target->name(), "put",
+                           {Value::Str("m" + std::to_string(i))}, PortName{},
+                           PortName{}, a.NextDedupSeq());
+  }
+  world.system.network().DrainForTesting();
+  DetCounts c;
+  c.net = world.system.network().stats();
+  c.suppressed =
+      world.system.metrics().CounterValue("deliver.dup.suppressed");
+  c.credits = world.system.metrics().CounterValue("flow.credits_granted");
+  return c;
+}
+
+// Verifies the three FLOW properties over the collected outcomes and
+// writes BENCH_flowctl.json. Returns 0 on success.
+int CheckAndRecord() {
+  auto& outcomes = Outcomes();
+  if (outcomes.empty()) {
+    return 0;  // filtered run (--benchmark_filter): nothing to check
+  }
+  BenchJson json("BENCH_flowctl.json");
+  int failures = 0;
+  double peak_on = 0;
+  for (const auto& [key, out] : outcomes) {
+    json.Record("saturation/load:" + std::to_string(key.first) +
+                    "/flow:" + std::to_string(key.second),
+                {{"load_pct", static_cast<double>(key.first)},
+                 {"flow_on", static_cast<double>(key.second)},
+                 {"goodput_msgs_per_s", out.goodput},
+                 {"attempted", out.attempted},
+                 {"consumed", out.consumed},
+                 {"port_full", out.port_full},
+                 {"full_nacks", out.full_nacks},
+                 {"deferred", out.deferred}});
+    if (key.second == 1 && out.goodput > peak_on) {
+      peak_on = out.goodput;
+    }
+  }
+
+  const auto on2x = outcomes.find({200, 1});
+  const auto off2x = outcomes.find({200, 0});
+  if (on2x != outcomes.end() && off2x != outcomes.end()) {
+    // Goodput holds at 2x saturation.
+    const double ratio = peak_on > 0 ? on2x->second.goodput / peak_on : 0;
+    json.Record("saturation/goodput_retention_2x", {{"ratio", ratio}});
+    std::printf("FLOW: goodput at 2x load = %.0f msgs/s (%.0f%% of peak "
+                "flow-on goodput %.0f)\n",
+                on2x->second.goodput, ratio * 100, peak_on);
+    if (ratio < 0.9) {
+      std::fprintf(stderr,
+                   "FLOW FAIL: goodput at 2x load is %.0f%% of peak "
+                   "(< 90%%)\n",
+                   ratio * 100);
+      ++failures;
+    }
+    // Drops collapse vs the flow-off baseline.
+    if (off2x->second.port_full < 50) {
+      std::fprintf(stderr,
+                   "FLOW FAIL: flow-off baseline shed only %.0f messages "
+                   "at 2x load — the bench did not saturate the sink\n",
+                   off2x->second.port_full);
+      ++failures;
+    } else {
+      const double drop_ratio =
+          on2x->second.port_full / off2x->second.port_full;
+      json.Record("saturation/drop_reduction_2x",
+                  {{"flow_off", off2x->second.port_full},
+                   {"flow_on", on2x->second.port_full},
+                   {"ratio", drop_ratio}});
+      std::printf("FLOW: port_full drops at 2x load: %.0f (off) -> %.0f "
+                  "(on), %.1f%% remain\n",
+                  off2x->second.port_full, on2x->second.port_full,
+                  drop_ratio * 100);
+      if (drop_ratio > 0.1) {
+        std::fprintf(stderr,
+                     "FLOW FAIL: flow control kept %.1f%% of port_full "
+                     "drops (must shed >= 90%%)\n",
+                     drop_ratio * 100);
+        ++failures;
+      }
+    }
+  }
+
+  // Determinism across delivery shards.
+  const DetCounts one = RunDeterminismLeg(1);
+  const DetCounts four = RunDeterminismLeg(4);
+  json.Record("saturation/determinism",
+              {{"dropped", static_cast<double>(one.net.packets_dropped)},
+               {"duplicated",
+                static_cast<double>(one.net.packets_duplicated)},
+               {"suppressed", static_cast<double>(one.suppressed)},
+               {"credits", static_cast<double>(one.credits)},
+               {"identical", one == four ? 1.0 : 0.0}});
+  if (one == four) {
+    std::printf("FLOW: drop/dup/credit counts bit-identical at "
+                "delivery_shards 1 and 4 (dropped %llu, duplicated %llu, "
+                "suppressed %llu)\n",
+                static_cast<unsigned long long>(one.net.packets_dropped),
+                static_cast<unsigned long long>(one.net.packets_duplicated),
+                static_cast<unsigned long long>(one.suppressed));
+  } else {
+    std::fprintf(stderr,
+                 "FLOW FAIL: counts diverge across delivery_shards 1 vs 4 "
+                 "(dropped %llu vs %llu, duplicated %llu vs %llu, "
+                 "suppressed %llu vs %llu, credits %llu vs %llu)\n",
+                 static_cast<unsigned long long>(one.net.packets_dropped),
+                 static_cast<unsigned long long>(four.net.packets_dropped),
+                 static_cast<unsigned long long>(one.net.packets_duplicated),
+                 static_cast<unsigned long long>(four.net.packets_duplicated),
+                 static_cast<unsigned long long>(one.suppressed),
+                 static_cast<unsigned long long>(four.suppressed),
+                 static_cast<unsigned long long>(one.credits),
+                 static_cast<unsigned long long>(four.credits));
+    ++failures;
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace guardians
+
+BENCHMARK(guardians::BM_Saturation)
+    ->ArgNames({"load_pct", "flow"})
+    ->Args({50, 0})
+    ->Args({50, 1})
+    ->Args({100, 0})
+    ->Args({100, 1})
+    ->Args({150, 0})
+    ->Args({150, 1})
+    ->Args({200, 0})
+    ->Args({200, 1})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond)
+    ->UseManualTime();
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return guardians::CheckAndRecord();
+}

@@ -7,15 +7,23 @@
 # layer's crash/restart churn makes lifetime bugs likely, so the asan
 # stage is the cheap way to catch them.
 #
-# Usage: scripts/ci.sh [--skip-tsan] [--asan]
+# The bench stage runs the self-checking benches (exit 1 on a property
+# violation, not just a slow run): bench_saturation verifies the flow
+# control acceptance criteria (goodput retention and drop collapse at 2x
+# saturation, shard-determinism) and leaves BENCH_flowctl.json in the
+# build tree for cross-PR perf tracking. Skippable with --skip-bench.
+#
+# Usage: scripts/ci.sh [--skip-tsan] [--skip-bench] [--asan]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 SKIP_TSAN=0
+SKIP_BENCH=0
 RUN_ASAN=0
 for arg in "$@"; do
   case "$arg" in
     --skip-tsan) SKIP_TSAN=1 ;;
+    --skip-bench) SKIP_BENCH=1 ;;
     --asan) RUN_ASAN=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
@@ -29,6 +37,13 @@ cmake --build --preset default -j "$JOBS"
 
 echo "==> tier-1: ctest (full suite)"
 ctest --preset default -j "$JOBS"
+
+if [[ "$SKIP_BENCH" -eq 1 ]]; then
+  echo "==> bench: skipped (--skip-bench)"
+else
+  echo "==> bench: self-checking benches (bench_saturation)"
+  (cd build && ./bench/bench_saturation)
+fi
 
 if [[ "$SKIP_TSAN" -eq 1 ]]; then
   echo "==> tsan: skipped (--skip-tsan)"

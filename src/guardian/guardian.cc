@@ -239,6 +239,7 @@ std::vector<Guardian::PortStat> Guardian::PortStats() const {
     ps.enqueued = p->enqueued();
     ps.discarded_full = p->discarded_full();
     ps.discarded_retired = p->discarded_retired();
+    ps.control_overflow = p->control_overflow();
     ps.retired = p->retired();
     stats.push_back(std::move(ps));
   }

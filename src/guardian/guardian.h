@@ -138,6 +138,7 @@ class Guardian {
     uint64_t enqueued = 0;
     uint64_t discarded_full = 0;
     uint64_t discarded_retired = 0;
+    uint64_t control_overflow = 0;
     bool retired = false;
   };
   std::vector<PortStat> PortStats() const;

@@ -132,7 +132,9 @@ PortType AckPortType() {
 
 NodeRuntime::NodeRuntime(System* system, NodeId id, std::string name,
                          uint64_t seed)
-    : system_(system), id_(id), name_(std::move(name)), rng_(seed) {
+    : system_(system), id_(id), name_(std::move(name)), rng_(seed),
+      flow_(system->config().flow, &system->metrics(), &system->traces(),
+            id) {
   MetricsRegistry& metrics = system_->metrics();
   counters_.sent = metrics.counter("node.messages_sent");
   counters_.delivered = metrics.counter("deliver.delivered");
@@ -154,6 +156,7 @@ NodeRuntime::NodeRuntime(System* system, NodeId id, std::string name,
   counters_.dup_suppressed = metrics.counter("deliver.dup.suppressed");
   counters_.dup_replayed = metrics.counter("deliver.dup.replayed");
   counters_.dedup_journaled = metrics.counter("node.dedup.journaled");
+  counters_.control_overflow = metrics.counter("deliver.control_overflow");
 }
 
 NodeRuntime::~NodeRuntime() { Crash(); }
@@ -412,6 +415,9 @@ void NodeRuntime::BeginCrash() {
     return;
   }
   system_->network().SetNodeUp(id_, false);
+  // Wake senders deferred on closed flow windows: their sends will fail
+  // with kNodeDown instead of waiting out a window that can never reopen.
+  flow_.Shutdown();
   // Close every mailbox so blocked receives return kNodeDown and every
   // guardian process starts winding down.
   for (Guardian* g : LiveGuardians()) {
@@ -502,6 +508,10 @@ Status NodeRuntime::RestartImpl() {
   // Rebuild the receiver-side dedup state from the journal before any
   // traffic can arrive, so retries of pre-crash operations are recognised.
   GUARDIANS_RETURN_IF_ERROR(RecoverDedup());
+
+  // Window state learned against the dead incarnation's ports is stale;
+  // start the new incarnation's windows from initial_window.
+  flow_.Reset();
 
   up_.store(true);
   system_->network().SetNodeUp(id_, true);
@@ -663,6 +673,14 @@ void NodeRuntime::SendAck(const Received& message) {
   env.target = message.ack_to;
   env.command = "ack";
   env.args = {Value::Str(std::to_string(message.msg_id))};
+  if (system_->config().flow.enabled && message.port != nullptr) {
+    // Piggyback a credit grant: the ack is sent at dequeue, so the depth
+    // here is the post-consumption queue — exactly the receiver state the
+    // sender's window should track.
+    env.fc_port = message.port->name();
+    env.fc_depth = static_cast<uint32_t>(message.port->depth());
+    env.fc_capacity = static_cast<uint32_t>(message.port->capacity());
+  }
   Status st = Transmit(std::move(env));
   (void)st;
   counters_.acks_sent->Inc();
@@ -731,6 +749,19 @@ void NodeRuntime::DeliverPacket(Packet&& packet) {
 }
 
 void NodeRuntime::DeliverEnvelope(Envelope env) {
+  // Consume piggybacked flow feedback first: it describes a port at the
+  // *peer* and updates this node's sender-side windows, independent of
+  // whatever happens to the carrying envelope below (even a message bound
+  // for a dead port still delivers its credit). Runs on the delivery
+  // worker; all packets for this node go through one shard, so feedback is
+  // applied in deterministic arrival order.
+  if (env.HasFlowFeedback()) {
+    if (env.fc_full) {
+      flow_.OnFullNack(env.fc_port, env.fc_depth, env.fc_capacity);
+    } else {
+      flow_.OnCredit(env.fc_port, env.fc_depth, env.fc_capacity);
+    }
+  }
   // At-most-once gate: a tracked envelope already accepted for execution
   // is never executed again, whatever else this function would decide.
   // Checked before the guardian/port lookups so even a request whose
@@ -777,6 +808,14 @@ void NodeRuntime::DeliverEnvelope(Envelope env) {
     return;
   }
 
+  // Control traffic — acks, failure nacks, creation/probe replies — is the
+  // backpressure signal itself; it may use the port's headroom when the
+  // data buffer is full (DESIGN.md §11 shedding policy).
+  const bool control = env.command == kFailureCommand ||
+                       env.command == "ack" || env.command == "ping" ||
+                       env.command == "pong";
+  const uint64_t headroom_before = control ? port->control_overflow() : 0;
+
   Received message;
   message.command = std::move(env.command);
   message.args = std::move(env.args);
@@ -800,7 +839,11 @@ void NodeRuntime::DeliverEnvelope(Envelope env) {
           PendingReply{env.session_id, env.dedup_seq};
     }
   }
-  const PushResult pushed = port->Push(std::move(message));
+  const PushResult pushed = port->Push(std::move(message), control);
+  if (pushed == PushResult::kOk && control &&
+      port->control_overflow() != headroom_before) {
+    counters_.control_overflow->Inc();
+  }
   if (pushed != PushResult::kOk && env.Tracked()) {
     std::lock_guard<std::mutex> lock(dedup_mu_);
     dedup_.Unmark(env.session_id, env.dedup_seq);
@@ -836,7 +879,16 @@ void NodeRuntime::DeliverEnvelope(Envelope env) {
         std::lock_guard<std::mutex> lock(stats_mu_);
         ++stats_.discarded_port_full;
       }
-      SendSystemFailure(env.reply_to, "no room at target port", env.trace_id);
+      if (system_->config().flow.enabled) {
+        // The failure doubles as a flow nack: it carries the port's depth
+        // and capacity and goes to the ack port when the sender has one,
+        // so the sending primitive both learns of the loss fast (no ack
+        // timeout) and halves its window.
+        SendFlowNack(env, *port);
+      } else {
+        SendSystemFailure(env.reply_to, "no room at target port",
+                          env.trace_id);
+      }
       return;
   }
   counters_.delivered->Inc();
@@ -881,6 +933,7 @@ bool NodeRuntime::SuppressDuplicate(const Envelope& env) {
     ack.target = env.ack_to;
     ack.command = "ack";
     ack.args = {Value::Str(std::to_string(env.msg_id))};
+    StampFlowCredit(ack, env.target);
     Status st = Transmit(std::move(ack));
     (void)st;
     counters_.acks_sent->Inc();
@@ -909,6 +962,47 @@ bool NodeRuntime::SuppressDuplicate(const Envelope& env) {
     ++stats_.replies_replayed;
   }
   return true;
+}
+
+void NodeRuntime::StampFlowCredit(Envelope& ack, const PortName& about) {
+  if (!system_->config().flow.enabled) {
+    return;
+  }
+  Guardian* guardian = FindGuardian(about.guardian);
+  Port* port = guardian != nullptr ? guardian->FindPort(about.port_index)
+                                   : nullptr;
+  if (port == nullptr) {
+    return;  // the port is gone; the ack still counts, just creditless
+  }
+  ack.fc_port = port->name();
+  ack.fc_depth = static_cast<uint32_t>(port->depth());
+  ack.fc_capacity = static_cast<uint32_t>(port->capacity());
+}
+
+void NodeRuntime::SendFlowNack(const Envelope& dropped, const Port& port) {
+  // The send primitives wait on the ack port, so the nack goes there when
+  // one exists; a bare reply_to sender still gets the failure message the
+  // §3.4 semantics promised, now with the fc fields attached.
+  const PortName to = dropped.HasAck() ? dropped.ack_to : dropped.reply_to;
+  if (to.IsNull()) {
+    return;
+  }
+  Envelope env;
+  env.msg_id = NextMsgId();
+  env.trace_id = dropped.trace_id;
+  env.src_node = id_;
+  env.target = to;
+  env.command = kFailureCommand;
+  env.args = {Value::Str("no room at target port")};
+  env.fc_port = port.name();
+  env.fc_depth = static_cast<uint32_t>(port.depth());
+  env.fc_capacity = static_cast<uint32_t>(port.capacity());
+  env.fc_full = true;
+  Status st = Transmit(std::move(env));
+  (void)st;
+  counters_.failures_synthesized->Inc();
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++stats_.failures_synthesized;
 }
 
 void NodeRuntime::MaybeJournalReply(const Envelope& env) {

@@ -34,6 +34,7 @@
 #include "src/common/rng.h"
 #include "src/guardian/guardian.h"
 #include "src/guardian/port_registry.h"
+#include "src/net/flow.h"
 #include "src/net/network.h"
 #include "src/obs/metrics.h"
 #include "src/store/stable_store.h"
@@ -175,6 +176,11 @@ class NodeRuntime {
   void SendSystemFailure(const PortName& to, const std::string& reason,
                          uint64_t trace_id = 0);
   void SendAck(const Received& message);
+  // The sender half of credit-based flow control (DESIGN.md §11): the
+  // per-(destination port) AIMD windows this node's send primitives pace
+  // against. Fed by piggybacked credit on incoming acks and by full-port
+  // nacks, both consumed on this node's delivery path.
+  FlowController& flow() { return flow_; }
   // Called by Guardian::Receive when a message is dequeued: counts it,
   // records the trace hop, and makes the message's trace the thread's
   // current trace (so replies join the sender's causal chain).
@@ -212,6 +218,14 @@ class NodeRuntime {
   // True when the envelope was recognised as a re-delivery and fully
   // handled (suppressed, acked, and/or answered from the reply cache).
   bool SuppressDuplicate(const Envelope& env);
+  // The full-port loss event as a flow-control signal: a failure envelope
+  // whose fc fields carry the port's queue depth and capacity, sent to the
+  // sender's ack port when it has one (the send primitives wait there) or
+  // its reply port otherwise. Only used when flow control is enabled.
+  void SendFlowNack(const Envelope& dropped, const Port& port);
+  // Best-effort receiver state for stamping credit onto a replacement ack
+  // (the original Received is gone; look the port up again).
+  void StampFlowCredit(Envelope& ack, const PortName& about);
 
   System* system_;
   const NodeId id_;
@@ -287,8 +301,15 @@ class NodeRuntime {
     Counter* dup_suppressed = nullptr;
     Counter* dup_replayed = nullptr;
     Counter* dedup_journaled = nullptr;
+    // Control messages admitted into port headroom above capacity — how
+    // often the control-vs-data shedding policy actually fired.
+    Counter* control_overflow = nullptr;
   };
   DeliveryCounters counters_;
+
+  // Sender-side flow control state. Shut down with the node (waiters must
+  // not outlive a crash), reset on restart (the peers' ports may be gone).
+  FlowController flow_;
 };
 
 // Factory helper: MakeFactory<MyGuardian>() for RegisterGuardianType.

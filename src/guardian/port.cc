@@ -4,7 +4,7 @@
 
 namespace guardians {
 
-PushResult Port::Push(Received&& message) {
+PushResult Port::Push(Received&& message, bool control) {
   {
     std::lock_guard<std::mutex> lock(mailbox_->mu);
     if (retired_ || mailbox_->closed) {
@@ -12,8 +12,14 @@ PushResult Port::Push(Received&& message) {
       return PushResult::kRetired;
     }
     if (queue_.size() >= capacity_) {
-      ++discarded_full_;
-      return PushResult::kFull;
+      // Control traffic (acks, failure nacks, probes) is the backpressure
+      // signal itself; shedding it would make overload look like more
+      // overload. Admit it into the bounded headroom above capacity.
+      if (!control || queue_.size() >= capacity_ + kControlHeadroom) {
+        ++discarded_full_;
+        return PushResult::kFull;
+      }
+      ++control_overflow_;
     }
     message.port = this;
     queue_.push_back(std::move(message));
@@ -26,6 +32,10 @@ PushResult Port::Push(Received&& message) {
 void Port::Retire() {
   std::lock_guard<std::mutex> lock(mailbox_->mu);
   retired_ = true;
+  // Messages already enqueued die here; without this line they vanished
+  // from the drop ledger entirely (enqueued but neither received nor
+  // counted in any discard bucket).
+  discarded_retired_ += queue_.size();
   queue_.clear();
 }
 
@@ -53,6 +63,11 @@ uint64_t Port::discarded_full() const {
 uint64_t Port::discarded_retired() const {
   std::lock_guard<std::mutex> lock(mailbox_->mu);
   return discarded_retired_;
+}
+
+uint64_t Port::control_overflow() const {
+  std::lock_guard<std::mutex> lock(mailbox_->mu);
+  return control_overflow_;
 }
 
 size_t Port::depth() const {

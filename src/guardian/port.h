@@ -70,6 +70,13 @@ struct Mailbox {
 class Port {
  public:
   static constexpr size_t kDefaultCapacity = 64;
+  // Extra admission slots above capacity_ reserved for control traffic
+  // (receipt acks, failure nacks, supervisor probes). Backpressure only
+  // works if its own signals are never shed: an ack dropped at a full port
+  // reads as congestion and shrinks the sender's window further, a
+  // positive feedback loop. Data cannot enter the headroom, so control
+  // admitted there is bounded by kControlHeadroom per port.
+  static constexpr size_t kControlHeadroom = 16;
 
   Port(PortName name, PortType type, Mailbox* mailbox, size_t capacity)
       : name_(name), type_(std::move(type)), mailbox_(mailbox),
@@ -85,8 +92,10 @@ class Port {
   // --- Runtime side (delivery workers) -------------------------------------
   // Enqueue a delivered message (consumed by move on success). On
   // kFull/kRetired the caller throws the message away (and synthesizes the
-  // system failure reply naming the returned reason).
-  PushResult Push(Received&& message);
+  // system failure reply naming the returned reason). `control` marks
+  // backpressure-critical traffic admitted into kControlHeadroom slots
+  // above capacity when the data buffer is full.
+  PushResult Push(Received&& message, bool control = false);
 
   // Mark dead: no further pushes succeed, pending messages are dropped.
   // Used when an ephemeral reply port is retired.
@@ -101,6 +110,8 @@ class Port {
   uint64_t enqueued() const;
   uint64_t discarded_full() const;
   uint64_t discarded_retired() const;
+  // Control messages admitted above capacity_ (headroom in use).
+  uint64_t control_overflow() const;
   size_t depth() const;
 
   Mailbox* mailbox() const { return mailbox_; }
@@ -115,6 +126,7 @@ class Port {
   uint64_t enqueued_ = 0;        // guarded by mailbox_->mu
   uint64_t discarded_full_ = 0;  // guarded by mailbox_->mu
   uint64_t discarded_retired_ = 0;  // guarded by mailbox_->mu
+  uint64_t control_overflow_ = 0;   // guarded by mailbox_->mu
 };
 
 // Receiver-side at-most-once state (DESIGN.md §10). One table per node

@@ -18,6 +18,7 @@
 #include "src/common/rng.h"
 #include "src/guardian/node_runtime.h"
 #include "src/guardian/port_registry.h"
+#include "src/net/flow.h"
 #include "src/net/network.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
@@ -33,6 +34,14 @@ struct SystemConfig {
   // Drop/corruption outcomes are seed-deterministic at any worker count
   // (decided at Send time); this only changes delivery parallelism.
   size_t delivery_shards = Network::kDefaultShards;
+  // Credit-based flow control (DESIGN.md §11): per-(destination port) AIMD
+  // windows paced by receiver-advertised credit.
+  FlowControlConfig flow;
+  // Capacity of the transient ack port SyncSend creates per call. Sized for
+  // duplicate-ack storms: under dup_prob every retry of a tracked send can
+  // earn a replacement ack, and a burst of stale acks must not evict the
+  // real one (satellite bugfix — this was a hardcoded 4).
+  size_t sync_ack_capacity = 64;
 };
 
 class System {
@@ -52,6 +61,7 @@ class System {
   Network& network() { return network_; }
   PortTypeRegistry& port_types() { return port_types_; }
   const WireLimits& limits() const { return config_.limits; }
+  const SystemConfig& config() const { return config_; }
 
   MetricsRegistry& metrics() { return metrics_; }
   TraceBuffer& traces() { return traces_; }

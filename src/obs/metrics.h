@@ -17,6 +17,9 @@
 //   deliver.drop.<reason>           no_guardian / no_port / port_retired /
 //                                   port_full / type_mismatch / decode_error
 //   sendprims.<prim>.<event>        the §3 send-primitive ladder
+//   flow.<event>                    credit-based flow control (§11):
+//                                   credits_granted / full_nacks /
+//                                   sends_deferred / window histogram
 #ifndef GUARDIANS_SRC_OBS_METRICS_H_
 #define GUARDIANS_SRC_OBS_METRICS_H_
 

@@ -48,8 +48,21 @@ Result<ReliableSendResult> ReliableSend(Guardian& sender, const PortName& to,
       metrics.counter("sendprims.reliable.ok")->Inc();
       return result;
     }
-    if (st.code() != Code::kTimeout) {
-      return st;  // type error, node down, ...: retrying cannot help
+    if (st.code() != Code::kTimeout && st.code() != Code::kPortFull) {
+      // Type error, node down, ...: retrying cannot help. Counted so the
+      // per-call outcome breakdown (.ok + .exhausted + .deadline_exceeded
+      // + .hard_fail) sums to .calls.
+      metrics.counter("sendprims.reliable.hard_fail")->Inc();
+      return st;
+    }
+    if (st.code() == Code::kPortFull) {
+      // A fast full-port nack: the receiver shed the message and the
+      // congestion window already halved. Retry without the blind
+      // exponential backoff — the window's congested hold paces the next
+      // SyncSend at the receiver's actual recovery rate.
+      metrics.counter("sendprims.reliable.full_nacks")->Inc();
+      last = st;
+      continue;
     }
     timeouts_counter->Inc();
     last = st;

@@ -12,6 +12,16 @@
 // node's at-most-once layer (DESIGN.md §10) suppresses those duplicates —
 // while still acknowledging their receipt — and the receiving process sees
 // at most one copy. The old caveat about idempotent-only payloads is gone.
+//
+// Overload handling (DESIGN.md §11): each attempt goes through SyncSend,
+// which defers on the destination's congestion window before sending. A
+// full-port nack comes back as kPortFull and is retried immediately — the
+// window's congested hold, not the blind exponential backoff, paces that
+// retry at the receiver's actual drain rate. The backoff below applies
+// only to genuine ack timeouts (loss, partition, dead receiver). Outcomes
+// are counted so .ok + .exhausted + .deadline_exceeded + .hard_fail sums
+// to .calls; hard_fail is the non-retryable bucket (type error, node
+// down).
 #ifndef GUARDIANS_SRC_SENDPRIMS_RELIABLE_SEND_H_
 #define GUARDIANS_SRC_SENDPRIMS_RELIABLE_SEND_H_
 

@@ -23,6 +23,16 @@ Result<RemoteReply> RemoteCall(Guardian& caller, const PortName& to,
   for (int attempt = 1; attempt <= options.max_attempts; ++attempt) {
     reply.attempts = attempt;
     attempts_counter->Inc();
+    // Defer-before-send against the destination's congestion window; a
+    // window that stays closed for the attempt's whole timeout counts as
+    // a timed-out attempt (the receiver is that congested).
+    FlowSlot slot =
+        caller.runtime().flow().Acquire(to, Deadline(options.timeout));
+    if (!slot.ok()) {
+      last = Status(Code::kTimeout, "flow window closed for remote call");
+      timeouts_counter->Inc();
+      continue;
+    }
     auto sent = caller.SendFull(to, command, args, reply_port->name(),
                                 PortName{}, dedup_seq);
     if (!sent.ok()) {
@@ -42,13 +52,19 @@ Result<RemoteReply> RemoteCall(Guardian& caller, const PortName& to,
     }
     if (received->command == kFailureCommand &&
         attempt < options.max_attempts) {
-      // e.g. "target port doesn't exist" because the server is recovering;
-      // retrying is as sound as retrying after a timeout.
+      // e.g. "target port doesn't exist" because the server is recovering,
+      // or "no room at target port" (a flow nack — the window was already
+      // halved when the nack's fc fields were consumed); retrying is as
+      // sound as retrying after a timeout.
       last = Status(Code::kUnreachable, received->args.empty()
                                             ? "failure"
                                             : received->args[0].ToString());
       continue;
     }
+    // A good reply is the call-pattern's credit: request/reply traffic
+    // carries no receipt acks, so without this the window could only ever
+    // shrink.
+    slot.Success();
     reply.command = received->command;
     reply.args = std::move(received->args);
     caller.RetirePort(reply_port);

@@ -8,9 +8,25 @@ namespace guardians {
 Status SyncSend(Guardian& sender, const PortName& to,
                 const std::string& command, ValueList args, Micros timeout,
                 uint64_t dedup_seq) {
-  MetricsRegistry& metrics = sender.runtime().system().metrics();
+  NodeRuntime& rt = sender.runtime();
+  MetricsRegistry& metrics = rt.system().metrics();
   metrics.counter("sendprims.sync.calls")->Inc();
-  Port* ack_port = sender.AddPort(AckPortType(), /*capacity=*/4);
+  const Deadline deadline(timeout);
+  // Defer-before-send: claim a slot of the destination's congestion window
+  // first. When the window is closed (or the destination is in a congested
+  // hold after a full nack) the message waits here, at the sender, instead
+  // of being shed at the receiver's port.
+  FlowSlot slot = rt.flow().Acquire(to, deadline);
+  if (!slot.ok()) {
+    metrics.counter("sendprims.sync.timeouts")->Inc();
+    return Status(Code::kTimeout, "flow window closed until deadline");
+  }
+  // Ack-port capacity comes from the system config (sync_ack_capacity):
+  // under dup_prob a burst of duplicate/stale acks used to evict the real
+  // ack from a hardcoded 4-slot buffer, turning a delivered message into a
+  // spurious timeout + retry.
+  Port* ack_port =
+      sender.AddPort(AckPortType(), rt.system().config().sync_ack_capacity);
   auto sent = sender.SendFull(to, command, std::move(args), PortName{},
                               ack_port->name(), dedup_seq);
   if (!sent.ok()) {
@@ -19,7 +35,6 @@ Status SyncSend(Guardian& sender, const PortName& to,
   }
   const std::string want = std::to_string(*sent);
 
-  const Deadline deadline(timeout);
   for (;;) {
     auto received = sender.Receive(ack_port, deadline.Remaining());
     if (!received.ok()) {
@@ -28,6 +43,20 @@ Status SyncSend(Guardian& sender, const PortName& to,
       }
       sender.RetirePort(ack_port);
       return received.status();
+    }
+    if (received->command == kFailureCommand) {
+      // A full-port nack delivered to the ack port (flow control routes
+      // the §3.4 failure here when the send carried an ack port): the
+      // message was shed. Fail fast with kPortFull — no need to wait out
+      // the ack timeout — and let the caller's retry be paced by the
+      // congestion window, whose halving was applied when the nack's fc
+      // fields were consumed on the delivery path.
+      metrics.counter("sendprims.sync.full_nacks")->Inc();
+      sender.RetirePort(ack_port);
+      return Status(Code::kPortFull,
+                    received->args.empty()
+                        ? "message shed at target port"
+                        : received->args[0].ToString());
     }
     if (received->command == "ack" && !received->args.empty() &&
         received->args[0].is(TypeTag::kString) &&

@@ -30,6 +30,12 @@ namespace guardians {
 // the receiving node suppresses re-deliveries of the same (session, seq) —
 // including our own resends — but still acknowledges their receipt, so a
 // retry loop above this primitive terminates without re-executing.
+//
+// Flow control (DESIGN.md §11): the send first claims a slot of the
+// destination port's congestion window, waiting (up to the timeout) while
+// the window is closed — kTimeout if it never opens. If the receiver sheds
+// the message at a full port, the full-nack arrives on the ack port and
+// the call fails fast with kPortFull instead of waiting out the timeout.
 Status SyncSend(Guardian& sender, const PortName& to,
                 const std::string& command, ValueList args, Micros timeout,
                 uint64_t dedup_seq = 0);

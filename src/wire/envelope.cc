@@ -36,6 +36,10 @@ Result<Bytes> EncodeEnvelope(const Envelope& env, const WireLimits& limits) {
   EncodePortName(env.target, enc);
   EncodePortName(env.reply_to, enc);
   EncodePortName(env.ack_to, enc);
+  EncodePortName(env.fc_port, enc);
+  enc.PutU32(env.fc_depth);
+  enc.PutU32(env.fc_capacity);
+  enc.PutU8(env.fc_full ? 1 : 0);
   enc.PutString(env.command);
   enc.PutVarU64(env.args.size());
   for (const auto& arg : env.args) {
@@ -63,6 +67,11 @@ Result<Envelope> DecodeHeaderInto(WireDecoder& dec) {
   GUARDIANS_ASSIGN_OR_RETURN(env.target, DecodePortName(dec));
   GUARDIANS_ASSIGN_OR_RETURN(env.reply_to, DecodePortName(dec));
   GUARDIANS_ASSIGN_OR_RETURN(env.ack_to, DecodePortName(dec));
+  GUARDIANS_ASSIGN_OR_RETURN(env.fc_port, DecodePortName(dec));
+  GUARDIANS_ASSIGN_OR_RETURN(env.fc_depth, dec.GetU32());
+  GUARDIANS_ASSIGN_OR_RETURN(env.fc_capacity, dec.GetU32());
+  GUARDIANS_ASSIGN_OR_RETURN(uint8_t fc_full, dec.GetU8());
+  env.fc_full = fc_full != 0;
   GUARDIANS_ASSIGN_OR_RETURN(env.command, dec.GetString(4096));
   return env;
 }

@@ -32,11 +32,22 @@ struct Envelope {
   PortName target;           // destination port
   PortName reply_to;         // optional; null when absent
   PortName ack_to;           // optional; used by the synchronization send
+  // Flow-control feedback, piggybacked on receipt acks and full-port nacks
+  // (DESIGN.md §11): fc_port names the port the feedback is about (null =
+  // no feedback attached), fc_depth/fc_capacity are its queue depth and
+  // capacity at the moment the feedback was generated, and fc_full says
+  // whether this is a credit grant (false — the message was enqueued or
+  // consumed) or a full-port nack (true — the message was shed).
+  PortName fc_port;
+  uint32_t fc_depth = 0;
+  uint32_t fc_capacity = 0;
+  bool fc_full = false;
   std::string command;
   ValueList args;
 
   bool HasReply() const { return !reply_to.IsNull(); }
   bool HasAck() const { return !ack_to.IsNull(); }
+  bool HasFlowFeedback() const { return !fc_port.IsNull(); }
   bool Tracked() const { return dedup_seq != 0; }
 
   std::string ToString() const;

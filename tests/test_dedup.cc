@@ -14,6 +14,7 @@
 #include "src/guardian/system.h"
 #include "src/sendprims/reliable_send.h"
 #include "src/sendprims/remote_call.h"
+#include "src/sendprims/sync_send.h"
 
 namespace guardians {
 namespace {
@@ -345,6 +346,80 @@ TEST_F(DedupSystemTest, ReliableSendHonoursOverallDeadline) {
   EXPECT_EQ(system_.metrics().CounterValue(
                 "sendprims.reliable.deadline_exceeded"),
             1u);
+}
+
+// ---------------------------------------------------------------------------
+// Duplicate-ack-storm regression (SyncSend ack-port capacity)
+// ---------------------------------------------------------------------------
+
+PortType StormPortType() {
+  return PortType("storm",
+                  {MessageSig{"flood", {ArgType::Of(TypeTag::kPortName)}, {}},
+                   MessageSig{"put", {}, {}}});
+}
+
+// SyncSend's transient ack port had a hardcoded capacity of 4: a burst of
+// stale/duplicate acks could evict the real receipt ack, turning a
+// delivered message into a spurious timeout + retry. The capacity now
+// comes from SystemConfig::sync_ack_capacity. The storm is staged
+// deterministically: the receiver is told the ack port's (predictable)
+// name up front, floods it with stale acks, and only then dequeues the
+// synchronized send — so the real ack always arrives behind the storm.
+TEST(SyncAckStorm, StaleAckBurstCannotEvictTheRealAck) {
+  SystemConfig config;
+  config.seed = 77;
+  config.default_link.latency = Micros(100);
+  config.sync_ack_capacity = 48;  // distinctive, to prove the plumbing
+  System system(config);
+  NodeRuntime& a = system.AddNode("a");
+  NodeRuntime& b = system.AddNode("b");
+  for (auto* node : {&a, &b}) {
+    node->RegisterGuardianType("shell", MakeFactory<ShellGuardian>());
+  }
+  Guardian* client = *a.Create<ShellGuardian>("shell", "storm_client", {});
+  Guardian* server = *b.Create<ShellGuardian>("shell", "storm_server", {});
+  Port* storm_port = server->AddPort(StormPortType(), 16);
+
+  constexpr int kStaleAcks = 32;  // would bury a 4-slot buffer many times
+  server->Fork("storm", [server, storm_port] {
+    auto flood = server->Receive(storm_port, Millis(5000));
+    if (!flood.ok() || flood->args.empty()) {
+      return;
+    }
+    auto ack_name = flood->args[0].AsPort();
+    if (!ack_name.ok()) {
+      return;
+    }
+    for (int i = 0; i < kStaleAcks; ++i) {
+      (void)server->Send(*ack_name, "ack",
+                         {Value::Str("stale-" + std::to_string(i))});
+    }
+    // Only now dequeue the synchronized send: its receipt ack leaves after
+    // every stale ack is already on the wire.
+    (void)server->Receive(storm_port, Millis(5000));
+  });
+
+  // SyncSend's ack port is the client shell's first port: index 0.
+  PortName predicted_ack;
+  predicted_ack.node = a.id();
+  predicted_ack.guardian = client->id();
+  predicted_ack.port_index = 0;
+  predicted_ack.type_hash = AckPortType().hash();
+
+  ASSERT_TRUE(
+      client->Send(storm_port->name(), "flood", {Value::OfPort(predicted_ack)})
+          .ok());
+  Status st = SyncSend(*client, storm_port->name(), "put", {}, Millis(5000));
+  EXPECT_TRUE(st.ok()) << st;
+  EXPECT_EQ(system.metrics().CounterValue("sendprims.sync.timeouts"), 0u);
+
+  // The ack port (retired by now, but still visible in the stats) really
+  // was sized from config, not the old hardcoded 4.
+  const auto stats = client->PortStats();
+  ASSERT_FALSE(stats.empty());
+  EXPECT_EQ(stats[0].type_name, "sys_ack");
+  EXPECT_EQ(stats[0].capacity, config.sync_ack_capacity);
+  EXPECT_GE(stats[0].enqueued, 1u);  // the real ack got in
 }
 
 }  // namespace

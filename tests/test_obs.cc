@@ -112,9 +112,65 @@ TEST(DropReasons, PortPushDistinguishesFullFromRetired) {
   EXPECT_EQ(port.discarded_full(), 1u);
   EXPECT_EQ(port.discarded_retired(), 0u);
   port.Retire();
+  // Retiring discards the message still queued (counted into the retired
+  // ledger — it was enqueued but will never be received), and subsequent
+  // pushes are rejected into the same bucket.
+  EXPECT_EQ(port.discarded_retired(), 1u);
   EXPECT_EQ(port.Push(Received{}), PushResult::kRetired);
   EXPECT_EQ(port.discarded_full(), 1u);
-  EXPECT_EQ(port.discarded_retired(), 1u);
+  EXPECT_EQ(port.discarded_retired(), 2u);
+}
+
+// Regression for the Retire() accounting bug: messages sitting in the
+// queue at retire time used to vanish from the ledger entirely. The
+// conservation law is enqueued == popped + discarded-at-retire, with
+// rejected pushes accounted separately on top.
+TEST(DropReasons, RetireCountsQueuedMessagesIntoLedger) {
+  Mailbox mailbox;
+  PortName pn;
+  Port port(pn, EchoPortType(), &mailbox, /*capacity=*/8);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_EQ(port.Push(Received{}), PushResult::kOk);
+  }
+  // Consume two; three stay queued.
+  {
+    std::lock_guard<std::mutex> lock(mailbox.mu);
+    (void)port.PopLocked();
+    (void)port.PopLocked();
+  }
+  port.Retire();
+  EXPECT_EQ(port.depth(), 0u);
+  EXPECT_EQ(port.enqueued(), 5u);
+  EXPECT_EQ(port.discarded_retired(), 3u);  // the queued messages died here
+  EXPECT_EQ(port.discarded_full(), 0u);
+  // Ledger closes: everything enqueued was either received or counted as
+  // discarded at retirement.
+  EXPECT_EQ(port.enqueued(), 2u + port.discarded_retired());
+  // A post-retirement push lands in the same bucket, on top.
+  EXPECT_EQ(port.Push(Received{}), PushResult::kRetired);
+  EXPECT_EQ(port.discarded_retired(), 4u);
+}
+
+// Control traffic (acks, failure nacks, probes) is admitted into bounded
+// headroom above capacity when the data buffer is full — backpressure
+// signals must never themselves be shed (DESIGN.md §11).
+TEST(DropReasons, ControlTrafficUsesHeadroomAboveCapacity) {
+  Mailbox mailbox;
+  PortName pn;
+  Port port(pn, EchoPortType(), &mailbox, /*capacity=*/2);
+  EXPECT_EQ(port.Push(Received{}), PushResult::kOk);
+  EXPECT_EQ(port.Push(Received{}), PushResult::kOk);
+  // Data is shed at capacity...
+  EXPECT_EQ(port.Push(Received{}), PushResult::kFull);
+  // ...but control still gets in, counted as headroom use.
+  EXPECT_EQ(port.Push(Received{}, /*control=*/true), PushResult::kOk);
+  EXPECT_EQ(port.control_overflow(), 1u);
+  // The headroom itself is bounded.
+  for (size_t i = 1; i < Port::kControlHeadroom; ++i) {
+    EXPECT_EQ(port.Push(Received{}, /*control=*/true), PushResult::kOk);
+  }
+  EXPECT_EQ(port.Push(Received{}, /*control=*/true), PushResult::kFull);
+  EXPECT_EQ(port.control_overflow(), Port::kControlHeadroom);
 }
 
 class ObsSystemTest : public ::testing::Test {
@@ -281,6 +337,47 @@ TEST_F(ObsSystemTest, ReliableSendBacksOffBetweenTimedOutAttempts) {
   EXPECT_EQ(backoff->sum(), 6000u);      // 2ms + 4ms, jitter off
   // 3 timeouts of 5ms + 6ms of backoff actually elapsed.
   EXPECT_GE(ToMicros(elapsed), 3 * 5000 + 6000);
+}
+
+TEST_F(ObsSystemTest, ReliableSendOutcomeBreakdownSumsToCalls) {
+  Port* target = receiver_->AddPort(EchoPortType(), 8);
+
+  // Outcome 1: ok (a receiver is actually draining the port).
+  std::thread drainer([this, target] {
+    (void)receiver_->Receive(target, Millis(5000));
+  });
+  ReliableSendOptions options;
+  options.ack_timeout = Millis(2000);
+  options.max_attempts = 3;
+  auto ok = ReliableSend(*sender_, target->name(), "put", {Value::Str("x")},
+                         options);
+  drainer.join();
+  ASSERT_TRUE(ok.ok()) << ok.status();
+
+  // Outcome 2: hard failure. "nudge" is not in the port's type; the send
+  // fails locally with a type error, which no retry can cure. This used to
+  // return with no counter at all, leaving the breakdown short of .calls.
+  auto hard = ReliableSend(*sender_, target->name(), "nudge", {}, options);
+  ASSERT_FALSE(hard.ok());
+  ASSERT_NE(hard.status().code(), Code::kTimeout);
+
+  // Outcome 3: exhausted (nobody receives; fast attempts, no backoff).
+  options.ack_timeout = Millis(5);
+  options.max_attempts = 2;
+  options.initial_backoff = Micros(0);
+  auto exhausted = ReliableSend(*sender_, target->name(), "put",
+                                {Value::Str("x")}, options);
+  EXPECT_EQ(exhausted.status().code(), Code::kTimeout);
+
+  MetricsRegistry& metrics = system_.metrics();
+  EXPECT_EQ(metrics.CounterValue("sendprims.reliable.hard_fail"), 1u);
+  // The per-call outcome buckets account for every call — the failure
+  // breakdown in System::Report() must sum exactly.
+  EXPECT_EQ(metrics.CounterValue("sendprims.reliable.calls"),
+            metrics.CounterValue("sendprims.reliable.ok") +
+                metrics.CounterValue("sendprims.reliable.exhausted") +
+                metrics.CounterValue("sendprims.reliable.deadline_exceeded") +
+                metrics.CounterValue("sendprims.reliable.hard_fail"));
 }
 
 TEST_F(ObsSystemTest, SystemReportMentionsDropReasonsAndPorts) {

@@ -308,6 +308,35 @@ TEST(EnvelopeTest, RoundTrip) {
   EXPECT_EQ(back->args[1].int_value(), 12);
 }
 
+TEST(EnvelopeTest, FlowFeedbackFieldsRoundTrip) {
+  Envelope env = MakeEnvelope();
+  env.fc_port = PortName{2, 7, 1, 0x1234};
+  env.fc_depth = 13;
+  env.fc_capacity = 64;
+  env.fc_full = true;
+  ASSERT_TRUE(env.HasFlowFeedback());
+  auto bytes = EncodeEnvelope(env, DefaultLimits());
+  ASSERT_TRUE(bytes.ok());
+  auto back = DecodeEnvelope(*bytes, DefaultLimits(), nullptr);
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(back->fc_port, env.fc_port);
+  EXPECT_EQ(back->fc_depth, 13u);
+  EXPECT_EQ(back->fc_capacity, 64u);
+  EXPECT_TRUE(back->fc_full);
+  // The fc fields live in the header section: a header-only decode (used
+  // to route failure replies when full decode fails) carries them too.
+  auto header = DecodeEnvelopeHeader(*bytes, DefaultLimits());
+  ASSERT_TRUE(header.ok());
+  EXPECT_EQ(header->fc_port, env.fc_port);
+  EXPECT_TRUE(header->fc_full);
+  // And an envelope without feedback decodes back to "none attached".
+  auto plain = DecodeEnvelope(*EncodeEnvelope(MakeEnvelope(), DefaultLimits()),
+                              DefaultLimits(), nullptr);
+  ASSERT_TRUE(plain.ok());
+  EXPECT_FALSE(plain->HasFlowFeedback());
+  EXPECT_FALSE(plain->fc_full);
+}
+
 TEST(EnvelopeTest, HeaderOnlyDecodeRecoversReplyPort) {
   const Envelope env = MakeEnvelope();
   auto bytes = EncodeEnvelope(env, DefaultLimits());
