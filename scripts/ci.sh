@@ -11,7 +11,11 @@
 # violation, not just a slow run): bench_saturation verifies the flow
 # control acceptance criteria (goodput retention and drop collapse at 2x
 # saturation, shard-determinism) and leaves BENCH_flowctl.json in the
-# build tree for cross-PR perf tracking. Skippable with --skip-bench.
+# build tree; bench_batching verifies the batched-drain acceptance
+# criteria (>= 1.4x delivered-messages/sec at batch_max 64 vs 1 on 4
+# shards, outcome counts bit-identical across batch sizes) and leaves
+# BENCH_batching.json. Both tracked cross-PR. Skippable with
+# --skip-bench.
 #
 # Usage: scripts/ci.sh [--skip-tsan] [--skip-bench] [--asan]
 set -euo pipefail
@@ -43,6 +47,9 @@ if [[ "$SKIP_BENCH" -eq 1 ]]; then
 else
   echo "==> bench: self-checking benches (bench_saturation)"
   (cd build && ./bench/bench_saturation)
+
+  echo "==> bench: self-checking benches (bench_batching)"
+  (cd build && ./bench/bench_batching)
 fi
 
 if [[ "$SKIP_TSAN" -eq 1 ]]; then

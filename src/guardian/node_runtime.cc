@@ -157,6 +157,10 @@ NodeRuntime::NodeRuntime(System* system, NodeId id, std::string name,
   counters_.dup_replayed = metrics.counter("deliver.dup.replayed");
   counters_.dedup_journaled = metrics.counter("node.dedup.journaled");
   counters_.control_overflow = metrics.counter("deliver.control_overflow");
+  counters_.nacks_shed = metrics.counter("flow.nacks_shed");
+  counters_.reassembly_expired = metrics.counter("net.reassembly.expired");
+  counters_.reassembly_session_dropped =
+      metrics.counter("net.reassembly.session_dropped");
 }
 
 NodeRuntime::~NodeRuntime() { Crash(); }
@@ -624,8 +628,12 @@ Status NodeRuntime::Transmit(Envelope env) {
   // as this returns; delivery is not guaranteed.
   system_->traces().Record(env.trace_id, id_, "send",
                            env.command + " -> " + env.target.ToString());
+  // Every fragment carries this incarnation's session id: the receiver's
+  // reassembler keys partials on it, so a post-restart reuse of a msg_id
+  // can never complete a message begun by the previous incarnation.
   auto packets = Fragment(std::move(*bytes), env.msg_id, id_, env.target.node,
-                          system_->limits().max_packet_payload, env.trace_id);
+                          system_->limits().max_packet_payload, env.trace_id,
+                          SendSession());
   for (auto& packet : packets) {
     system_->network().Send(std::move(packet));
   }
@@ -699,152 +707,329 @@ void NodeRuntime::NoteReceived(const Received& message) {
 }
 
 void NodeRuntime::DeliverPacket(Packet&& packet) {
-  if (!up_.load()) {
-    return;
-  }
-  // Only the payload moves into the reassembler; the header fields stay
-  // readable for trace attribution below.
-  const uint64_t trace_id = packet.trace_id;
-  std::optional<Bytes> message;
-  {
-    std::lock_guard<std::mutex> lock(reassembler_mu_);
-    auto added = reassembler_.Add(std::move(packet));
-    if (!added.ok()) {
-      counters_.drop_corrupt_fragment->Inc();
-      system_->traces().Record(trace_id, id_,
-                               "port.drop.corrupt_fragment",
-                               added.status().message());
-      std::lock_guard<std::mutex> stats_lock(stats_mu_);
-      ++stats_.discarded_corrupt;
-      return;
-    }
-    message = added.take();
-  }
-  if (!message.has_value()) {
-    return;  // more fragments needed
-  }
-
-  auto env = DecodeEnvelope(*message, system_->limits(),
-                            transmit_registry_.AsDecodeFn());
-  if (!env.ok()) {
-    counters_.drop_decode_error->Inc();
-    system_->traces().Record(trace_id, id_, "port.drop.decode_error",
-                             env.status().message());
-    {
-      std::lock_guard<std::mutex> lock(stats_mu_);
-      ++stats_.discarded_decode_error;
-    }
-    // The header may still be readable; if the sender asked for replies,
-    // tell it the message was thrown away.
-    auto header = DecodeEnvelopeHeader(*message, system_->limits());
-    if (header.ok() && header->HasReply()) {
-      SendSystemFailure(header->reply_to,
-                        "message could not be decoded at target node: " +
-                            env.status().message(),
-                        header->trace_id);
-    }
-    return;
-  }
-  DeliverEnvelope(env.take());
+  std::vector<Packet> batch;
+  batch.push_back(std::move(packet));
+  DeliverBatch(std::move(batch));
 }
 
-void NodeRuntime::DeliverEnvelope(Envelope env) {
-  // Consume piggybacked flow feedback first: it describes a port at the
-  // *peer* and updates this node's sender-side windows, independent of
-  // whatever happens to the carrying envelope below (even a message bound
-  // for a dead port still delivers its credit). Runs on the delivery
-  // worker; all packets for this node go through one shard, so feedback is
-  // applied in deterministic arrival order.
-  if (env.HasFlowFeedback()) {
+void NodeRuntime::DeliverBatch(std::vector<Packet>&& batch) {
+  if (!up_.load() || batch.empty()) {
+    return;
+  }
+  // --- Reassembly: one reassembler-lock round-trip for the whole batch.
+  // Only payloads move in; each packet's trace id stays readable for drop
+  // attribution. Completed messages come out in packet order. The age and
+  // incarnation sweeps run inside Add; their counters are mirrored into
+  // the metrics registry by delta while the lock is still held.
+  std::vector<Bytes> completed;
+  std::vector<uint64_t> completed_traces;
+  {
+    std::lock_guard<std::mutex> lock(reassembler_mu_);
+    const uint64_t expired_before = reassembler_.expired();
+    const uint64_t sessions_before = reassembler_.session_dropped();
+    for (Packet& packet : batch) {
+      const uint64_t trace_id = packet.trace_id;
+      auto added = reassembler_.Add(std::move(packet));
+      if (!added.ok()) {
+        counters_.drop_corrupt_fragment->Inc();
+        system_->traces().Record(trace_id, id_,
+                                 "port.drop.corrupt_fragment",
+                                 added.status().message());
+        std::lock_guard<std::mutex> stats_lock(stats_mu_);
+        ++stats_.discarded_corrupt;
+        continue;
+      }
+      std::optional<Bytes> message = added.take();
+      if (message.has_value()) {
+        completed.push_back(std::move(*message));
+        completed_traces.push_back(trace_id);
+      }
+    }
+    const uint64_t expired = reassembler_.expired() - expired_before;
+    if (expired > 0) {
+      counters_.reassembly_expired->Inc(expired);
+    }
+    const uint64_t dropped = reassembler_.session_dropped() - sessions_before;
+    if (dropped > 0) {
+      counters_.reassembly_session_dropped->Inc(dropped);
+    }
+  }
+
+  // --- Decode with this node's representations (no locks held).
+  std::vector<Envelope> envelopes;
+  envelopes.reserve(completed.size());
+  for (size_t i = 0; i < completed.size(); ++i) {
+    auto env = DecodeEnvelope(completed[i], system_->limits(),
+                              transmit_registry_.AsDecodeFn());
+    if (!env.ok()) {
+      counters_.drop_decode_error->Inc();
+      system_->traces().Record(completed_traces[i], id_,
+                               "port.drop.decode_error",
+                               env.status().message());
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.discarded_decode_error;
+      }
+      // The header may still be readable; if the sender asked for replies,
+      // tell it the message was thrown away.
+      auto header = DecodeEnvelopeHeader(completed[i], system_->limits());
+      if (header.ok() && header->HasReply()) {
+        SendSystemFailure(header->reply_to,
+                          "message could not be decoded at target node: " +
+                              env.status().message(),
+                          header->trace_id);
+      }
+      continue;
+    }
+    envelopes.push_back(env.take());
+  }
+  if (envelopes.empty()) {
+    return;
+  }
+
+  // Piggybacked flow feedback first: it describes ports at *peers* and
+  // updates this node's sender-side windows, independent of whatever
+  // happens to each carrying envelope below (even a message bound for a
+  // dead port still delivers its credit). All packets for this node go
+  // through one shard, so feedback is applied in deterministic order.
+  ApplyFlowFeedback(envelopes);
+  DispatchEnvelopes(std::move(envelopes));
+}
+
+void NodeRuntime::ApplyFlowFeedback(const std::vector<Envelope>& envelopes) {
+  // A batch's credit grants for one port collapse into one coalesced
+  // window update (DESIGN.md §12). Per-port order is all a window can
+  // observe, so the only constraint is that a port's pending credit run
+  // flushes before a nack for that same port. Runs are few (one per
+  // distinct fed-back port), so a linear scan beats a map.
+  struct CreditRun {
+    PortName port;
+    uint32_t depth = 0;     // latest advertised values win, as they would
+    uint32_t capacity = 0;  // applying the credits one at a time
+    uint32_t credits = 0;
+  };
+  std::vector<CreditRun> runs;
+  for (const Envelope& env : envelopes) {
+    if (!env.HasFlowFeedback()) {
+      continue;
+    }
+    CreditRun* run = nullptr;
+    for (CreditRun& candidate : runs) {
+      if (candidate.port == env.fc_port) {
+        run = &candidate;
+        break;
+      }
+    }
     if (env.fc_full) {
+      if (run != nullptr && run->credits > 0) {
+        flow_.OnCreditBatch(run->port, run->depth, run->capacity,
+                            run->credits);
+        run->credits = 0;
+      }
       flow_.OnFullNack(env.fc_port, env.fc_depth, env.fc_capacity);
+      continue;
+    }
+    if (run == nullptr) {
+      runs.push_back(CreditRun{env.fc_port, 0, 0, 0});
+      run = &runs.back();
+    }
+    run->depth = env.fc_depth;
+    run->capacity = env.fc_capacity;
+    ++run->credits;
+  }
+  for (const CreditRun& run : runs) {
+    if (run.credits > 0) {
+      flow_.OnCreditBatch(run.port, run.depth, run.capacity, run.credits);
+    }
+  }
+}
+
+void NodeRuntime::DispatchEnvelopes(std::vector<Envelope> envelopes) {
+  enum class Action : uint8_t { kPush, kFail, kSuppress };
+  struct Plan {
+    Envelope env;
+    Port* port = nullptr;
+    bool control = false;
+    Action action = Action::kPush;
+    DropKind drop_kind = DropKind::kNoGuardian;  // when action == kFail
+    // Dedup-gate verdict (when action == kSuppress).
+    DedupTable::Verdict verdict = DedupTable::Verdict::kFresh;
+    DedupTable::CachedReply replay;
+    bool original_acked = false;
+  };
+
+  // Resolution pass: look each target up, no side effects yet — failure
+  // replies wait for the dedup gate, because a duplicate whose target has
+  // since retired or been destroyed must be answered (or silently
+  // absorbed) as a duplicate, not failure-messaged, exactly as the
+  // per-packet path ordered its checks.
+  std::vector<Plan> plans;
+  plans.reserve(envelopes.size());
+  for (Envelope& env : envelopes) {
+    Plan plan;
+    plan.env = std::move(env);
+    const Envelope& e = plan.env;
+    Guardian* guardian = FindGuardian(e.target.guardian);
+    Port* port =
+        guardian != nullptr ? guardian->FindPort(e.target.port_index) : nullptr;
+    if (guardian == nullptr) {
+      plan.action = Action::kFail;
+      plan.drop_kind = DropKind::kNoGuardian;
+    } else if (port == nullptr) {
+      plan.action = Action::kFail;
+      plan.drop_kind = DropKind::kNoPort;
+    } else if (port->type().hash() != e.target.type_hash) {
+      // A stale name: the guardian was re-created with different ports.
+      plan.action = Action::kFail;
+      plan.drop_kind = DropKind::kTypeMismatch;
     } else {
-      flow_.OnCredit(env.fc_port, env.fc_depth, env.fc_capacity);
+      plan.port = port;
+      // Control traffic — acks, failure nacks, creation/probe replies —
+      // is the backpressure signal itself; it may use the port's headroom
+      // when the data buffer is full (DESIGN.md §11 shedding policy).
+      plan.control = e.command == kFailureCommand || e.command == "ack" ||
+                     e.command == "ping" || e.command == "pong";
     }
-  }
-  // At-most-once gate: a tracked envelope already accepted for execution
-  // is never executed again, whatever else this function would decide.
-  // Checked before the guardian/port lookups so even a request whose
-  // target has since retired or been destroyed is answered (or silently
-  // absorbed) instead of re-dispatched.
-  if (env.Tracked() && SuppressDuplicate(env)) {
-    return;
-  }
-  Guardian* guardian = FindGuardian(env.target.guardian);
-  if (guardian == nullptr) {
-    counters_.drop_no_guardian->Inc();
-    system_->traces().Record(env.trace_id, id_, "port.drop.no_guardian",
-                             env.target.ToString());
-    {
-      std::lock_guard<std::mutex> lock(stats_mu_);
-      ++stats_.discarded_no_guardian;
-    }
-    SendSystemFailure(env.reply_to, "target guardian doesn't exist",
-                      env.trace_id);
-    return;
-  }
-  Port* port = guardian->FindPort(env.target.port_index);
-  if (port == nullptr) {
-    counters_.drop_no_port->Inc();
-    system_->traces().Record(env.trace_id, id_, "port.drop.no_port",
-                             env.target.ToString());
-    {
-      std::lock_guard<std::mutex> lock(stats_mu_);
-      ++stats_.discarded_no_port;
-    }
-    SendSystemFailure(env.reply_to, "target port doesn't exist", env.trace_id);
-    return;
-  }
-  if (port->type().hash() != env.target.type_hash) {
-    // A stale name: the guardian was re-created with different ports.
-    counters_.drop_type_mismatch->Inc();
-    system_->traces().Record(env.trace_id, id_, "port.drop.type_mismatch",
-                             env.target.ToString());
-    {
-      std::lock_guard<std::mutex> lock(stats_mu_);
-      ++stats_.discarded_type_mismatch;
-    }
-    SendSystemFailure(env.reply_to, "target port type mismatch", env.trace_id);
-    return;
+    plans.push_back(std::move(plan));
   }
 
-  // Control traffic — acks, failure nacks, creation/probe replies — is the
-  // backpressure signal itself; it may use the port's headroom when the
-  // data buffer is full (DESIGN.md §11 shedding policy).
-  const bool control = env.command == kFailureCommand ||
-                       env.command == "ack" || env.command == "ping" ||
-                       env.command == "pong";
-  const uint64_t headroom_before = control ? port->control_overflow() : 0;
-
-  Received message;
-  message.command = std::move(env.command);
-  message.args = std::move(env.args);
-  message.reply_to = env.reply_to;
-  message.ack_to = env.ack_to;
-  message.src_node = env.src_node;
-  message.msg_id = env.msg_id;
-  message.trace_id = env.trace_id;
-  message.session_id = env.session_id;
-  message.dedup_seq = env.dedup_seq;
-  if (env.Tracked()) {
-    // Mark seen and register the reply correlation BEFORE the push makes
-    // the message visible: the guardian may dequeue and reply the instant
-    // Push signals the mailbox, and by then the pending-reply entry must
-    // already exist or the reply escapes unjournaled and uncached. A
-    // failed push rolls both back so a retry can still land.
+  // At-most-once gate: ONE dedup-lock round-trip classifies and marks
+  // every tracked envelope of the batch, in batch order — so the second
+  // copy of a message duplicated within one batch classifies against the
+  // first copy's MarkSeen and is suppressed. Marking happens BEFORE the
+  // push makes a message visible: the guardian may dequeue and reply the
+  // instant the mailbox signals, and by then the pending-reply entry must
+  // already exist or the reply escapes unjournaled and uncached. A failed
+  // push rolls back in FinishPushFailed so a retry can still land. An
+  // unroutable fresh envelope is deliberately NOT marked: its retry must
+  // execute once the target exists.
+  {
     std::lock_guard<std::mutex> lock(dedup_mu_);
-    dedup_.MarkSeen(env.session_id, env.dedup_seq);
-    if (env.HasReply()) {
-      pending_replies_[env.reply_to] =
-          PendingReply{env.session_id, env.dedup_seq};
+    for (Plan& plan : plans) {
+      const Envelope& e = plan.env;
+      if (!e.Tracked()) {
+        continue;
+      }
+      plan.verdict = dedup_.Classify(e.session_id, e.dedup_seq, &plan.replay);
+      if (plan.verdict != DedupTable::Verdict::kFresh) {
+        plan.original_acked = dedup_.Acked(e.session_id, e.dedup_seq);
+        plan.action = Action::kSuppress;
+        continue;
+      }
+      if (plan.action != Action::kPush) {
+        continue;
+      }
+      dedup_.MarkSeen(e.session_id, e.dedup_seq);
+      if (e.HasReply()) {
+        pending_replies_[e.reply_to] =
+            PendingReply{e.session_id, e.dedup_seq};
+      }
     }
   }
-  const PushResult pushed = port->Push(std::move(message), control);
-  if (pushed == PushResult::kOk && control &&
-      port->control_overflow() != headroom_before) {
-    counters_.control_overflow->Inc();
+
+  // Execution pass, in batch order. Runs of consecutive pushes into one
+  // (port, control-class) pair collapse into a single PushBatch — one
+  // mailbox lock and at most one receiver wake per run.
+  size_t i = 0;
+  while (i < plans.size()) {
+    Plan& plan = plans[i];
+    if (plan.action == Action::kSuppress) {
+      FinishSuppressed(plan.env, plan.verdict, std::move(plan.replay),
+                       plan.original_acked);
+      ++i;
+      continue;
+    }
+    if (plan.action == Action::kFail) {
+      FinishUnroutable(plan.env, plan.drop_kind);
+      ++i;
+      continue;
+    }
+    size_t end = i + 1;
+    while (end < plans.size() && plans[end].action == Action::kPush &&
+           plans[end].port == plan.port && plans[end].control == plan.control) {
+      ++end;
+    }
+    std::vector<Received> run;
+    run.reserve(end - i);
+    for (size_t k = i; k < end; ++k) {
+      Envelope& e = plans[k].env;
+      Received message;
+      message.command = std::move(e.command);
+      message.args = std::move(e.args);
+      message.reply_to = e.reply_to;
+      message.ack_to = e.ack_to;
+      message.src_node = e.src_node;
+      message.msg_id = e.msg_id;
+      message.trace_id = e.trace_id;
+      message.session_id = e.session_id;
+      message.dedup_seq = e.dedup_seq;
+      run.push_back(std::move(message));
+    }
+    const std::vector<Port::PushOutcome> outcomes =
+        plan.port->PushBatch(std::move(run), plan.control);
+    for (size_t k = i; k < end; ++k) {
+      const Port::PushOutcome& outcome = outcomes[k - i];
+      const Envelope& e = plans[k].env;
+      if (outcome.result != PushResult::kOk) {
+        FinishPushFailed(e, *plans[k].port, outcome.result);
+        continue;
+      }
+      if (outcome.via_headroom) {
+        counters_.control_overflow->Inc();
+      }
+      counters_.delivered->Inc();
+      system_->traces().Record(e.trace_id, id_, "port.enqueued",
+                               e.target.ToString());
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.messages_delivered;
+    }
+    i = end;
   }
-  if (pushed != PushResult::kOk && env.Tracked()) {
+}
+
+void NodeRuntime::FinishUnroutable(const Envelope& env, DropKind kind) {
+  const char* trace_event = nullptr;
+  const char* reason = nullptr;
+  switch (kind) {
+    case DropKind::kNoGuardian:
+      counters_.drop_no_guardian->Inc();
+      trace_event = "port.drop.no_guardian";
+      reason = "target guardian doesn't exist";
+      break;
+    case DropKind::kNoPort:
+      counters_.drop_no_port->Inc();
+      trace_event = "port.drop.no_port";
+      reason = "target port doesn't exist";
+      break;
+    case DropKind::kTypeMismatch:
+      counters_.drop_type_mismatch->Inc();
+      trace_event = "port.drop.type_mismatch";
+      reason = "target port type mismatch";
+      break;
+  }
+  system_->traces().Record(env.trace_id, id_, trace_event,
+                           env.target.ToString());
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    switch (kind) {
+      case DropKind::kNoGuardian:
+        ++stats_.discarded_no_guardian;
+        break;
+      case DropKind::kNoPort:
+        ++stats_.discarded_no_port;
+        break;
+      case DropKind::kTypeMismatch:
+        ++stats_.discarded_type_mismatch;
+        break;
+    }
+  }
+  SendSystemFailure(env.reply_to, reason, env.trace_id);
+}
+
+void NodeRuntime::FinishPushFailed(const Envelope& env, const Port& port,
+                                   PushResult pushed) {
+  if (env.Tracked()) {
+    // Roll back the dedup gate's mark so a retry can still land.
     std::lock_guard<std::mutex> lock(dedup_mu_);
     dedup_.Unmark(env.session_id, env.dedup_seq);
     if (env.HasReply()) {
@@ -856,60 +1041,52 @@ void NodeRuntime::DeliverEnvelope(Envelope env) {
       }
     }
   }
-  switch (pushed) {
-    case PushResult::kOk:
-      break;
-    case PushResult::kRetired:
-      // A retired port is not a full one: the sender learns that retrying
-      // the same name is useless until the port is recreated.
-      counters_.drop_port_retired->Inc();
-      system_->traces().Record(env.trace_id, id_, "port.drop.retired",
-                               env.target.ToString());
-      {
-        std::lock_guard<std::mutex> lock(stats_mu_);
-        ++stats_.discarded_port_retired;
-      }
-      SendSystemFailure(env.reply_to, "target port retired", env.trace_id);
-      return;
-    case PushResult::kFull:
-      counters_.drop_port_full->Inc();
-      system_->traces().Record(env.trace_id, id_, "port.drop.full",
-                               env.target.ToString());
-      {
-        std::lock_guard<std::mutex> lock(stats_mu_);
-        ++stats_.discarded_port_full;
-      }
-      if (system_->config().flow.enabled) {
-        // The failure doubles as a flow nack: it carries the port's depth
-        // and capacity and goes to the ack port when the sender has one,
-        // so the sending primitive both learns of the loss fast (no ack
-        // timeout) and halves its window.
-        SendFlowNack(env, *port);
-      } else {
-        SendSystemFailure(env.reply_to, "no room at target port",
-                          env.trace_id);
-      }
-      return;
+  if (pushed == PushResult::kRetired) {
+    // A retired port is not a full one: the sender learns that retrying
+    // the same name is useless until the port is recreated.
+    counters_.drop_port_retired->Inc();
+    system_->traces().Record(env.trace_id, id_, "port.drop.retired",
+                             env.target.ToString());
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.discarded_port_retired;
+    }
+    SendSystemFailure(env.reply_to, "target port retired", env.trace_id);
+    return;
   }
-  counters_.delivered->Inc();
-  system_->traces().Record(env.trace_id, id_, "port.enqueued",
+  counters_.drop_port_full->Inc();
+  system_->traces().Record(env.trace_id, id_, "port.drop.full",
                            env.target.ToString());
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  ++stats_.messages_delivered;
+  if (env.fc_full) {
+    // The discarded envelope was itself a §11 fc_full nack and even the
+    // control headroom could not admit it: the congestion signal is lost
+    // and the sender degrades to its plain ack-timeout path. Made loud so
+    // the degradation is observable (it used to vanish into the generic
+    // full-port counters).
+    counters_.nacks_shed->Inc();
+    system_->traces().Record(env.trace_id, id_, "flow.nack_shed",
+                             env.target.ToString() + " fc_port " +
+                                 env.fc_port.ToString());
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.discarded_port_full;
+  }
+  if (system_->config().flow.enabled) {
+    // The failure doubles as a flow nack: it carries the port's depth
+    // and capacity and goes to the ack port when the sender has one, so
+    // the sending primitive both learns of the loss fast (no ack
+    // timeout) and halves its window.
+    SendFlowNack(env, port);
+  } else {
+    SendSystemFailure(env.reply_to, "no room at target port", env.trace_id);
+  }
 }
 
-bool NodeRuntime::SuppressDuplicate(const Envelope& env) {
-  DedupTable::CachedReply replay;
-  DedupTable::Verdict verdict;
-  bool original_acked = false;
-  {
-    std::lock_guard<std::mutex> lock(dedup_mu_);
-    verdict = dedup_.Classify(env.session_id, env.dedup_seq, &replay);
-    original_acked = dedup_.Acked(env.session_id, env.dedup_seq);
-  }
-  if (verdict == DedupTable::Verdict::kFresh) {
-    return false;
-  }
+void NodeRuntime::FinishSuppressed(const Envelope& env,
+                                   DedupTable::Verdict verdict,
+                                   DedupTable::CachedReply replay,
+                                   bool original_acked) {
   counters_.dup_suppressed->Inc();
   system_->traces().Record(env.trace_id, id_, "dedup.suppressed",
                            env.command + " seq " +
@@ -961,7 +1138,6 @@ bool NodeRuntime::SuppressDuplicate(const Envelope& env) {
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.replies_replayed;
   }
-  return true;
 }
 
 void NodeRuntime::StampFlowCredit(Envelope& ack, const PortName& about) {

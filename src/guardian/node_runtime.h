@@ -190,12 +190,26 @@ class NodeRuntime {
  private:
   friend class System;
 
-  // Sink of the network's delivery workers: consumes the packet (payload
-  // moves into the reassembler, then the decoded envelope moves into the
-  // target port) — no copy of the message bytes or argument values on the
-  // delivery path.
+  // Sink of the network's delivery workers: one call per (this node,
+  // drained batch), packets in delivery order. Consumes the batch (payloads
+  // move into the reassembler, then the decoded envelopes move into their
+  // target ports) — no copy of the message bytes or argument values on the
+  // delivery path. Batching (DESIGN.md §12) amortizes this node's locks:
+  // one reassembler acquisition per batch, one dedup-gate acquisition per
+  // batch, one mailbox acquisition + receiver wake per run of same-port
+  // envelopes, and per-port flow credit coalesced into one window update.
+  void DeliverBatch(std::vector<Packet>&& batch);
+  // Convenience wrapper: a batch of one (tests and standalone callers).
   void DeliverPacket(Packet&& packet);
-  void DeliverEnvelope(Envelope env);
+  // Consume the batch's piggybacked flow feedback in arrival order,
+  // coalescing each port's credit run into one OnCreditBatch and flushing
+  // a port's run before any nack for that port (per-port order is the only
+  // order a window can observe).
+  void ApplyFlowFeedback(const std::vector<Envelope>& envelopes);
+  // Route every decoded envelope of one batch: resolve targets, run the
+  // one-acquisition dedup gate, then execute pushes / failure replies /
+  // duplicate suppressions in batch order.
+  void DispatchEnvelopes(std::vector<Envelope> envelopes);
   Result<Guardian*> CreateGuardianImpl(const std::string& type_name,
                                        const std::string& guardian_name,
                                        const ValueList& args, bool persistent);
@@ -215,9 +229,19 @@ class NodeRuntime {
   void MaybeJournalReply(const Envelope& env);
   // Rebuild the dedup table from the journal at boot.
   Status RecoverDedup();
-  // True when the envelope was recognised as a re-delivery and fully
-  // handled (suppressed, acked, and/or answered from the reply cache).
-  bool SuppressDuplicate(const Envelope& env);
+  // Why a resolution failed; names the drop bucket and failure text.
+  enum class DropKind : uint8_t { kNoGuardian, kNoPort, kTypeMismatch };
+  // Count/trace an unroutable envelope and send its failure(...) reply.
+  void FinishUnroutable(const Envelope& env, DropKind kind);
+  // Count/trace a push failure, roll back the dedup mark so a retry can
+  // land, and send the failure reply (or the §11 flow nack on kFull).
+  void FinishPushFailed(const Envelope& env, const Port& port,
+                        PushResult pushed);
+  // Complete a recognised re-delivery using the dedup gate's verdict:
+  // count it, send a replacement ack if the original was dequeued, and
+  // answer from the reply cache on kReplay.
+  void FinishSuppressed(const Envelope& env, DedupTable::Verdict verdict,
+                        DedupTable::CachedReply replay, bool original_acked);
   // The full-port loss event as a flow-control signal: a failure envelope
   // whose fc fields carry the port's queue depth and capacity, sent to the
   // sender's ack port when it has one (the send primitives wait there) or
@@ -304,6 +328,14 @@ class NodeRuntime {
     // Control messages admitted into port headroom above capacity — how
     // often the control-vs-data shedding policy actually fired.
     Counter* control_overflow = nullptr;
+    // fc_full nacks shed at a full-headroom ack port: the sender lost the
+    // fast congestion signal and degrades to its plain ack timeout.
+    Counter* nacks_shed = nullptr;
+    // Reassembler hygiene: partials discarded by the age sweep and by a
+    // source's incarnation change (mirrored out of the per-node
+    // Reassembler's own counters after each batch).
+    Counter* reassembly_expired = nullptr;
+    Counter* reassembly_session_dropped = nullptr;
   };
   DeliveryCounters counters_;
 

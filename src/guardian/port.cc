@@ -4,29 +4,59 @@
 
 namespace guardians {
 
+Port::PushOutcome Port::PushLocked(Received&& message, bool control) {
+  PushOutcome out;
+  if (retired_ || mailbox_->closed) {
+    ++discarded_retired_;
+    out.result = PushResult::kRetired;
+    return out;
+  }
+  if (queue_.size() >= capacity_) {
+    // Control traffic (acks, failure nacks, probes) is the backpressure
+    // signal itself; shedding it would make overload look like more
+    // overload. Admit it into the bounded headroom above capacity.
+    if (!control || queue_.size() >= capacity_ + kControlHeadroom) {
+      ++discarded_full_;
+      out.result = PushResult::kFull;
+      return out;
+    }
+    ++control_overflow_;
+    out.via_headroom = true;
+  }
+  message.port = this;
+  queue_.push_back(std::move(message));
+  ++enqueued_;
+  return out;
+}
+
 PushResult Port::Push(Received&& message, bool control) {
+  PushOutcome out;
   {
     std::lock_guard<std::mutex> lock(mailbox_->mu);
-    if (retired_ || mailbox_->closed) {
-      ++discarded_retired_;
-      return PushResult::kRetired;
-    }
-    if (queue_.size() >= capacity_) {
-      // Control traffic (acks, failure nacks, probes) is the backpressure
-      // signal itself; shedding it would make overload look like more
-      // overload. Admit it into the bounded headroom above capacity.
-      if (!control || queue_.size() >= capacity_ + kControlHeadroom) {
-        ++discarded_full_;
-        return PushResult::kFull;
-      }
-      ++control_overflow_;
-    }
-    message.port = this;
-    queue_.push_back(std::move(message));
-    ++enqueued_;
+    out = PushLocked(std::move(message), control);
   }
-  mailbox_->cv.notify_all();
-  return PushResult::kOk;
+  if (out.result == PushResult::kOk) {
+    mailbox_->cv.notify_all();
+  }
+  return out.result;
+}
+
+std::vector<Port::PushOutcome> Port::PushBatch(
+    std::vector<Received>&& messages, bool control) {
+  std::vector<PushOutcome> outcomes;
+  outcomes.reserve(messages.size());
+  bool any_ok = false;
+  {
+    std::lock_guard<std::mutex> lock(mailbox_->mu);
+    for (Received& message : messages) {
+      outcomes.push_back(PushLocked(std::move(message), control));
+      any_ok = any_ok || outcomes.back().result == PushResult::kOk;
+    }
+  }
+  if (any_ok) {
+    mailbox_->cv.notify_all();
+  }
+  return outcomes;
 }
 
 void Port::Retire() {

@@ -97,6 +97,19 @@ class Port {
   // above capacity when the data buffer is full.
   PushResult Push(Received&& message, bool control = false);
 
+  // One push plus whether it rode the control headroom (spares the caller
+  // a separate control_overflow() before/after read).
+  struct PushOutcome {
+    PushResult result = PushResult::kOk;
+    bool via_headroom = false;  // control admitted above capacity_
+  };
+  // Enqueue a run of delivered messages under one mailbox lock and (at
+  // most) one receiver wake — the batched delivery path's amortization.
+  // Each message is admitted by the same policy as Push, in order, so the
+  // outcomes are exactly what per-message pushes would have produced.
+  std::vector<PushOutcome> PushBatch(std::vector<Received>&& messages,
+                                     bool control = false);
+
   // Mark dead: no further pushes succeed, pending messages are dropped.
   // Used when an ephemeral reply port is retired.
   void Retire();
@@ -117,6 +130,9 @@ class Port {
   Mailbox* mailbox() const { return mailbox_; }
 
  private:
+  // Admission logic shared by Push/PushBatch; requires mailbox_->mu held.
+  PushOutcome PushLocked(Received&& message, bool control);
+
   const PortName name_;
   const PortType type_;
   Mailbox* mailbox_;

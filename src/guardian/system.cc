@@ -8,7 +8,7 @@ System::System(SystemConfig config)
     : config_(config),
       rng_(config.seed),
       network_(config.seed ^ 0xA5A5A5A5ull, &metrics_, &traces_,
-               config.delivery_shards) {
+               config.delivery_shards, config.delivery_batch_max) {
   network_.SetDefaultLink(config_.default_link);
   // System-defined port types every node may rely on.
   Status st = port_types_.Register(PrimordialPortType());
@@ -41,8 +41,8 @@ NodeRuntime& System::AddNode(const std::string& name) {
     std::lock_guard<std::mutex> lock(nodes_mu_);
     nodes_.push_back(std::move(runtime));
   }
-  network_.SetSink(id, [raw](Packet&& packet) {
-    raw->DeliverPacket(std::move(packet));
+  network_.SetBatchSink(id, [raw](std::vector<Packet>&& batch) {
+    raw->DeliverBatch(std::move(batch));
   });
   Status booted = raw->Restart();
   assert(booted.ok());

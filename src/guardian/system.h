@@ -34,6 +34,13 @@ struct SystemConfig {
   // Drop/corruption outcomes are seed-deterministic at any worker count
   // (decided at Send time); this only changes delivery parallelism.
   size_t delivery_shards = Network::kDefaultShards;
+  // Due packets a delivery worker drains per wake (DESIGN.md §12): the
+  // shard lock, the destination node's reassembly/dedup/port locks, and
+  // the receiver wake are paid once per batch instead of once per packet.
+  // Outcome counts are bit-identical at every value (all loss/corruption/
+  // duplication is decided at Send); 1 restores the exact pre-batching
+  // one-packet-per-wake engine.
+  size_t delivery_batch_max = Network::kDefaultBatchMax;
   // Credit-based flow control (DESIGN.md §11): per-(destination port) AIMD
   // windows paced by receiver-advertised credit.
   FlowControlConfig flow;

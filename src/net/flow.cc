@@ -153,16 +153,23 @@ void FlowController::Grow(Entry& entry) {
 
 void FlowController::OnCredit(const PortName& port, uint32_t queue_depth,
                               uint32_t capacity) {
+  OnCreditBatch(port, queue_depth, capacity, 1);
+}
+
+void FlowController::OnCreditBatch(const PortName& port, uint32_t queue_depth,
+                                   uint32_t capacity, uint32_t credits) {
   (void)queue_depth;
-  if (!config_.enabled) return;
+  if (!config_.enabled || credits == 0) return;
   std::lock_guard<std::mutex> lock(mu_);
   if (shutdown_) return;
   Entry& entry = EntryFor(port);
   if (capacity > 0) entry.capacity_hint = capacity;
   entry.congested_until = TimePoint{};
   entry.reopen = Micros{0};
-  if (credits_granted_ != nullptr) credits_granted_->Inc();
-  Grow(entry);
+  if (credits_granted_ != nullptr) credits_granted_->Inc(credits);
+  for (uint32_t i = 0; i < credits; ++i) {
+    Grow(entry);
+  }
   cv_.notify_all();
 }
 

@@ -111,6 +111,12 @@ class FlowController {
   // A credit grant piggybacked on a receipt ack: additive increase, clamp
   // the window to the advertised capacity, clear any congested hold.
   void OnCredit(const PortName& port, uint32_t queue_depth, uint32_t capacity);
+  // `credits` coalesced grants for one port applied as one window update
+  // (the batched delivery path collects a drained batch's credits per port
+  // and flushes them here): equivalent to `credits` sequential OnCredit
+  // calls carrying the run's final depth/capacity, under one lock.
+  void OnCreditBatch(const PortName& port, uint32_t queue_depth,
+                     uint32_t capacity, uint32_t credits);
   // A full-port nack carrying the receiver's current queue depth:
   // multiplicative decrease plus the congested hold.
   void OnFullNack(const PortName& port, uint32_t queue_depth,

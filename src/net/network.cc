@@ -9,8 +9,9 @@
 namespace guardians {
 
 Network::Network(uint64_t seed, MetricsRegistry* metrics, TraceBuffer* traces,
-                 size_t shards)
-    : rng_(seed), metrics_(metrics), traces_(traces) {
+                 size_t shards, size_t batch_max)
+    : rng_(seed), metrics_(metrics), traces_(traces),
+      batch_max_(std::max<size_t>(batch_max, 1)) {
   if (metrics_ != nullptr) {
     delivery_latency_ = metrics_->histogram("net.delivery_latency_us");
   }
@@ -22,6 +23,10 @@ Network::Network(uint64_t seed, MetricsRegistry* metrics, TraceBuffer* traces,
       shard->enqueued = metrics_->counter(prefix + "enqueued");
       shard->delivered = metrics_->counter(prefix + "delivered");
       shard->dropped = metrics_->counter(prefix + "dropped");
+      shard->batch_drains = metrics_->counter(prefix + "batch.drains");
+      shard->batch_packets = metrics_->counter(prefix + "batch.packets");
+      shard->batch_size = metrics_->histogram(
+          prefix + "batch.size", {1, 2, 4, 8, 16, 32, 64, 128, 256});
     }
     shards_.push_back(std::move(shard));
   }
@@ -78,6 +83,16 @@ size_t Network::node_count() const {
 }
 
 void Network::SetSink(NodeId node, PacketSink sink) {
+  // Wrapped so the engine has exactly one (batched) delivery path; a
+  // per-packet sink just sees the batch unrolled in order.
+  SetBatchSink(node, [sink = std::move(sink)](std::vector<Packet>&& batch) {
+    for (Packet& packet : batch) {
+      sink(std::move(packet));
+    }
+  });
+}
+
+void Network::SetBatchSink(NodeId node, PacketBatchSink sink) {
   std::lock_guard<std::mutex> lock(mu_);
   assert(node >= 1 && node <= sinks_.size());
   sinks_[node - 1] = std::move(sink);
@@ -232,6 +247,7 @@ void Network::Send(Packet packet) {
   Shard& shard = ShardFor(entry.packet.dst);
   const uint64_t copies = duplicate.has_value() ? 2 : 1;
   in_flight_.fetch_add(copies, std::memory_order_acq_rel);
+  bool wake_worker = false;
   {
     std::lock_guard<std::mutex> lock(shard.mu);
     if (stopping_.load()) {
@@ -241,6 +257,9 @@ void Network::Send(Packet packet) {
       in_flight_.fetch_sub(copies, std::memory_order_acq_rel);
       return;
     }
+    const bool was_empty = shard.heap.empty();
+    const TimePoint old_front_due =
+        was_empty ? TimePoint{} : shard.heap.front().deliver_at;
     shard.heap.push_back(std::move(entry));
     std::push_heap(shard.heap.begin(), shard.heap.end(), DueLater{});
     if (duplicate.has_value()) {
@@ -250,8 +269,18 @@ void Network::Send(Packet packet) {
     if (shard.enqueued != nullptr) {
       shard.enqueued->Inc(copies);
     }
+    // Wake coalescing: the worker only needs a signal when the heap went
+    // empty -> non-empty (it may be in its indefinite wait) or when a new
+    // entry preempts the front (its wait_until deadline is now too late).
+    // A backlogged shard — front already due — never needs one: the worker
+    // is either draining or about to re-check the heap, so the common
+    // saturated Send pays no futex wake at all.
+    wake_worker =
+        was_empty || shard.heap.front().deliver_at < old_front_due;
   }
-  shard.cv.notify_all();
+  if (wake_worker) {
+    shard.cv.notify_all();
+  }
 }
 
 void Network::DrainForTesting() {
@@ -310,6 +339,8 @@ void Network::CountDrop(const Packet& packet, const char* reason) {
 
 void Network::ShardLoop(Shard& shard) {
   std::unique_lock<std::mutex> lock(shard.mu);
+  std::vector<InFlight> batch;
+  batch.reserve(batch_max_);
   for (;;) {
     if (stopping_.load()) {
       return;
@@ -319,68 +350,115 @@ void Network::ShardLoop(Shard& shard) {
                     [&] { return stopping_.load() || !shard.heap.empty(); });
       continue;
     }
-    const TimePoint next = shard.heap.front().deliver_at;
-    if (Now() < next) {
-      shard.cv.wait_until(lock, next);
+    const TimePoint now = Now();
+    if (now < shard.heap.front().deliver_at) {
+      shard.cv.wait_until(lock, shard.heap.front().deliver_at);
       continue;
     }
 
-    std::pop_heap(shard.heap.begin(), shard.heap.end(), DueLater{});
-    InFlight entry = std::move(shard.heap.back());
-    shard.heap.pop_back();
+    // One lock acquisition drains every due entry (bounded by batch_max_),
+    // in heap order — so per-destination delivery order is exactly what
+    // the one-packet-per-wake engine produced.
+    batch.clear();
+    while (!shard.heap.empty() && batch.size() < batch_max_ &&
+           shard.heap.front().deliver_at <= now) {
+      std::pop_heap(shard.heap.begin(), shard.heap.end(), DueLater{});
+      batch.push_back(std::move(shard.heap.back()));
+      shard.heap.pop_back();
+    }
 
-    // Deliver outside the shard lock: the sink may immediately Send (e.g.
-    // a system failure reply) or hand off to guardian processes, and other
+    // Deliver outside the shard lock: a sink may immediately Send (e.g. a
+    // system failure reply) or hand off to guardian processes, and other
     // shards' sinks run concurrently with this one.
     lock.unlock();
-    DeliverOne(shard, std::move(entry));
-    FinishOne();
+    if (shard.batch_drains != nullptr) {
+      shard.batch_drains->Inc();
+      shard.batch_packets->Inc(batch.size());
+      shard.batch_size->Observe(batch.size());
+    }
+    DeliverBatch(shard, batch);
+    FinishMany(batch.size());
     lock.lock();
   }
 }
 
-void Network::DeliverOne(Shard& shard, InFlight entry) {
-  const NodeId dst = entry.packet.dst;
-  PacketSink sink;
+void Network::DeliverBatch(Shard& shard, std::vector<InFlight>& batch) {
+  // Group by destination, preserving first-appearance order so a given
+  // seed produces the same sink-call sequence at every batch size. The
+  // scan is linear in (groups × batch): a shard owns few destinations and
+  // batches are small, so this beats a map allocation per drain.
+  std::vector<std::pair<NodeId, std::vector<InFlight>>> groups;
+  for (InFlight& entry : batch) {
+    const NodeId dst = entry.packet.dst;
+    std::vector<InFlight>* group = nullptr;
+    for (auto& [node, members] : groups) {
+      if (node == dst) {
+        group = &members;
+        break;
+      }
+    }
+    if (group == nullptr) {
+      groups.emplace_back(dst, std::vector<InFlight>());
+      group = &groups.back().second;
+    }
+    group->push_back(std::move(entry));
+  }
+  for (auto& [dst, group] : groups) {
+    DeliverGroup(shard, dst, group);
+  }
+}
+
+void Network::DeliverGroup(Shard& shard, NodeId dst,
+                           std::vector<InFlight>& group) {
+  PacketBatchSink sink;
+  std::vector<Packet> deliverable;
   {
+    // One stats-lock round-trip covers the whole group — at batch_max 1
+    // this is the old per-packet acquisition, bit for bit.
     std::lock_guard<std::mutex> lock(mu_);
-    const bool deliverable = dst >= 1 && dst <= node_up_.size() &&
-                             node_up_[dst - 1] && sinks_[dst - 1];
-    if (deliverable) {
+    const bool ok = dst >= 1 && dst <= node_up_.size() &&
+                    node_up_[dst - 1] && sinks_[dst - 1];
+    if (ok) {
       sink = sinks_[dst - 1];
-      ++stats_.packets_delivered;
-      if (delivery_latency_ != nullptr) {
-        delivery_latency_->Observe(static_cast<uint64_t>(
-            std::max<int64_t>(ToMicros(Now() - entry.sent_at), 0)));
-      }
-      LinkCounters* link_counters = CountersForLink(entry.packet.src, dst);
-      if (link_counters != nullptr) {
-        link_counters->delivered->Inc();
-      }
-      if (traces_ != nullptr) {
-        traces_->Record(entry.packet.trace_id, 0, "net.delivered",
-                        "n" + std::to_string(entry.packet.src) + "->n" +
-                            std::to_string(dst) + " frag " +
-                            std::to_string(entry.packet.frag_index + 1) +
-                            "/" + std::to_string(entry.packet.frag_count));
+      deliverable.reserve(group.size());
+      stats_.packets_delivered += group.size();
+      for (InFlight& entry : group) {
+        if (delivery_latency_ != nullptr) {
+          delivery_latency_->Observe(static_cast<uint64_t>(
+              std::max<int64_t>(ToMicros(Now() - entry.sent_at), 0)));
+        }
+        LinkCounters* link_counters = CountersForLink(entry.packet.src, dst);
+        if (link_counters != nullptr) {
+          link_counters->delivered->Inc();
+        }
+        if (traces_ != nullptr) {
+          traces_->Record(entry.packet.trace_id, 0, "net.delivered",
+                          "n" + std::to_string(entry.packet.src) + "->n" +
+                              std::to_string(dst) + " frag " +
+                              std::to_string(entry.packet.frag_index + 1) +
+                              "/" + std::to_string(entry.packet.frag_count));
+        }
+        deliverable.push_back(std::move(entry.packet));
       }
     } else {
-      ++stats_.packets_dropped;
-      CountDrop(entry.packet, "dst_down");
+      stats_.packets_dropped += group.size();
+      for (const InFlight& entry : group) {
+        CountDrop(entry.packet, "dst_down");
+      }
     }
   }
   if (sink) {
     if (shard.delivered != nullptr) {
-      shard.delivered->Inc();
+      shard.delivered->Inc(deliverable.size());
     }
-    sink(std::move(entry.packet));
+    sink(std::move(deliverable));
   } else if (shard.dropped != nullptr) {
-    shard.dropped->Inc();
+    shard.dropped->Inc(group.size());
   }
 }
 
-void Network::FinishOne() {
-  if (in_flight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+void Network::FinishMany(uint64_t n) {
+  if (in_flight_.fetch_sub(n, std::memory_order_acq_rel) == n) {
     // Synchronize with a drainer between its predicate check and its wait.
     { std::lock_guard<std::mutex> lock(drain_mu_); }
     drained_cv_.notify_all();

@@ -19,6 +19,16 @@
 // drop, corruption, and duplicate counts are bit-identical for a given
 // seed at every worker count; only wall-clock parallelism changes.
 //
+// Batched drains (DESIGN.md §12): on each wake a shard worker moves every
+// due heap entry — up to `batch_max` — into a local batch under one lock
+// acquisition, groups the batch by destination node, and hands each group
+// to the destination's sink in one call. At saturation this amortizes the
+// shard lock, the global stats lock, and the condvar wake over the whole
+// batch instead of paying them per packet. Per-destination delivery order
+// is unchanged (the drain pops in heap order), so a batch_max of 1
+// reproduces the unbatched engine exactly, and outcome counts stay
+// bit-identical at every batch size.
+//
 // The substitution for the paper's physical network is documented in
 // DESIGN.md: every failure mode the paper reasons about (loss, reordering,
 // corruption, unreachable nodes) is reproduced with controllable,
@@ -82,20 +92,28 @@ struct NetworkStats {
 // Implementations must be quick and must not block. Sinks for different
 // nodes may run concurrently; the sink of one node never runs reentrantly.
 using PacketSink = std::function<void(Packet&&)>;
+// The batch entry point: every packet in one call shares the destination
+// node and arrives in delivery order. Same threading contract as
+// PacketSink — one call per (destination, drained batch).
+using PacketBatchSink = std::function<void(std::vector<Packet>&&)>;
 
 class Network {
  public:
   static constexpr size_t kDefaultShards = 4;
+  // Due heap entries a shard worker may drain per wake. 1 = deliver one
+  // packet per lock round-trip (the pre-batching engine, bit for bit).
+  static constexpr size_t kDefaultBatchMax = 64;
 
   // `metrics`/`traces` are optional observability sinks (owned by the
   // caller, usually the System): per-link packet counters, drop-reason
   // counters, per-shard delivery counters, a delivery-latency histogram,
   // and per-hop trace events. `shards` is the number of delivery worker
   // threads (clamped to >= 1); destination nodes are statically assigned
-  // to shards round-robin.
+  // to shards round-robin. `batch_max` bounds one drain (clamped to >= 1).
   explicit Network(uint64_t seed = 1, MetricsRegistry* metrics = nullptr,
                    TraceBuffer* traces = nullptr,
-                   size_t shards = kDefaultShards);
+                   size_t shards = kDefaultShards,
+                   size_t batch_max = kDefaultBatchMax);
   ~Network();
 
   Network(const Network&) = delete;
@@ -109,8 +127,11 @@ class Network {
   size_t node_count() const;
   size_t shard_count() const { return shards_.size(); }
 
-  // Delivery callback for a node. Replaces any previous sink.
+  // Delivery callback for a node. Replaces any previous sink (either
+  // form). The per-packet form is wrapped into a batch sink internally, so
+  // there is exactly one delivery code path.
   void SetSink(NodeId node, PacketSink sink);
+  void SetBatchSink(NodeId node, PacketBatchSink sink);
 
   // A down node neither sends nor receives; packets in flight to it are
   // lost at delivery time.
@@ -166,7 +187,9 @@ class Network {
 
   // One delivery worker: a timing heap of packets addressed to the nodes
   // this shard owns, its own lock/condvar, and per-shard counters
-  // (net.shard.<k>.{enqueued,delivered,dropped}).
+  // (net.shard.<k>.{enqueued,delivered,dropped} plus the batching
+  // telemetry net.shard.<k>.batch.{drains,packets} and the batch.size
+  // histogram).
   struct Shard {
     std::mutex mu;
     std::condition_variable cv;
@@ -175,6 +198,9 @@ class Network {
     Counter* enqueued = nullptr;   // may be null (no registry)
     Counter* delivered = nullptr;
     Counter* dropped = nullptr;
+    Counter* batch_drains = nullptr;
+    Counter* batch_packets = nullptr;
+    Histogram* batch_size = nullptr;
   };
 
   static uint64_t LinkKey(NodeId a, NodeId b) {
@@ -194,10 +220,14 @@ class Network {
     return *shards_[dst == 0 ? 0 : (dst - 1) % shards_.size()];
   }
   void ShardLoop(Shard& shard);
-  void DeliverOne(Shard& shard, InFlight entry);
-  // One packet left the system (delivered or dropped at delivery time);
+  // Deliver one drained batch: group by destination (first-appearance
+  // order; the batch itself is in (deliver_at, seq) order, so each group's
+  // subsequence is too), then one stats pass + one sink call per group.
+  void DeliverBatch(Shard& shard, std::vector<InFlight>& batch);
+  void DeliverGroup(Shard& shard, NodeId dst, std::vector<InFlight>& group);
+  // `n` packets left the system (delivered or dropped at delivery time);
   // wakes DrainForTesting when the last one resolves.
-  void FinishOne();
+  void FinishMany(uint64_t n);
   // Requires mu_ held (names the link by node names).
   LinkCounters* CountersForLink(NodeId src, NodeId dst);
   void CountDrop(const Packet& packet, const char* reason);
@@ -211,7 +241,7 @@ class Network {
   NetworkStats stats_;
   std::vector<std::string> node_names_;     // index = id - 1
   std::vector<bool> node_up_;               // index = id - 1
-  std::vector<PacketSink> sinks_;           // index = id - 1
+  std::vector<PacketBatchSink> sinks_;      // index = id - 1
   std::unordered_map<uint64_t, LinkParams> links_;
   std::unordered_set<uint64_t> partitions_;
   MetricsRegistry* metrics_;  // may be null (standalone networks in tests)
@@ -220,6 +250,7 @@ class Network {
   std::unordered_map<uint64_t, LinkCounters> link_counters_;
 
   std::vector<std::unique_ptr<Shard>> shards_;
+  size_t batch_max_ = kDefaultBatchMax;
 
   // Packets accepted at Send but not yet resolved by a worker. The drain
   // barrier is shard-aware through this single count: it covers every

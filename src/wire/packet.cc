@@ -12,7 +12,7 @@ bool Packet::Verify() const { return crc == Crc32(payload); }
 
 std::vector<Packet> Fragment(Bytes message, uint64_t msg_id, NodeId src,
                              NodeId dst, uint64_t max_payload,
-                             uint64_t trace_id) {
+                             uint64_t trace_id, uint64_t src_session) {
   std::vector<Packet> packets;
   if (max_payload == 0) {
     max_payload = 1;
@@ -24,6 +24,7 @@ std::vector<Packet> Fragment(Bytes message, uint64_t msg_id, NodeId src,
     Packet p;
     p.msg_id = msg_id;
     p.trace_id = trace_id;
+    p.src_session = src_session;
     p.src = src;
     p.dst = dst;
     p.frag_index = i;
@@ -43,7 +44,22 @@ std::vector<Packet> Fragment(Bytes message, uint64_t msg_id, NodeId src,
 }
 
 Result<std::optional<Bytes>> Reassembler::Add(Packet&& packet) {
-  const Key key{packet.src, packet.msg_id};
+  const TimePoint now = Now();
+  if (expiry_.count() > 0 && now - last_sweep_ >= expiry_ / 4) {
+    ExpireStale(now);
+    last_sweep_ = now;
+  }
+  if (packet.src_session != 0) {
+    auto [session_it, fresh_src] =
+        sessions_.try_emplace(packet.src, packet.src_session);
+    if (!fresh_src && session_it->second != packet.src_session) {
+      // First packet from a new incarnation of this source: everything the
+      // old incarnation left half-assembled is unfinishable.
+      DropSourcePartials(packet.src);
+      session_it->second = packet.src_session;
+    }
+  }
+  const Key key{packet.src, packet.src_session, packet.msg_id};
   if (!packet.Verify()) {
     ++corrupt_dropped_;
     partial_.erase(key);
@@ -65,9 +81,11 @@ Result<std::optional<Bytes>> Reassembler::Add(Packet&& packet) {
     fresh.frags.resize(packet.frag_count);
     fresh.have.assign(packet.frag_count, 0);
     fresh.first_seen_seq = seq_++;
+    fresh.last_update = now;
     it = partial_.emplace(key, std::move(fresh)).first;
   }
   Partial& part = it->second;
+  part.last_update = now;
   if (part.frags.size() != packet.frag_count) {
     // Two messages with clashing ids or a corrupted count: drop everything.
     partial_.erase(it);
@@ -103,6 +121,28 @@ void Reassembler::EvictOldestIfNeeded() {
     }
   }
   partial_.erase(oldest);
+}
+
+void Reassembler::ExpireStale(TimePoint now) {
+  for (auto it = partial_.begin(); it != partial_.end();) {
+    if (now - it->second.last_update > expiry_) {
+      it = partial_.erase(it);
+      ++expired_;
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Reassembler::DropSourcePartials(NodeId src) {
+  for (auto it = partial_.begin(); it != partial_.end();) {
+    if (it->first.src == src) {
+      it = partial_.erase(it);
+      ++session_dropped_;
+    } else {
+      ++it;
+    }
+  }
 }
 
 }  // namespace guardians

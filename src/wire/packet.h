@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "src/common/bytes.h"
+#include "src/common/clock.h"
 #include "src/common/result.h"
 #include "src/value/port_name.h"
 
@@ -26,6 +27,12 @@ struct Packet {
   uint64_t msg_id = 0;
   uint64_t trace_id = 0;  // carried beside the payload so the network can
                           // attribute per-hop drop events to a trace
+  // Sending node's incarnation (the §10 dedup session id, random per
+  // boot; 0 = unknown/legacy). Reassembly keys partials on it so a
+  // restarted node reusing a msg_id can never complete a message half
+  // made of pre-crash fragments — each fragment passes its own CRC, so
+  // nothing downstream would catch the splice.
+  uint64_t src_session = 0;
   NodeId src = 0;
   NodeId dst = 0;
   uint32_t frag_index = 0;
@@ -42,20 +49,28 @@ struct Packet {
 };
 
 // Split an encoded message into CRC-sealed packets of at most
-// `max_payload` bytes each. Every fragment carries the message's trace id.
-// Takes the message by value: a single-fragment message (the common case)
-// moves the bytes straight into the packet instead of copying them.
+// `max_payload` bytes each. Every fragment carries the message's trace id
+// and the sender's incarnation session. Takes the message by value: a
+// single-fragment message (the common case) moves the bytes straight into
+// the packet instead of copying them.
 std::vector<Packet> Fragment(Bytes message, uint64_t msg_id, NodeId src,
                              NodeId dst, uint64_t max_payload,
-                             uint64_t trace_id = 0);
+                             uint64_t trace_id = 0, uint64_t src_session = 0);
 
 // Per-node packet reassembler. Not thread-safe; callers serialize.
 class Reassembler {
  public:
-  // Bound on concurrently-incomplete messages; oldest partials are evicted
-  // beyond it (their messages are lost, as the network permits).
-  explicit Reassembler(size_t max_partial = 1024)
-      : max_partial_(max_partial) {}
+  // Partials that received no fragment for this long are expired on the
+  // next sweep: steady fragment loss must not pin dead partials' payload
+  // bytes forever, nor let crash-era garbage outlive recent in-progress
+  // messages under count pressure.
+  static constexpr Micros kDefaultExpiry = Micros(2'000'000);
+
+  // `max_partial` bounds concurrently-incomplete messages (oldest evicted
+  // beyond it); `expiry` is the age horizon above (0 disables age expiry).
+  explicit Reassembler(size_t max_partial = 1024,
+                       Micros expiry = kDefaultExpiry)
+      : max_partial_(max_partial), expiry_(expiry) {}
 
   // Feed one packet (consumed: its payload is moved into the partial).
   // Returns:
@@ -63,25 +78,34 @@ class Reassembler {
   //  - std::nullopt when more packets are needed,
   //  - kCorrupt when the packet fails its CRC or is inconsistent (dropped;
   //    any partial state for that message is discarded).
-  // Partials are keyed by (src, msg_id): two senders minting the same
-  // msg_id toward one destination reassemble independently instead of
-  // interleaving into (and corrupting) a shared partial.
+  // Partials are keyed by (src, src_session, msg_id): two senders minting
+  // the same msg_id toward one destination reassemble independently, and a
+  // restarted sender (fresh session) can never complete a message begun by
+  // its previous incarnation. The first packet carrying a *new* session
+  // for a source drops that source's surviving partials outright — they
+  // belong to a dead incarnation and can never complete legitimately.
   Result<std::optional<Bytes>> Add(Packet&& packet);
 
   size_t partial_count() const { return partial_.size(); }
   uint64_t corrupt_dropped() const { return corrupt_dropped_; }
+  // Partials discarded by the age sweep / by a source's session change.
+  uint64_t expired() const { return expired_; }
+  uint64_t session_dropped() const { return session_dropped_; }
 
  private:
   struct Key {
     NodeId src = 0;
+    uint64_t session = 0;
     uint64_t msg_id = 0;
     bool operator==(const Key& other) const {
-      return src == other.src && msg_id == other.msg_id;
+      return src == other.src && session == other.session &&
+             msg_id == other.msg_id;
     }
   };
   struct KeyHash {
     size_t operator()(const Key& k) const {
       uint64_t h = k.msg_id * 0x9E3779B97F4A7C15ull;
+      h ^= k.session + (h << 12) + (h >> 4);
       h ^= static_cast<uint64_t>(k.src) + (h << 6) + (h >> 2);
       return static_cast<size_t>(h);
     }
@@ -95,14 +119,27 @@ class Reassembler {
     uint32_t received = 0;
     size_t total_bytes = 0;  // pre-sizes the join on completion
     uint64_t first_seen_seq = 0;
+    TimePoint last_update{};  // refreshed per accepted fragment: a partial
+                              // still making progress is not stale
   };
 
   void EvictOldestIfNeeded();
+  // Drop partials idle past the horizon. Amortized: Add sweeps at most
+  // once per expiry_/4, so the scan cost never dominates the hot path.
+  void ExpireStale(TimePoint now);
+  // A new incarnation of `src` appeared: its predecessor's partials are
+  // unfinishable garbage.
+  void DropSourcePartials(NodeId src);
 
   size_t max_partial_;
+  Micros expiry_;
+  TimePoint last_sweep_{};
   uint64_t seq_ = 0;
   uint64_t corrupt_dropped_ = 0;
+  uint64_t expired_ = 0;
+  uint64_t session_dropped_ = 0;
   std::unordered_map<Key, Partial, KeyHash> partial_;
+  std::unordered_map<NodeId, uint64_t> sessions_;  // src -> latest session
 };
 
 }  // namespace guardians

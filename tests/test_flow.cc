@@ -269,6 +269,71 @@ TEST(FlowSystemTest, ReliableSendRidesNacksWithoutBlindBackoff) {
 }
 
 // ---------------------------------------------------------------------------
+// Shedding the shed-notice itself: when even the control headroom cannot
+// admit an fc_full nack, the event is loud (flow.nacks_shed) and the
+// sender degrades to the plain ack-timeout path instead of livelocking
+// ---------------------------------------------------------------------------
+
+TEST(FlowSystemTest, ShedNackIsCountedAndSenderDegradesToTimeout) {
+  SystemConfig config;
+  config.seed = 41;
+  config.default_link.latency = Micros(50);
+  System system(config);
+  NodeRuntime& a = system.AddNode("a");
+  NodeRuntime& b = system.AddNode("b");
+  for (auto* node : {&a, &b}) {
+    node->RegisterGuardianType("shell", MakeFactory<ShellGuardian>());
+  }
+  Guardian* sender = *a.Create<ShellGuardian>("shell", "sender", {});
+  Guardian* receiver = *b.Create<ShellGuardian>("shell", "receiver", {});
+  Port* target = receiver->AddPort(FlowPortType(), /*capacity=*/1);
+
+  // Fill the data port (nobody drains it).
+  ASSERT_TRUE(sender->Send(target->name(), "put", {Value::Str("fill")}).ok());
+
+  // Stuff the sender's ack port solid — capacity plus the control headroom
+  // the returning nack would otherwise ride in on.
+  Port* ack_port = sender->AddPort(AckPortType(), /*capacity=*/1);
+  const size_t solid = 1 + Port::kControlHeadroom;
+  for (size_t i = 0; i < solid; ++i) {
+    ASSERT_TRUE(
+        receiver->Send(ack_port->name(), "ack", {Value::Str("junk")}).ok());
+  }
+  system.network().DrainForTesting();
+  ASSERT_EQ(ack_port->depth(), solid);
+
+  // The send is shed at the full target; its fc_full nack comes back to
+  // the jammed ack port and is shed in turn. Before this PR that second
+  // shed vanished into the generic full-port counters.
+  auto sent = sender->SendFull(target->name(), "put", {Value::Str("x")},
+                               PortName{}, ack_port->name(), 0);
+  ASSERT_TRUE(sent.ok());
+  system.network().DrainForTesting();
+  EXPECT_GE(system.metrics().CounterValue("flow.nacks_shed"), 1u);
+  // The flow controller still learned (fc fields are consumed on the
+  // delivery path, before the port push): the hold/window reacted. Only
+  // the *waiting primitive* lost its wake-up message.
+  EXPECT_GE(system.metrics().CounterValue("flow.full_nacks"), 1u);
+
+  // Degradation, not livelock: the waiter sees junk acks but never the
+  // nack, falls through to its deadline, and returns in bounded time —
+  // the pre-§11 timeout path.
+  const TimePoint start = Now();
+  const Deadline deadline(Millis(100));
+  Status last = OkStatus();
+  for (;;) {
+    auto got = sender->Receive(ack_port, deadline.Remaining());
+    if (!got.ok()) {
+      last = got.status();
+      break;
+    }
+    EXPECT_NE(got->command, kFailureCommand) << "the nack was shed";
+  }
+  EXPECT_EQ(last.code(), Code::kTimeout);
+  EXPECT_LT(ToMicros(Now() - start), 5'000'000) << "waiter must not livelock";
+}
+
+// ---------------------------------------------------------------------------
 // Determinism: credit decisions must not perturb seed-determinism at any
 // delivery_shards count (the PR 2 / PR 4 discipline)
 // ---------------------------------------------------------------------------

@@ -2,6 +2,9 @@
 // value serialization, system-wide limits, packets and reassembly.
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <thread>
+
 #include "src/common/rng.h"
 #include "src/transmit/complex.h"
 #include "src/transmit/registry.h"
@@ -522,6 +525,99 @@ TEST(PacketTest, SameMsgIdFromTwoSendersReassemblesIndependently) {
   EXPECT_EQ(*got_b, from_b);
   EXPECT_EQ(reassembler.corrupt_dropped(), 0u);
   EXPECT_EQ(reassembler.partial_count(), 0u);
+}
+
+TEST(PacketTest, StalePartialsExpireByAge) {
+  // Regression: a lost fragment used to pin its partial (and its payload
+  // bytes) forever; steady loss on large messages grew the table until the
+  // count-based eviction started cannibalizing *young* in-progress
+  // messages. Partials idle past the age horizon are now swept on Add.
+  Reassembler reassembler(/*max_partial=*/1024, /*expiry=*/Micros(20'000));
+
+  // Two 2-fragment messages, each missing its second fragment.
+  const Bytes one(14, 0x11);
+  const Bytes two(14, 0x22);
+  auto pa = Fragment(one, /*msg_id=*/1, /*src=*/1, /*dst=*/2, 7);
+  auto pb = Fragment(two, /*msg_id=*/2, /*src=*/1, /*dst=*/2, 7);
+  ASSERT_EQ(pa.size(), 2u);
+  ASSERT_TRUE(reassembler.Add(std::move(pa[0])).ok());
+  ASSERT_TRUE(reassembler.Add(std::move(pb[0])).ok());
+  EXPECT_EQ(reassembler.partial_count(), 2u);
+  EXPECT_EQ(reassembler.expired(), 0u);
+
+  // Let both partials pass the horizon, then feed an unrelated fragment:
+  // its Add runs the amortized sweep.
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  const Bytes three(14, 0x33);
+  auto pc = Fragment(three, /*msg_id=*/3, /*src=*/1, /*dst=*/2, 7);
+  auto out = reassembler.Add(std::move(pc[0]));
+  ASSERT_TRUE(out.ok());
+  EXPECT_FALSE(out->has_value());
+  EXPECT_EQ(reassembler.expired(), 2u);
+  EXPECT_EQ(reassembler.partial_count(), 1u);  // only msg 3 survives
+
+  // The young partial was not collateral damage: it still completes.
+  auto done = reassembler.Add(std::move(pc[1]));
+  ASSERT_TRUE(done.ok());
+  ASSERT_TRUE(done->has_value());
+  EXPECT_EQ(**done, three);
+  EXPECT_EQ(reassembler.partial_count(), 0u);
+}
+
+TEST(PacketTest, ExpiryZeroDisablesAgeSweep) {
+  Reassembler reassembler(/*max_partial=*/1024, /*expiry=*/Micros(0));
+  const Bytes msg(14, 0x44);
+  auto packets = Fragment(msg, /*msg_id=*/9, /*src=*/1, /*dst=*/2, 7);
+  ASSERT_TRUE(reassembler.Add(std::move(packets[0])).ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  auto done = reassembler.Add(std::move(packets[1]));
+  ASSERT_TRUE(done.ok());
+  ASSERT_TRUE(done->has_value());
+  EXPECT_EQ(reassembler.expired(), 0u);
+}
+
+TEST(PacketTest, NewIncarnationDropsPredecessorPartials) {
+  // Regression: partials were keyed by (src, msg_id) with no incarnation
+  // component, so a source that crashed mid-message and restarted could —
+  // with a reused msg_id — complete a message spliced half from pre-crash
+  // fragments and half from post-crash ones. Every fragment passes its own
+  // CRC, so nothing downstream catches the splice: the receiver decodes a
+  // chimera no incarnation ever sent.
+  const Bytes pre(40, 0x0A);
+  const Bytes post(40, 0x0B);
+  constexpr uint64_t kReusedId = 42;
+  auto old_inc = Fragment(pre, kReusedId, /*src=*/1, /*dst=*/2, 10,
+                          /*trace_id=*/0, /*src_session=*/100);
+  auto new_inc = Fragment(post, kReusedId, /*src=*/1, /*dst=*/2, 10,
+                          /*trace_id=*/0, /*src_session=*/200);
+  ASSERT_EQ(old_inc.size(), 4u);
+  ASSERT_EQ(new_inc.size(), 4u);
+
+  Reassembler reassembler;
+  // The old incarnation lands fragments 0 and 1, then the source crashes.
+  ASSERT_TRUE(reassembler.Add(std::move(old_inc[0])).ok());
+  ASSERT_TRUE(reassembler.Add(std::move(old_inc[1])).ok());
+  EXPECT_EQ(reassembler.partial_count(), 1u);
+
+  // The restarted incarnation sends fragments 2 and 3 of "the same"
+  // message. Under the old keying these completed a 0xA/0xB chimera; now
+  // the first new-session packet drops the predecessor's partial outright.
+  auto out = reassembler.Add(std::move(new_inc[2]));
+  ASSERT_TRUE(out.ok());
+  EXPECT_FALSE(out->has_value());
+  auto out2 = reassembler.Add(std::move(new_inc[3]));
+  ASSERT_TRUE(out2.ok());
+  EXPECT_FALSE(out2->has_value());  // the splice can never complete
+  EXPECT_EQ(reassembler.session_dropped(), 1u);
+
+  // The new incarnation's own message still completes, bit-exact.
+  ASSERT_TRUE(reassembler.Add(std::move(new_inc[0])).ok());
+  auto done = reassembler.Add(std::move(new_inc[1]));
+  ASSERT_TRUE(done.ok());
+  ASSERT_TRUE(done->has_value());
+  EXPECT_EQ(**done, post);
+  EXPECT_EQ(reassembler.partial_count(), 0u);
+  EXPECT_EQ(reassembler.corrupt_dropped(), 0u);
 }
 
 }  // namespace
