@@ -132,6 +132,8 @@ void BM_DeliveryBatching(benchmark::State& state) {
     state.SkipWithError("encode failed");
     return;
   }
+  // One shared buffer; every Fragment below slices it (refbumps, no clones).
+  const BufferSlice message(std::move(*encoded));
 
   RunOutcome outcome;
   for (auto _ : state) {
@@ -167,7 +169,7 @@ void BM_DeliveryBatching(benchmark::State& state) {
     uint64_t msg_id = 0;
     for (int m = 0; m < kMessagesPerNode; ++m) {
       for (const NodeId dst : dsts) {
-        auto packets = Fragment(*encoded, ++msg_id, sender, dst, kMaxPayload);
+        auto packets = Fragment(message, ++msg_id, sender, dst, kMaxPayload);
         for (auto& packet : packets) {
           prebuilt.push_back(std::move(packet));
         }

@@ -13,8 +13,26 @@
 // Expected shape: abstract transmission costs one traversal + allocation on
 // each side, linear in value size, a small constant factor over the
 // built-in baseline — the price of representation independence.
+//
+// Self-checking: each benchmark tracks the BufferStats::BytesCopied()
+// delta across its loop, and CheckAndRecord() writes BENCH_wire_codec.json
+// asserting two budgets:
+//  - the value codec performs ZERO buffer-layer copies per round trip
+//    (it encodes into one pre-reserved vector and decodes from non-owning
+//    views — a reintroduced Bytes round-trip through the Buffer layer
+//    trips this immediately);
+//  - builtin encoding stays linear: wire bytes per entry must not grow
+//    with collection size (the old per-byte PutU8 growth pattern showed
+//    up as capacity churn; the size check guards the format itself).
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/common/buffer.h"
 #include "src/transmit/assoc_memory.h"
 #include "src/transmit/complex.h"
 #include "src/transmit/document.h"
@@ -22,6 +40,18 @@
 
 namespace guardians {
 namespace {
+
+struct CodecOutcome {
+  double entries = 0;      // collection size, 0 when not applicable
+  double wire_bytes = 0;   // bytes per encoded value
+  uint64_t iterations = 0;
+  uint64_t bytes_copied = 0;  // BufferStats delta across the whole loop
+};
+
+std::map<std::string, CodecOutcome>& Outcomes() {
+  static std::map<std::string, CodecOutcome> outcomes;
+  return outcomes;
+}
 
 Value BuiltinArray(int n) {
   std::vector<Value> items;
@@ -37,6 +67,7 @@ Value BuiltinArray(int n) {
 void BM_BuiltinRoundTrip(benchmark::State& state) {
   const Value v = BuiltinArray(static_cast<int>(state.range(0)));
   size_t bytes = 0;
+  const uint64_t copied_before = BufferStats::BytesCopied();
   for (auto _ : state) {
     auto encoded = EncodeValueToBytes(v);
     bytes = encoded->size();
@@ -45,12 +76,20 @@ void BM_BuiltinRoundTrip(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
   state.counters["wire_bytes"] = static_cast<double>(bytes);
+  auto& outcome =
+      Outcomes()["builtin_round_trip/entries:" +
+                 std::to_string(state.range(0))];
+  outcome.entries = static_cast<double>(state.range(0));
+  outcome.wire_bytes = static_cast<double>(bytes);
+  outcome.iterations += state.iterations();
+  outcome.bytes_copied += BufferStats::BytesCopied() - copied_before;
 }
 
 void BM_ComplexRectToPolar(benchmark::State& state) {
   TransmitRegistry receiving_node;
   (void)receiving_node.Register(kComplexTypeName, PolarComplexDecoder());
   const Value v = Value::Abstract(MakeRectComplex(3.0, 4.0));
+  const uint64_t copied_before = BufferStats::BytesCopied();
   for (auto _ : state) {
     auto encoded = EncodeValueToBytes(v);
     auto decoded = DecodeValueFromBytes(*encoded, DefaultLimits(),
@@ -58,6 +97,9 @@ void BM_ComplexRectToPolar(benchmark::State& state) {
     benchmark::DoNotOptimize(decoded);
   }
   state.SetItemsProcessed(state.iterations());
+  auto& outcome = Outcomes()["complex_rect_to_polar"];
+  outcome.iterations += state.iterations();
+  outcome.bytes_copied += BufferStats::BytesCopied() - copied_before;
 }
 
 void BM_AssocMemoryHashToTree(benchmark::State& state) {
@@ -71,6 +113,7 @@ void BM_AssocMemoryHashToTree(benchmark::State& state) {
   }
   const Value v = Value::Abstract(memory);
   size_t bytes = 0;
+  const uint64_t copied_before = BufferStats::BytesCopied();
   for (auto _ : state) {
     auto encoded = EncodeValueToBytes(v);
     bytes = encoded->size();
@@ -80,6 +123,12 @@ void BM_AssocMemoryHashToTree(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * n);
   state.counters["wire_bytes"] = static_cast<double>(bytes);
+  auto& outcome =
+      Outcomes()["assoc_memory_hash_to_tree/entries:" + std::to_string(n)];
+  outcome.entries = static_cast<double>(n);
+  outcome.wire_bytes = static_cast<double>(bytes);
+  outcome.iterations += state.iterations();
+  outcome.bytes_copied += BufferStats::BytesCopied() - copied_before;
 }
 
 void BM_DocumentRoundTrip(benchmark::State& state) {
@@ -89,6 +138,7 @@ void BM_DocumentRoundTrip(benchmark::State& state) {
   std::vector<std::string> paragraphs(
       paras, "the quick brown fox jumps over the lazy dog");
   const Value v = Value::Abstract(MakeDocument("memo", paragraphs));
+  const uint64_t copied_before = BufferStats::BytesCopied();
   for (auto _ : state) {
     auto encoded = EncodeValueToBytes(v);
     auto decoded = DecodeValueFromBytes(*encoded, DefaultLimits(),
@@ -96,6 +146,11 @@ void BM_DocumentRoundTrip(benchmark::State& state) {
     benchmark::DoNotOptimize(decoded);
   }
   state.SetItemsProcessed(state.iterations());
+  auto& outcome =
+      Outcomes()["document_round_trip/paras:" + std::to_string(paras)];
+  outcome.entries = static_cast<double>(paras);
+  outcome.iterations += state.iterations();
+  outcome.bytes_copied += BufferStats::BytesCopied() - copied_before;
 }
 
 // The 24-bit system integer of Section 3.3: in-bound values encode; the
@@ -120,6 +175,59 @@ void BM_IntegerBoundCheck(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 
+// Verifies the codec copy/size budgets over the collected outcomes and
+// writes BENCH_wire_codec.json. Returns 0 on success.
+int CheckAndRecord() {
+  const auto& outcomes = Outcomes();
+  if (outcomes.empty()) {
+    return 0;  // filtered run (--benchmark_filter): nothing to check
+  }
+  BenchJson json("BENCH_wire_codec.json");
+  int failures = 0;
+  for (const auto& [name, outcome] : outcomes) {
+    json.Record(name,
+                {{"entries", outcome.entries},
+                 {"wire_bytes", outcome.wire_bytes},
+                 {"iterations", static_cast<double>(outcome.iterations)},
+                 {"bytes_copied", static_cast<double>(outcome.bytes_copied)}});
+    // Budget 1: the codec never routes payloads through a Buffer copy.
+    if (outcome.bytes_copied != 0) {
+      std::fprintf(stderr,
+                   "CODEC FAIL: %s copied %llu buffer bytes over %llu "
+                   "iterations; the codec copy budget is zero\n",
+                   name.c_str(),
+                   static_cast<unsigned long long>(outcome.bytes_copied),
+                   static_cast<unsigned long long>(outcome.iterations));
+      ++failures;
+    }
+  }
+  // Budget 2: builtin encoding is linear — per-entry wire bytes at 4096
+  // entries may exceed the 16-entry figure only by the longer decimal keys
+  // ("key-4095" vs "key-15"), never by per-entry framing that grows with
+  // collection size. A super-linear format regression lands far above the
+  // 1.25x allowance; key-length drift stays well below it.
+  const auto small = outcomes.find("builtin_round_trip/entries:16");
+  const auto large = outcomes.find("builtin_round_trip/entries:4096");
+  if (small != outcomes.end() && large != outcomes.end()) {
+    const double per_entry_small = small->second.wire_bytes / 16.0;
+    const double per_entry_large = large->second.wire_bytes / 4096.0;
+    json.Record("builtin_wire_bytes_per_entry",
+                {{"at_16", per_entry_small}, {"at_4096", per_entry_large}});
+    std::printf(
+        "CODEC: builtin wire bytes/entry %.1f at 16 entries, %.1f at 4096 "
+        "(zero buffer-layer copies across all codec benchmarks)\n",
+        per_entry_small, per_entry_large);
+    if (per_entry_large > per_entry_small * 1.25) {
+      std::fprintf(stderr,
+                   "CODEC FAIL: wire bytes/entry grew from %.1f (16 entries) "
+                   "to %.1f (4096): encoding is super-linear\n",
+                   per_entry_small, per_entry_large);
+      ++failures;
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}
+
 }  // namespace
 }  // namespace guardians
 
@@ -138,4 +246,9 @@ BENCHMARK(guardians::BM_DocumentRoundTrip)
     ->Unit(benchmark::kMicrosecond);
 BENCHMARK(guardians::BM_IntegerBoundCheck)->Unit(benchmark::kNanosecond);
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return guardians::CheckAndRecord();
+}

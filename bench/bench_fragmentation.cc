@@ -9,9 +9,28 @@
 //    fast. This is why "the delivery is not guaranteed, but will happen
 //    with high probability" degrades with message size, and why the
 //    timeout/retry machinery above it must exist.
+//
+// Self-checking (experiment WIRE): alongside the shape counters, each
+// config measures BufferStats::BytesCopied() — the source feeding the
+// buffer.bytes_copied metric — across its message burst, and
+// CheckAndRecord() asserts the zero-copy wire path beats the legacy
+// copying path by at least 30% bytes-copied-per-delivered-fragmented-
+// message, writing BENCH_wire.json. The legacy model is what the code
+// did before refcounted buffers, per delivered message:
+//   - Fragment() built each packet payload as a subrange copy of the
+//     encoded message (~message_bytes total), and
+//   - reassembly completion joined the fragments into a fresh vector
+//     (~message_bytes again),
+// i.e. >= 2x message_bytes — conservatively ignoring the duplicate
+// payload clones the old Network also paid. The new path fragments by
+// slicing one refcounted buffer and reassembles contiguous slices by
+// view, so the measured count should be near zero.
+#include <cstdio>
 #include <thread>
+#include <vector>
 
 #include "bench/bench_util.h"
+#include "src/common/buffer.h"
 
 namespace guardians {
 namespace {
@@ -40,12 +59,31 @@ class BlobSink : public Guardian {
   std::atomic<int64_t> received_{0};
 };
 
+struct FragOutcome {
+  uint64_t packet_payload = 0;
+  size_t message_bytes = 0;
+  int loss_pct = 0;
+  int64_t delivered_msgs = 0;
+  int messages_sent = 0;
+  uint64_t bytes_copied = 0;  // BufferStats delta across the burst
+  double wire_bytes_per_msg = 0;
+};
+
+std::vector<FragOutcome>& Outcomes() {
+  static std::vector<FragOutcome> outcomes;
+  return outcomes;
+}
+
 void BM_FragmentationLossAmplification(benchmark::State& state) {
   const uint64_t packet_payload = static_cast<uint64_t>(state.range(0));
   const size_t message_bytes = static_cast<size_t>(state.range(1));
   const double loss = static_cast<double>(state.range(2)) / 100.0;
   constexpr int kMessages = 200;
 
+  FragOutcome outcome;
+  outcome.packet_payload = packet_payload;
+  outcome.message_bytes = message_bytes;
+  outcome.loss_pct = static_cast<int>(state.range(2));
   double delivered_frac = 0;
   double wire_bytes_per_message = 0;
   for (auto _ : state) {
@@ -64,6 +102,7 @@ void BM_FragmentationLossAmplification(benchmark::State& state) {
     const PortName port = (*sink)->ProvidedPorts()[0];
     state.ResumeTiming();
 
+    const uint64_t copied_before = BufferStats::BytesCopied();
     for (int i = 0; i < kMessages; ++i) {
       Status st = driver->Send(
           port, "blob",
@@ -76,12 +115,16 @@ void BM_FragmentationLossAmplification(benchmark::State& state) {
     while ((*sink)->received_.load() < kMessages && !settle.Expired()) {
       std::this_thread::sleep_for(Millis(2));
     }
+    outcome.bytes_copied += BufferStats::BytesCopied() - copied_before;
+    outcome.delivered_msgs += (*sink)->received_.load();
+    outcome.messages_sent += kMessages;
     delivered_frac +=
         static_cast<double>((*sink)->received_.load()) / kMessages;
     wire_bytes_per_message +=
         static_cast<double>(world.system.network().stats().bytes_sent) /
         kMessages;
   }
+  outcome.wire_bytes_per_msg = wire_bytes_per_message / state.iterations();
   state.counters["packet_payload"] = static_cast<double>(packet_payload);
   state.counters["message_bytes"] = static_cast<double>(message_bytes);
   state.counters["loss_pct"] = static_cast<double>(state.range(2));
@@ -89,7 +132,67 @@ void BM_FragmentationLossAmplification(benchmark::State& state) {
       benchmark::Counter(delivered_frac / state.iterations());
   state.counters["wire_bytes_per_msg"] =
       benchmark::Counter(wire_bytes_per_message / state.iterations());
+  state.counters["bytes_copied"] = static_cast<double>(outcome.bytes_copied);
   state.SetItemsProcessed(state.iterations() * kMessages);
+  Outcomes().push_back(outcome);
+}
+
+// Verifies the WIRE copy-budget property over the collected outcomes and
+// writes BENCH_wire.json. Returns 0 on success.
+int CheckAndRecord() {
+  const auto& outcomes = Outcomes();
+  if (outcomes.empty()) {
+    return 0;  // filtered run (--benchmark_filter): nothing to check
+  }
+  BenchJson json("BENCH_wire.json");
+  int failures = 0;
+  for (const auto& outcome : outcomes) {
+    const bool fragmented = outcome.message_bytes > outcome.packet_payload;
+    const double delivered =
+        static_cast<double>(outcome.delivered_msgs > 0 ? outcome.delivered_msgs
+                                                       : 1);
+    const double measured_per_msg =
+        static_cast<double>(outcome.bytes_copied) / delivered;
+    // Legacy model: subrange copies at Fragment() + the completion join.
+    const double legacy_per_msg =
+        2.0 * static_cast<double>(outcome.message_bytes);
+    const double reduction = 1.0 - measured_per_msg / legacy_per_msg;
+    const std::string name =
+        "wire_copies/pkt:" + std::to_string(outcome.packet_payload) +
+        "/msg:" + std::to_string(outcome.message_bytes) +
+        "/loss_pct:" + std::to_string(outcome.loss_pct);
+    json.Record(
+        name,
+        {{"packet_payload", static_cast<double>(outcome.packet_payload)},
+         {"message_bytes", static_cast<double>(outcome.message_bytes)},
+         {"loss_pct", static_cast<double>(outcome.loss_pct)},
+         {"delivered_msgs", static_cast<double>(outcome.delivered_msgs)},
+         {"messages_sent", static_cast<double>(outcome.messages_sent)},
+         {"wire_bytes_per_msg", outcome.wire_bytes_per_msg},
+         {"bytes_copied_per_delivered_msg", measured_per_msg},
+         {"legacy_model_bytes_per_msg", legacy_per_msg},
+         {"copy_reduction", reduction}});
+    if (!fragmented || outcome.delivered_msgs == 0) {
+      continue;  // the copy budget targets delivered *fragmented* messages
+    }
+    std::printf(
+        "WIRE: pkt=%llu msg=%zu loss=%d%%: %.0f bytes copied per delivered "
+        "message vs %.0f legacy model (%.0f%% reduction)\n",
+        static_cast<unsigned long long>(outcome.packet_payload),
+        outcome.message_bytes, outcome.loss_pct, measured_per_msg,
+        legacy_per_msg, 100.0 * reduction);
+    if (reduction < 0.30) {
+      std::fprintf(stderr,
+                   "WIRE FAIL: pkt=%llu msg=%zu loss=%d%%: copy reduction "
+                   "%.0f%% < 30%% floor (%.0f bytes/msg measured, %.0f "
+                   "legacy)\n",
+                   static_cast<unsigned long long>(outcome.packet_payload),
+                   outcome.message_bytes, outcome.loss_pct, 100.0 * reduction,
+                   measured_per_msg, legacy_per_msg);
+      ++failures;
+    }
+  }
+  return failures == 0 ? 0 : 1;
 }
 
 }  // namespace
@@ -112,4 +215,9 @@ BENCHMARK(guardians::BM_FragmentationLossAmplification)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return guardians::CheckAndRecord();
+}

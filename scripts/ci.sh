@@ -14,7 +14,12 @@
 # build tree; bench_batching verifies the batched-drain acceptance
 # criteria (>= 1.4x delivered-messages/sec at batch_max 64 vs 1 on 4
 # shards, outcome counts bit-identical across batch sizes) and leaves
-# BENCH_batching.json. Both tracked cross-PR. Skippable with
+# BENCH_batching.json; bench_fragmentation verifies the zero-copy wire
+# path (>= 30% reduction in bytes copied per delivered fragmented message
+# vs the legacy copying model, via BufferStats/buffer.bytes_copied) and
+# leaves BENCH_wire.json; bench_encode_decode verifies the codec copy
+# budget (zero buffer-layer copies per round trip, linear wire size) and
+# leaves BENCH_wire_codec.json. All tracked cross-PR. Skippable with
 # --skip-bench.
 #
 # Usage: scripts/ci.sh [--skip-tsan] [--skip-bench] [--asan]
@@ -50,6 +55,12 @@ else
 
   echo "==> bench: self-checking benches (bench_batching)"
   (cd build && ./bench/bench_batching)
+
+  echo "==> bench: self-checking benches (bench_fragmentation)"
+  (cd build && ./bench/bench_fragmentation)
+
+  echo "==> bench: self-checking benches (bench_encode_decode)"
+  (cd build && ./bench/bench_encode_decode)
 fi
 
 if [[ "$SKIP_TSAN" -eq 1 ]]; then

@@ -1,0 +1,136 @@
+#include "src/common/buffer.h"
+
+#include <atomic>
+#include <cstring>
+#include <ostream>
+
+namespace guardians {
+
+namespace {
+std::atomic<uint64_t> g_bytes_copied{0};
+std::atomic<uint64_t> g_allocs{0};
+}  // namespace
+
+uint64_t BufferStats::BytesCopied() {
+  return g_bytes_copied.load(std::memory_order_relaxed);
+}
+
+uint64_t BufferStats::Allocs() {
+  return g_allocs.load(std::memory_order_relaxed);
+}
+
+void BufferStats::CountCopy(size_t bytes) {
+  g_bytes_copied.fetch_add(bytes, std::memory_order_relaxed);
+}
+
+void BufferStats::CountAlloc() {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+}
+
+Buffer Buffer::Adopt(Bytes bytes) {
+  Buffer b;
+  b.storage_ = std::make_shared<Bytes>(std::move(bytes));
+  BufferStats::CountAlloc();
+  return b;
+}
+
+Buffer Buffer::CopyOf(ConstByteSpan bytes) {
+  Buffer b = Adopt(Bytes(bytes.begin(), bytes.end()));
+  BufferStats::CountCopy(bytes.size());
+  return b;
+}
+
+BufferSlice::BufferSlice(Bytes&& bytes)
+    : buffer_(Buffer::Adopt(std::move(bytes))) {
+  length_ = buffer_.size();
+}
+
+BufferSlice::BufferSlice(const Bytes& bytes)
+    : buffer_(Buffer::CopyOf(bytes)) {
+  length_ = buffer_.size();
+}
+
+BufferSlice::BufferSlice(Buffer buffer)
+    : buffer_(std::move(buffer)), offset_(0), length_(buffer_.size()) {}
+
+BufferSlice::BufferSlice(Buffer buffer, size_t offset, size_t length)
+    : buffer_(std::move(buffer)) {
+  const size_t size = buffer_.size();
+  offset_ = offset < size ? offset : size;
+  length_ = length < size - offset_ ? length : size - offset_;
+}
+
+BufferSlice BufferSlice::CopyOf(ConstByteSpan bytes) {
+  return BufferSlice(Buffer::CopyOf(bytes));
+}
+
+BufferSlice BufferSlice::Sub(size_t offset, size_t length) const {
+  const size_t off = offset < length_ ? offset : length_;
+  const size_t len = length < length_ - off ? length : length_ - off;
+  return BufferSlice(buffer_, offset_ + off, len);
+}
+
+Bytes BufferSlice::ToBytes() const {
+  BufferStats::CountCopy(length_);
+  return Bytes(data(), data() + length_);
+}
+
+uint8_t* BufferSlice::MutableData() {
+  if (buffer_.unique() && offset_ == 0 && length_ == buffer_.size()) {
+    // Sole reference to the whole buffer: no one can observe the write.
+    return buffer_.storage_->data();
+  }
+  // COW: this slice's bytes move into a private buffer; every other view
+  // of the old storage is untouched.
+  Buffer fresh = Buffer::CopyOf(span());
+  buffer_ = std::move(fresh);
+  offset_ = 0;
+  return buffer_.storage_->data();
+}
+
+BufferSlice GatherSlices(const std::vector<BufferSlice>& parts,
+                         size_t total_bytes) {
+  if (parts.empty()) {
+    return BufferSlice();
+  }
+  // Zero-copy fast path: adjacent views of one buffer (the common case —
+  // every fragment of a message is a slice of its one encode buffer, and
+  // delivery preserved them all).
+  bool contiguous = parts[0].buffer().id() != nullptr;
+  size_t expect = parts[0].offset();
+  for (const BufferSlice& part : parts) {
+    if (!contiguous || !part.SharesBufferWith(parts[0]) ||
+        part.offset() != expect) {
+      contiguous = false;
+      break;
+    }
+    expect = part.offset() + part.size();
+  }
+  if (contiguous) {
+    return BufferSlice(parts[0].buffer(), parts[0].offset(), total_bytes);
+  }
+  Bytes joined;
+  joined.reserve(total_bytes);
+  for (const BufferSlice& part : parts) {
+    joined.insert(joined.end(), part.data(), part.data() + part.size());
+  }
+  BufferStats::CountCopy(joined.size());
+  return BufferSlice(std::move(joined));
+}
+
+bool operator==(const BufferSlice& a, const BufferSlice& b) {
+  return a.size() == b.size() &&
+         (a.size() == 0 || std::memcmp(a.data(), b.data(), a.size()) == 0);
+}
+
+bool operator==(const BufferSlice& a, ConstByteSpan b) {
+  return a.size() == b.size() &&
+         (a.size() == 0 || std::memcmp(a.data(), b.data(), a.size()) == 0);
+}
+
+void PrintTo(const BufferSlice& slice, std::ostream* os) {
+  *os << "BufferSlice{" << slice.size() << " bytes: "
+      << HexDump(slice.span()) << "}";
+}
+
+}  // namespace guardians

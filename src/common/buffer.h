@@ -1,0 +1,138 @@
+// Refcounted immutable byte buffers and cheap slice views — the zero-copy
+// substrate of the wire path (DESIGN.md §13).
+//
+// A message is encoded exactly once into one contiguous Buffer; every
+// fragment, duplicate and reassembly partial downstream is a BufferSlice
+// (shared buffer + offset/length) whose copy constructor is a refcount
+// bump. The only mutation escape hatch is MutableData(), which performs a
+// copy-on-write of just the slice when the underlying storage is shared —
+// so corrupting one fragment can never bleed into a twin duplicate or a
+// sibling fragment of the same message.
+//
+// Copy/alloc accounting: every byte-materializing operation (CopyOf,
+// ToBytes, COW, gather) bumps process-global relaxed counters readable via
+// BufferStats. common cannot depend on obs, so System bridges the globals
+// into the metrics registry as `buffer.bytes_copied` / `buffer.allocs`.
+#ifndef GUARDIANS_SRC_COMMON_BUFFER_H_
+#define GUARDIANS_SRC_COMMON_BUFFER_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <vector>
+
+#include "src/common/bytes.h"
+
+namespace guardians {
+
+// Process-global copy/alloc accounting, relaxed atomics (hot-path safe).
+struct BufferStats {
+  // Bytes materialized into fresh storage (explicit copies, COW, gathers).
+  static uint64_t BytesCopied();
+  // Buffer storage blocks created (adoptions count too: one per encode).
+  static uint64_t Allocs();
+  static void CountCopy(size_t bytes);
+  static void CountAlloc();
+};
+
+// An immutable, refcounted byte array. Copying a Buffer shares storage.
+class Buffer {
+ public:
+  Buffer() = default;
+
+  // Takes over the vector's storage — no byte copy (the encoder's output
+  // becomes the message buffer directly).
+  static Buffer Adopt(Bytes bytes);
+  // Explicit copy of a byte range into fresh storage (counted).
+  static Buffer CopyOf(ConstByteSpan bytes);
+
+  const uint8_t* data() const {
+    return storage_ != nullptr ? storage_->data() : nullptr;
+  }
+  size_t size() const { return storage_ != nullptr ? storage_->size() : 0; }
+  bool empty() const { return size() == 0; }
+
+  // True when this handle is the only reference to the storage. Only
+  // meaningful when the caller owns the sole externally-reachable handle
+  // (the standard COW caveat).
+  bool unique() const { return storage_ != nullptr && storage_.use_count() == 1; }
+  // Identity of the underlying storage; null for the empty buffer.
+  const void* id() const { return storage_.get(); }
+
+ private:
+  friend class BufferSlice;
+  std::shared_ptr<Bytes> storage_;  // never written after construction,
+                                    // except via BufferSlice's COW hatch
+};
+
+// A view of [offset, offset+length) of a shared Buffer. Copies are
+// refcount bumps; the bytes themselves are immutable through this type
+// except via the explicit MutableData() copy-on-write hatch.
+class BufferSlice {
+ public:
+  BufferSlice() = default;
+
+  // Adopts the vector's storage — zero-copy (the common construction: an
+  // encoder's Take()n output becomes the message slice).
+  /*implicit*/ BufferSlice(Bytes&& bytes);
+  // Explicit copying construction from an lvalue (counted).
+  explicit BufferSlice(const Bytes& bytes);
+  explicit BufferSlice(Buffer buffer);
+  BufferSlice(Buffer buffer, size_t offset, size_t length);
+
+  // Explicit copy of an arbitrary byte range (counted).
+  static BufferSlice CopyOf(ConstByteSpan bytes);
+
+  const uint8_t* data() const { return buffer_.data() + offset_; }
+  size_t size() const { return length_; }
+  bool empty() const { return length_ == 0; }
+  uint8_t operator[](size_t i) const { return data()[i]; }
+  ConstByteSpan span() const { return ConstByteSpan(data(), length_); }
+  /*implicit*/ operator ConstByteSpan() const { return span(); }
+
+  // A sub-view sharing the same buffer (no copy). Bounds-clamped.
+  BufferSlice Sub(size_t offset, size_t length) const;
+
+  // Materialize an owning copy of the viewed bytes (counted).
+  Bytes ToBytes() const;
+
+  // The copy-on-write escape hatch. Returns writable storage for exactly
+  // this slice's bytes: in place when this slice is the sole reference to
+  // its whole buffer, otherwise the slice is first copied into a fresh
+  // buffer of its own (counted) — shared-storage siblings are never
+  // affected. Requires external synchronization, like any non-const op.
+  uint8_t* MutableData();
+
+  // Storage identity, for sharing assertions in tests and for the
+  // contiguity fast path in reassembly.
+  const Buffer& buffer() const { return buffer_; }
+  size_t offset() const { return offset_; }
+  bool SharesBufferWith(const BufferSlice& other) const {
+    return buffer_.id() != nullptr && buffer_.id() == other.buffer_.id();
+  }
+
+ private:
+  Buffer buffer_;
+  size_t offset_ = 0;
+  size_t length_ = 0;
+};
+
+// Join slices into one contiguous slice with at most one copy: when the
+// parts are adjacent views of a single buffer (fragments of one encoded
+// message arriving intact), the result is a zero-copy view spanning them;
+// otherwise one pre-sized gather into fresh storage (counted).
+BufferSlice GatherSlices(const std::vector<BufferSlice>& parts,
+                         size_t total_bytes);
+
+bool operator==(const BufferSlice& a, const BufferSlice& b);
+bool operator==(const BufferSlice& a, ConstByteSpan b);
+inline bool operator==(ConstByteSpan a, const BufferSlice& b) {
+  return b == a;
+}
+
+// gtest-friendly printing (hex dump, capped).
+void PrintTo(const BufferSlice& slice, std::ostream* os);
+
+}  // namespace guardians
+
+#endif  // GUARDIANS_SRC_COMMON_BUFFER_H_

@@ -4,7 +4,7 @@
 
 namespace guardians {
 
-std::string HexDump(const Bytes& bytes, size_t max_bytes) {
+std::string HexDump(ConstByteSpan bytes, size_t max_bytes) {
   std::string out;
   const size_t n = bytes.size() < max_bytes ? bytes.size() : max_bytes;
   char buf[4];
@@ -30,7 +30,5 @@ uint64_t Fnv1a64(const void* data, size_t size) {
   }
   return h;
 }
-
-uint64_t Fnv1a64(const std::string& s) { return Fnv1a64(s.data(), s.size()); }
 
 }  // namespace guardians

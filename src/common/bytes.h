@@ -1,30 +1,48 @@
 // Byte-buffer helpers shared by the wire format and stable storage.
+//
+// All read-only helpers take non-owning views (std::span / std::string_view)
+// so callers never materialize an owning vector or string just to hash,
+// print, or compare bytes they already hold.
 #ifndef GUARDIANS_SRC_COMMON_BYTES_H_
 #define GUARDIANS_SRC_COMMON_BYTES_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace guardians {
 
 using Bytes = std::vector<uint8_t>;
 
-inline Bytes ToBytes(const std::string& s) {
+// Non-owning read-only view of a byte range. Bytes converts implicitly.
+using ConstByteSpan = std::span<const uint8_t>;
+
+inline ConstByteSpan AsByteSpan(std::string_view s) {
+  return ConstByteSpan(reinterpret_cast<const uint8_t*>(s.data()), s.size());
+}
+
+// Owning conversions; both copy exactly once, at the caller's request.
+inline Bytes ToBytes(std::string_view s) {
   return Bytes(s.begin(), s.end());
 }
 
-inline std::string ToString(const Bytes& b) {
+inline std::string ToString(ConstByteSpan b) {
   return std::string(b.begin(), b.end());
 }
 
-// Short hex dump for logs: "4a6f 6521" style, capped.
-std::string HexDump(const Bytes& bytes, size_t max_bytes = 32);
+// Short hex dump for logs: "4a6f 6521" style, capped. View-based: a packet
+// payload slice can be dumped without materializing an owning vector.
+std::string HexDump(ConstByteSpan bytes, size_t max_bytes = 32);
 
 // FNV-1a 64-bit hash, used for port-type hashes (the analog of the compiled
 // guardian-header library key) and for deterministic ids.
 uint64_t Fnv1a64(const void* data, size_t size);
-uint64_t Fnv1a64(const std::string& s);
+inline uint64_t Fnv1a64(std::string_view s) {
+  return Fnv1a64(s.data(), s.size());
+}
+inline uint64_t Fnv1a64(ConstByteSpan b) { return Fnv1a64(b.data(), b.size()); }
 
 }  // namespace guardians
 

@@ -721,7 +721,9 @@ void NodeRuntime::DeliverBatch(std::vector<Packet>&& batch) {
   // attribution. Completed messages come out in packet order. The age and
   // incarnation sweeps run inside Add; their counters are mirrored into
   // the metrics registry by delta while the lock is still held.
-  std::vector<Bytes> completed;
+  // Completed messages are slices sharing their sender's encode buffer —
+  // reassembly completion was at most one gather, usually none.
+  std::vector<BufferSlice> completed;
   std::vector<uint64_t> completed_traces;
   {
     std::lock_guard<std::mutex> lock(reassembler_mu_);
@@ -739,7 +741,7 @@ void NodeRuntime::DeliverBatch(std::vector<Packet>&& batch) {
         ++stats_.discarded_corrupt;
         continue;
       }
-      std::optional<Bytes> message = added.take();
+      std::optional<BufferSlice> message = added.take();
       if (message.has_value()) {
         completed.push_back(std::move(*message));
         completed_traces.push_back(trace_id);

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "src/common/buffer.h"
+
 namespace guardians {
 
 System::System(SystemConfig config)
@@ -76,7 +78,23 @@ bool System::NodeQuarantined(NodeId id) {
   return oracle && oracle(id);
 }
 
+void System::SyncBufferStats() {
+  std::lock_guard<std::mutex> lock(buffer_sync_mu_);
+  const uint64_t copied = BufferStats::BytesCopied();
+  const uint64_t allocs = BufferStats::Allocs();
+  if (copied > buffer_copied_synced_) {
+    metrics_.counter("buffer.bytes_copied")->Inc(copied -
+                                                 buffer_copied_synced_);
+    buffer_copied_synced_ = copied;
+  }
+  if (allocs > buffer_allocs_synced_) {
+    metrics_.counter("buffer.allocs")->Inc(allocs - buffer_allocs_synced_);
+    buffer_allocs_synced_ = allocs;
+  }
+}
+
 std::string System::Report() {
+  SyncBufferStats();
   std::string out = "=== system report ===\n";
   std::vector<NodeRuntime*> nodes;
   {

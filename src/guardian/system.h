@@ -87,6 +87,13 @@ class System {
   // trace-buffer occupancy. What the benches and demos print.
   std::string Report();
 
+  // Mirror the process-global BufferStats copy/alloc counters into the
+  // registry as `buffer.bytes_copied` / `buffer.allocs`. Delta-based: the
+  // globals are process-wide (common cannot depend on obs), so each call
+  // publishes only what accrued since this System's last sync. Called by
+  // Report(); callable directly when scraping counters between reports.
+  void SyncBufferStats();
+
  private:
   SystemConfig config_;
   Rng rng_;
@@ -102,6 +109,11 @@ class System {
   std::vector<std::unique_ptr<NodeRuntime>> nodes_;
   std::mutex oracle_mu_;
   HealthOracle quarantined_;
+  // BufferStats values already published to the registry (guarded by
+  // buffer_sync_mu_, so concurrent syncs never double-count a delta).
+  std::mutex buffer_sync_mu_;
+  uint64_t buffer_copied_synced_ = 0;
+  uint64_t buffer_allocs_synced_ = 0;
 };
 
 }  // namespace guardians

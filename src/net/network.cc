@@ -178,8 +178,14 @@ void Network::Send(Packet packet) {
     if (!packet.payload.empty() && rng_.NextBool(link.corrupt_prob)) {
       // Flip one byte; the error-detection bits will reject the packet at
       // the receiving node (it keeps its stale CRC on purpose).
+      // MutableData copy-on-writes this one fragment's view, so sibling
+      // fragments and any duplicate injected below share storage with each
+      // other but never see the flipped byte... unless the duplicate is
+      // cloned *from* the corrupted packet, which is exactly the old
+      // deep-copy behavior: corruption-then-dup yields two bad twins.
       const size_t at = rng_.NextBelow(packet.payload.size());
-      packet.payload[at] ^= static_cast<uint8_t>(1 + rng_.NextBelow(255));
+      packet.payload.MutableData()[at] ^=
+          static_cast<uint8_t>(1 + rng_.NextBelow(255));
       ++stats_.packets_corrupted;
       if (link_counters != nullptr) {
         link_counters->corrupted->Inc();
@@ -234,7 +240,8 @@ void Network::Send(Packet packet) {
       copy.sent_at = entry.sent_at;
       copy.deliver_at = entry.sent_at + Micros(roll_delay());
       copy.seq = seq_++;
-      copy.packet = packet;  // the original still owns `packet` below
+      copy.packet = packet;  // payload is a shared view: the twin costs a
+                             // refcount bump, not a byte clone
       duplicate.emplace(std::move(copy));
     }
     entry.packet = std::move(packet);

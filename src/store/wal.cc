@@ -41,12 +41,14 @@ Wal::Wal(StableStore* store, std::string name)
 
 Status Wal::Append(const Bytes& payload) {
   crash_append_before.Hit();
+  // One pre-sized frame: header and payload go into a single buffer
+  // instead of encoding the header and then splicing the payload after it.
   WireEncoder enc;
+  enc.Reserve(8 + payload.size());
   enc.PutU32(static_cast<uint32_t>(payload.size()));
   enc.PutU32(Crc32(payload));
-  Bytes frame = enc.Take();
-  frame.insert(frame.end(), payload.begin(), payload.end());
-  GUARDIANS_RETURN_IF_ERROR(store_->Append(LogStream(), frame));
+  enc.PutBytes(payload);
+  GUARDIANS_RETURN_IF_ERROR(store_->Append(LogStream(), enc.Take()));
   crash_append_after.Hit();
   appended_.fetch_add(1);
   return OkStatus();
@@ -124,9 +126,9 @@ Result<WalRecovery> Wal::Recover() {
       out.torn_tail = true;  // incomplete payload at the tail
       break;
     }
-    Bytes payload(raw.begin() + static_cast<long>(pos + 8),
-                  raw.begin() + static_cast<long>(pos + 8 + len));
-    if (Crc32(payload) != crc) {
+    // Verify in place; only frames that pass their CRC are materialized.
+    const ConstByteSpan body(raw.data() + pos + 8, len);
+    if (Crc32(body) != crc) {
       if (pos + 8 + len == raw.size()) {
         out.torn_tail = true;  // garbage only in the final frame
         break;
@@ -134,7 +136,7 @@ Result<WalRecovery> Wal::Recover() {
       return Status(Code::kLogCorrupt,
                     "log '" + name_ + "' has a bad frame mid-stream");
     }
-    out.records.push_back(std::move(payload));
+    out.records.emplace_back(body.begin(), body.end());
     pos += 8 + len;
   }
   return out;

@@ -36,18 +36,22 @@ void WireEncoder::PutDouble(double v) {
   PutU64(bits);
 }
 
-void WireEncoder::PutString(const std::string& s) {
+void WireEncoder::PutBytes(ConstByteSpan b) {
+  out_.insert(out_.end(), b.begin(), b.end());
+}
+
+void WireEncoder::PutString(std::string_view s) {
   PutVarU64(s.size());
   out_.insert(out_.end(), s.begin(), s.end());
 }
 
-void WireEncoder::PutBlob(const Bytes& b) {
+void WireEncoder::PutBlob(ConstByteSpan b) {
   PutVarU64(b.size());
-  out_.insert(out_.end(), b.begin(), b.end());
+  PutBytes(b);
 }
 
 Status WireDecoder::Need(size_t n) {
-  if (in_.size() - pos_ < n) {
+  if (size_ - pos_ < n) {
     return Status(Code::kCorrupt, "truncated wire data");
   }
   return OkStatus();
@@ -55,14 +59,14 @@ Status WireDecoder::Need(size_t n) {
 
 Result<uint8_t> WireDecoder::GetU8() {
   GUARDIANS_RETURN_IF_ERROR(Need(1));
-  return in_[pos_++];
+  return data_[pos_++];
 }
 
 Result<uint32_t> WireDecoder::GetU32() {
   GUARDIANS_RETURN_IF_ERROR(Need(4));
   uint32_t v = 0;
   for (int i = 0; i < 4; ++i) {
-    v |= static_cast<uint32_t>(in_[pos_ + i]) << (8 * i);
+    v |= static_cast<uint32_t>(data_[pos_ + i]) << (8 * i);
   }
   pos_ += 4;
   return v;
@@ -72,7 +76,7 @@ Result<uint64_t> WireDecoder::GetU64() {
   GUARDIANS_RETURN_IF_ERROR(Need(8));
   uint64_t v = 0;
   for (int i = 0; i < 8; ++i) {
-    v |= static_cast<uint64_t>(in_[pos_ + i]) << (8 * i);
+    v |= static_cast<uint64_t>(data_[pos_ + i]) << (8 * i);
   }
   pos_ += 8;
   return v;
@@ -83,7 +87,7 @@ Result<uint64_t> WireDecoder::GetVarU64() {
   int shift = 0;
   for (;;) {
     GUARDIANS_RETURN_IF_ERROR(Need(1));
-    const uint8_t byte = in_[pos_++];
+    const uint8_t byte = data_[pos_++];
     if (shift >= 64 || (shift == 63 && (byte & 0x7E) != 0)) {
       return Status(Code::kCorrupt, "varint overflow");
     }
@@ -113,8 +117,7 @@ Result<std::string> WireDecoder::GetString(uint64_t max_len) {
     return Status(Code::kCorrupt, "string length exceeds limit");
   }
   GUARDIANS_RETURN_IF_ERROR(Need(len));
-  std::string s(in_.begin() + static_cast<long>(pos_),
-                in_.begin() + static_cast<long>(pos_ + len));
+  std::string s(reinterpret_cast<const char*>(data_ + pos_), len);
   pos_ += len;
   return s;
 }
@@ -125,8 +128,7 @@ Result<Bytes> WireDecoder::GetBlob(uint64_t max_len) {
     return Status(Code::kCorrupt, "blob length exceeds limit");
   }
   GUARDIANS_RETURN_IF_ERROR(Need(len));
-  Bytes b(in_.begin() + static_cast<long>(pos_),
-          in_.begin() + static_cast<long>(pos_ + len));
+  Bytes b(data_ + pos_, data_ + pos_ + len);
   pos_ += len;
   return b;
 }

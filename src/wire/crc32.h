@@ -12,7 +12,7 @@
 namespace guardians {
 
 uint32_t Crc32(const void* data, size_t size);
-inline uint32_t Crc32(const Bytes& bytes) {
+inline uint32_t Crc32(ConstByteSpan bytes) {
   return Crc32(bytes.data(), bytes.size());
 }
 

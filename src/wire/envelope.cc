@@ -27,6 +27,10 @@ std::string Envelope::ToString() const {
 
 Result<Bytes> EncodeEnvelope(const Envelope& env, const WireLimits& limits) {
   WireEncoder enc;
+  // Fixed header fields total ~154 bytes (magic + ids + four 24-byte port
+  // names + flow feedback); reserve them plus the command up front so the
+  // header encodes with zero reallocations.
+  enc.Reserve(160 + env.command.size());
   enc.PutU8(kEnvelopeMagic);
   enc.PutU64(env.msg_id);
   enc.PutU64(env.trace_id);
@@ -77,14 +81,14 @@ Result<Envelope> DecodeHeaderInto(WireDecoder& dec) {
 }
 }  // namespace
 
-Result<Envelope> DecodeEnvelopeHeader(const Bytes& bytes,
+Result<Envelope> DecodeEnvelopeHeader(ConstByteSpan bytes,
                                       const WireLimits& limits) {
   (void)limits;
   WireDecoder dec(bytes);
   return DecodeHeaderInto(dec);
 }
 
-Result<Envelope> DecodeEnvelope(const Bytes& bytes, const WireLimits& limits,
+Result<Envelope> DecodeEnvelope(ConstByteSpan bytes, const WireLimits& limits,
                                 const AbstractDecodeFn& decode_abstract) {
   WireDecoder dec(bytes);
   GUARDIANS_ASSIGN_OR_RETURN(Envelope env, DecodeHeaderInto(dec));

@@ -54,17 +54,21 @@ struct Envelope {
 };
 
 // Serialize an envelope (including encode of abstract argument values).
+// This is the wire path's single materialization point: the envelope is
+// encoded exactly once into one contiguous byte vector, which the sender
+// adopts as the message's shared buffer (everything downstream is views).
 Result<Bytes> EncodeEnvelope(const Envelope& env, const WireLimits& limits);
 
 // Deserialize; decode_abstract rebuilds abstract values with the receiving
-// node's representations.
-Result<Envelope> DecodeEnvelope(const Bytes& bytes, const WireLimits& limits,
+// node's representations. Takes a non-owning view: Bytes and BufferSlice
+// callers both decode in place, no owning copy.
+Result<Envelope> DecodeEnvelope(ConstByteSpan bytes, const WireLimits& limits,
                                 const AbstractDecodeFn& decode_abstract);
 
 // Deserialize the header only (args left empty). Used by the receiving node
 // to recover the replyto port when full decoding fails, so the system can
 // still send a failure(...) message to it.
-Result<Envelope> DecodeEnvelopeHeader(const Bytes& bytes,
+Result<Envelope> DecodeEnvelopeHeader(ConstByteSpan bytes,
                                       const WireLimits& limits);
 
 }  // namespace guardians

@@ -1,7 +1,5 @@
 #include "src/wire/packet.h"
 
-#include <algorithm>
-
 #include "src/wire/crc32.h"
 
 namespace guardians {
@@ -10,7 +8,7 @@ void Packet::Seal() { crc = Crc32(payload); }
 
 bool Packet::Verify() const { return crc == Crc32(payload); }
 
-std::vector<Packet> Fragment(Bytes message, uint64_t msg_id, NodeId src,
+std::vector<Packet> Fragment(BufferSlice message, uint64_t msg_id, NodeId src,
                              NodeId dst, uint64_t max_payload,
                              uint64_t trace_id, uint64_t src_session) {
   std::vector<Packet> packets;
@@ -32,10 +30,9 @@ std::vector<Packet> Fragment(Bytes message, uint64_t msg_id, NodeId src,
     if (count == 1) {
       p.payload = std::move(message);
     } else {
+      // A sub-view of the one encode buffer: all fragments share storage.
       const size_t begin = static_cast<size_t>(i) * max_payload;
-      const size_t end = std::min(message.size(), begin + max_payload);
-      p.payload.assign(message.begin() + static_cast<long>(begin),
-                       message.begin() + static_cast<long>(end));
+      p.payload = message.Sub(begin, max_payload);
     }
     p.Seal();
     packets.push_back(std::move(p));
@@ -43,7 +40,7 @@ std::vector<Packet> Fragment(Bytes message, uint64_t msg_id, NodeId src,
   return packets;
 }
 
-Result<std::optional<Bytes>> Reassembler::Add(Packet&& packet) {
+Result<std::optional<BufferSlice>> Reassembler::Add(Packet&& packet) {
   const TimePoint now = Now();
   if (expiry_.count() > 0 && now - last_sweep_ >= expiry_ / 4) {
     ExpireStale(now);
@@ -71,7 +68,8 @@ Result<std::optional<Bytes>> Reassembler::Add(Packet&& packet) {
     return Status(Code::kCorrupt, "inconsistent fragment header");
   }
   if (packet.frag_count == 1) {
-    return std::optional<Bytes>(std::move(packet.payload));
+    // Unfragmented: the payload slice passes straight through, zero-copy.
+    return std::optional<BufferSlice>(std::move(packet.payload));
   }
 
   auto it = partial_.find(key);
@@ -99,15 +97,13 @@ Result<std::optional<Bytes>> Reassembler::Add(Packet&& packet) {
     ++part.received;
   }
   if (part.received < packet.frag_count) {
-    return std::optional<Bytes>(std::nullopt);
+    return std::optional<BufferSlice>(std::nullopt);
   }
-  Bytes message;
-  message.reserve(part.total_bytes);
-  for (const auto& frag : part.frags) {
-    message.insert(message.end(), frag.begin(), frag.end());
-  }
+  // At most one gather: when every fragment is still an adjacent view of
+  // the sender's encode buffer this is a zero-copy spanning slice.
+  BufferSlice message = GatherSlices(part.frags, part.total_bytes);
   partial_.erase(it);
-  return std::optional<Bytes>(std::move(message));
+  return std::optional<BufferSlice>(std::move(message));
 }
 
 void Reassembler::EvictOldestIfNeeded() {

@@ -16,6 +16,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/buffer.h"
 #include "src/common/bytes.h"
 #include "src/common/clock.h"
 #include "src/common/result.h"
@@ -37,7 +38,12 @@ struct Packet {
   NodeId dst = 0;
   uint32_t frag_index = 0;
   uint32_t frag_count = 1;
-  Bytes payload;
+  // A view into the message's single encode buffer: copying a Packet (for
+  // duplicate injection) bumps a refcount instead of cloning the bytes.
+  // Mutation (test corruption, fault injection) must go through
+  // payload.MutableData(), whose copy-on-write keeps shared-buffer twins
+  // and sibling fragments intact.
+  BufferSlice payload;
   uint32_t crc = 0;  // CRC over payload; the error detection bits
 
   // Recompute and store the CRC (after constructing / corrupting payload).
@@ -50,10 +56,11 @@ struct Packet {
 
 // Split an encoded message into CRC-sealed packets of at most
 // `max_payload` bytes each. Every fragment carries the message's trace id
-// and the sender's incarnation session. Takes the message by value: a
-// single-fragment message (the common case) moves the bytes straight into
-// the packet instead of copying them.
-std::vector<Packet> Fragment(Bytes message, uint64_t msg_id, NodeId src,
+// and the sender's incarnation session. Fragment payloads are sub-views of
+// the message slice — no payload bytes are copied, regardless of fragment
+// count. (Bytes rvalues convert implicitly: `Fragment(enc.Take(), ...)`
+// adopts the encoder's storage as the shared message buffer.)
+std::vector<Packet> Fragment(BufferSlice message, uint64_t msg_id, NodeId src,
                              NodeId dst, uint64_t max_payload,
                              uint64_t trace_id = 0, uint64_t src_session = 0);
 
@@ -72,9 +79,13 @@ class Reassembler {
                        Micros expiry = kDefaultExpiry)
       : max_partial_(max_partial), expiry_(expiry) {}
 
-  // Feed one packet (consumed: its payload is moved into the partial).
-  // Returns:
-  //  - the full message bytes when this packet completed a message,
+  // Feed one packet (consumed: its payload slice is moved into the
+  // partial). Returns:
+  //  - the full message as one contiguous slice when this packet completed
+  //    a message. When every fragment is an adjacent view of the sender's
+  //    single encode buffer (no corruption-COW along the way), completion
+  //    is a zero-copy spanning view; otherwise one pre-sized gather. An
+  //    unfragmented message passes its slice straight through.
   //  - std::nullopt when more packets are needed,
   //  - kCorrupt when the packet fails its CRC or is inconsistent (dropped;
   //    any partial state for that message is discarded).
@@ -84,7 +95,7 @@ class Reassembler {
   // its previous incarnation. The first packet carrying a *new* session
   // for a source drops that source's surviving partials outright — they
   // belong to a dead incarnation and can never complete legitimately.
-  Result<std::optional<Bytes>> Add(Packet&& packet);
+  Result<std::optional<BufferSlice>> Add(Packet&& packet);
 
   size_t partial_count() const { return partial_.size(); }
   uint64_t corrupt_dropped() const { return corrupt_dropped_; }
@@ -112,12 +123,14 @@ class Reassembler {
   };
 
   struct Partial {
-    std::vector<Bytes> frags;
+    // Slices share the sender's encode buffer; storing them costs refcount
+    // bumps, not byte copies.
+    std::vector<BufferSlice> frags;
     // Explicit received-flags: an empty payload is a valid fragment body,
     // so emptiness cannot double as "not yet seen".
     std::vector<uint8_t> have;
     uint32_t received = 0;
-    size_t total_bytes = 0;  // pre-sizes the join on completion
+    size_t total_bytes = 0;  // pre-sizes the gather on completion
     uint64_t first_seen_seq = 0;
     TimePoint last_update{};  // refreshed per accepted fragment: a partial
                               // still making progress is not stale

@@ -26,12 +26,16 @@ Status EncodeValueDepth(const Value& v, const WireLimits& limits,
       if (v.string_value().size() > limits.max_blob_bytes) {
         return Status(Code::kEncodeError, "string exceeds system blob bound");
       }
+      // Pre-size for the length prefix + body: one growth step instead of
+      // doubling through a large payload.
+      enc.Reserve(10 + v.string_value().size());
       enc.PutString(v.string_value());
       return OkStatus();
     case TypeTag::kBytes:
       if (v.bytes_value().size() > limits.max_blob_bytes) {
         return Status(Code::kEncodeError, "bytes exceed system blob bound");
       }
+      enc.Reserve(10 + v.bytes_value().size());
       enc.PutBlob(v.bytes_value());
       return OkStatus();
     case TypeTag::kArray: {
@@ -189,7 +193,7 @@ Result<Bytes> EncodeValueToBytes(const Value& v, const WireLimits& limits) {
   return enc.Take();
 }
 
-Result<Value> DecodeValueFromBytes(const Bytes& bytes,
+Result<Value> DecodeValueFromBytes(ConstByteSpan bytes,
                                    const WireLimits& limits,
                                    const AbstractDecodeFn& decode_abstract) {
   WireDecoder dec(bytes);

@@ -40,7 +40,7 @@ Result<Value> DecodeValue(WireDecoder& dec, const WireLimits& limits,
 Result<Bytes> EncodeValueToBytes(const Value& v,
                                  const WireLimits& limits = DefaultLimits());
 Result<Value> DecodeValueFromBytes(
-    const Bytes& bytes, const WireLimits& limits = DefaultLimits(),
+    ConstByteSpan bytes, const WireLimits& limits = DefaultLimits(),
     const AbstractDecodeFn& decode_abstract = nullptr);
 
 // Port names and tokens appear both inside values and in message headers.

@@ -207,7 +207,7 @@ TEST(RngTest, ForkedStreamsDiffer) {
 // --- bytes / workload utilities ------------------------------------------------
 
 TEST(BytesTest, HexDumpAndHash) {
-  EXPECT_EQ(HexDump({0x4a, 0x6f, 0x65, 0x21}), "4a6f 6521");
+  EXPECT_EQ(HexDump(Bytes{0x4a, 0x6f, 0x65, 0x21}), "4a6f 6521");
   EXPECT_EQ(HexDump(Bytes(40, 0), 4), "0000 0000...");
   EXPECT_NE(Fnv1a64("abc"), Fnv1a64("abd"));
   EXPECT_EQ(Fnv1a64(""), 0xCBF29CE484222325ull);

@@ -250,6 +250,121 @@ TEST(NetworkTest, ConservationLawHoldsUnderLossAndDuplication) {
             static_cast<uint64_t>(delivered.load()));
 }
 
+TEST(NetworkTest, DuplicateSharesPayloadBufferWithOriginal) {
+  // The zero-copy wire path: duplicate injection must not clone payload
+  // bytes. With corruption off, both twins arrive as views of one buffer.
+  Network network(11);
+  const NodeId a = network.AddNode("a");
+  const NodeId b = network.AddNode("b");
+  std::mutex mu;
+  std::vector<Packet> received;
+  network.SetSink(b, [&](Packet&& p) {
+    std::lock_guard<std::mutex> lock(mu);
+    received.push_back(std::move(p));
+  });
+  network.SetDefaultLink(LinkParams{Micros(10), Micros(0), 0, 0, 0, 1.0});
+  network.Send(MakePacket(a, b, 7));
+  network.DrainForTesting();
+  ASSERT_EQ(received.size(), 2u);
+  EXPECT_TRUE(received[0].payload.SharesBufferWith(received[1].payload));
+  EXPECT_EQ(received[0].payload, received[1].payload);
+  EXPECT_TRUE(received[0].Verify());
+  EXPECT_TRUE(received[1].Verify());
+}
+
+TEST(NetworkTest, CorruptionIsCopyOnWriteIsolatedFromSharedTwin) {
+  // corrupt_prob=1 and dup_prob=1: the corruption COW happens before the
+  // duplicate is cloned, so the twins share the *corrupted* buffer — the
+  // same observable outcome as the old deep-copy engine (both fail CRC) —
+  // while the sender's prototype packet is never written through.
+  Network network(3);
+  const NodeId a = network.AddNode("a");
+  const NodeId b = network.AddNode("b");
+  std::mutex mu;
+  std::vector<Packet> received;
+  network.SetSink(b, [&](Packet&& p) {
+    std::lock_guard<std::mutex> lock(mu);
+    received.push_back(std::move(p));
+  });
+  network.SetDefaultLink(LinkParams{Micros(10), Micros(0), 0, 1.0, 0, 1.0});
+
+  Packet prototype = MakePacket(a, b, 9);
+  const Bytes original = prototype.payload.ToBytes();
+  network.Send(prototype);  // by-value: the network corrupts its own copy
+  network.DrainForTesting();
+
+  // The caller's packet still shows the bytes it sealed — the corruption
+  // wrote through a private COW buffer, not the shared one.
+  EXPECT_EQ(prototype.payload, original);
+  EXPECT_TRUE(prototype.Verify());
+
+  ASSERT_EQ(received.size(), 2u);
+  for (const Packet& p : received) {
+    EXPECT_FALSE(p.Verify()) << "corruption must break the CRC";
+    EXPECT_FALSE(p.payload == ConstByteSpan(original));
+  }
+  // Corruption preceded duplication, so the twins share the bad buffer.
+  EXPECT_TRUE(received[0].payload.SharesBufferWith(received[1].payload));
+  EXPECT_EQ(received[0].payload, received[1].payload);
+}
+
+TEST(NetworkTest, CorruptedFragmentDoesNotBleedIntoSiblings) {
+  // All fragments of one message are slices of one encode buffer. When the
+  // network corrupts exactly one of them, the COW must confine the damage:
+  // every sibling still verifies and still shows its original bytes.
+  Network network(5);
+  const NodeId a = network.AddNode("a");
+  const NodeId b = network.AddNode("b");
+  std::mutex mu;
+  std::vector<Packet> received;
+  network.SetSink(b, [&](Packet&& p) {
+    std::lock_guard<std::mutex> lock(mu);
+    received.push_back(std::move(p));
+  });
+  network.SetDefaultLink(LinkParams{Micros(10), Micros(0), 0, 0, 0});
+  network.SetLink(a, b, LinkParams{Micros(10), Micros(0), 0, 0, 0});
+
+  Bytes message(64, 0);
+  for (size_t i = 0; i < message.size(); ++i) {
+    message[i] = static_cast<uint8_t>(i);
+  }
+  auto packets = Fragment(BufferSlice(Bytes(message)), /*msg_id=*/1, a, b,
+                          /*max_payload=*/16);
+  ASSERT_EQ(packets.size(), 4u);
+  for (size_t i = 1; i < packets.size(); ++i) {
+    ASSERT_TRUE(packets[i].payload.SharesBufferWith(packets[0].payload));
+  }
+
+  // Corrupt fragment 2 by hand through the COW hatch (deterministic stand-in
+  // for the network's corruption roll) and send everything.
+  packets[2].payload.MutableData()[0] ^= 0x40;  // stale CRC kept on purpose
+  // The COW detached fragment 2 into its own private buffer.
+  for (size_t i = 0; i < packets.size(); ++i) {
+    if (i != 2) {
+      EXPECT_FALSE(packets[i].payload.SharesBufferWith(packets[2].payload));
+    }
+  }
+  for (auto& p : packets) {
+    network.Send(std::move(p));
+  }
+  network.DrainForTesting();
+
+  ASSERT_EQ(received.size(), 4u);
+  int bad = 0;
+  for (const Packet& p : received) {
+    if (!p.Verify()) {
+      ++bad;
+      EXPECT_EQ(p.frag_index, 2u);
+      continue;
+    }
+    // Every intact sibling shows exactly its slice of the original message.
+    const size_t begin = p.frag_index * 16u;
+    EXPECT_EQ(p.payload,
+              ConstByteSpan(message.data() + begin, p.payload.size()));
+  }
+  EXPECT_EQ(bad, 1);
+}
+
 TEST(NetworkTest, DuplicateCountsBitIdenticalAcrossShardCounts) {
   // Loss, duplication, and corruption are all decided at Send() under one
   // lock and one rng: for a fixed seed the counts must not depend on how

@@ -173,7 +173,7 @@ TEST(TopologyTest, CampusPartitionCutsOnlyWanPairs) {
     p.msg_id = from * 10 + to;
     p.src = from;
     p.dst = to;
-    p.payload = {1};
+    p.payload = Bytes{1};
     p.Seal();
     network.Send(p);
   };

@@ -66,7 +66,7 @@ TEST(CodecTest, FixedWidthRoundTrip) {
 TEST(CodecTest, StringAndBlob) {
   WireEncoder enc;
   enc.PutString("héllo");
-  enc.PutBlob({0, 255, 7});
+  enc.PutBlob(Bytes{0, 255, 7});
   WireDecoder dec(enc.bytes());
   EXPECT_EQ(*dec.GetString(100), "héllo");
   EXPECT_EQ(*dec.GetBlob(100), (Bytes{0, 255, 7}));
@@ -375,7 +375,7 @@ TEST(EnvelopeTest, MessageSizeBoundEnforced) {
 
 TEST(PacketTest, FragmentCountsAndSizes) {
   const Bytes msg(2500, 0x5A);
-  auto packets = Fragment(msg, 1, 1, 2, 1024);
+  auto packets = Fragment(BufferSlice(msg), 1, 1, 2, 1024);
   ASSERT_EQ(packets.size(), 3u);
   EXPECT_EQ(packets[0].payload.size(), 1024u);
   EXPECT_EQ(packets[2].payload.size(), 452u);
@@ -393,7 +393,7 @@ TEST(PacketTest, EmptyMessageIsOnePacket) {
 
 TEST(PacketTest, ReassemblyInOrder) {
   const Bytes msg = ToBytes("a somewhat long message for fragmentation");
-  auto packets = Fragment(msg, 7, 1, 2, 8);
+  auto packets = Fragment(BufferSlice(msg), 7, 1, 2, 8);
   Reassembler reassembler;
   for (size_t i = 0; i < packets.size(); ++i) {
     auto out = reassembler.Add(std::move(packets[i]));
@@ -410,10 +410,10 @@ TEST(PacketTest, ReassemblyInOrder) {
 
 TEST(PacketTest, ReassemblyOutOfOrderAndDuplicates) {
   const Bytes msg = ToBytes("out of order arrival is permitted by 3.4");
-  auto packets = Fragment(msg, 9, 1, 2, 5);
+  auto packets = Fragment(BufferSlice(msg), 9, 1, 2, 5);
   Reassembler reassembler;
   // Deliver reversed, with every packet duplicated.
-  std::optional<Bytes> complete;
+  std::optional<BufferSlice> complete;
   for (auto it = packets.rbegin(); it != packets.rend(); ++it) {
     for (int dup = 0; dup < 2; ++dup) {
       auto out = reassembler.Add(Packet(*it));  // Add consumes; keep the dup
@@ -429,8 +429,8 @@ TEST(PacketTest, ReassemblyOutOfOrderAndDuplicates) {
 
 TEST(PacketTest, CorruptPacketDroppedByErrorDetection) {
   const Bytes msg = ToBytes("check the error detection bits");
-  auto packets = Fragment(msg, 11, 1, 2, 8);
-  packets[1].payload[0] ^= 0x40;  // keep stale CRC
+  auto packets = Fragment(BufferSlice(msg), 11, 1, 2, 8);
+  packets[1].payload.MutableData()[0] ^= 0x40;  // keep stale CRC
   Reassembler reassembler;
   auto st = reassembler.Add(std::move(packets[1]));
   EXPECT_EQ(st.status().code(), Code::kCorrupt);
@@ -440,8 +440,8 @@ TEST(PacketTest, CorruptPacketDroppedByErrorDetection) {
 TEST(PacketTest, InterleavedMessagesReassembleIndependently) {
   const Bytes m1 = ToBytes("first message body");
   const Bytes m2 = ToBytes("second message body!");
-  auto p1 = Fragment(m1, 100, 1, 2, 6);
-  auto p2 = Fragment(m2, 200, 1, 2, 6);
+  auto p1 = Fragment(BufferSlice(m1), 100, 1, 2, 6);
+  auto p2 = Fragment(BufferSlice(m2), 200, 1, 2, 6);
   Reassembler reassembler;
   int completed = 0;
   for (size_t i = 0; i < std::max(p1.size(), p2.size()); ++i) {
@@ -479,7 +479,7 @@ TEST(PacketTest, InconsistentFragmentHeaderRejected) {
   p.msg_id = 1;
   p.frag_index = 5;
   p.frag_count = 2;  // index >= count
-  p.payload = {1, 2, 3};
+  p.payload = Bytes{1, 2, 3};
   p.Seal();
   Reassembler reassembler;
   EXPECT_EQ(reassembler.Add(std::move(p)).status().code(), Code::kCorrupt);
@@ -493,15 +493,15 @@ TEST(PacketTest, SameMsgIdFromTwoSendersReassemblesIndependently) {
   const Bytes from_a(29, 0xAA);  // 5 fragments of <= 7 bytes
   const Bytes from_b(50, 0xBB);  // 8 fragments of <= 7 bytes
   constexpr uint64_t kCollidingId = 77;
-  auto pa = Fragment(from_a, kCollidingId, /*src=*/1, /*dst=*/3, 7);
-  auto pb = Fragment(from_b, kCollidingId, /*src=*/2, /*dst=*/3, 7);
+  auto pa = Fragment(BufferSlice(from_a), kCollidingId, /*src=*/1, /*dst=*/3, 7);
+  auto pb = Fragment(BufferSlice(from_b), kCollidingId, /*src=*/2, /*dst=*/3, 7);
   ASSERT_GT(pa.size(), 1u);
   ASSERT_GT(pb.size(), 1u);
   ASSERT_NE(pa.size(), pb.size());  // clashing counts made the old code drop
 
   Reassembler reassembler;
-  std::optional<Bytes> got_a;
-  std::optional<Bytes> got_b;
+  std::optional<BufferSlice> got_a;
+  std::optional<BufferSlice> got_b;
   // Strictly interleave the two senders' fragments.
   for (size_t i = 0; i < std::max(pa.size(), pb.size()); ++i) {
     if (i < pa.size()) {
@@ -537,8 +537,8 @@ TEST(PacketTest, StalePartialsExpireByAge) {
   // Two 2-fragment messages, each missing its second fragment.
   const Bytes one(14, 0x11);
   const Bytes two(14, 0x22);
-  auto pa = Fragment(one, /*msg_id=*/1, /*src=*/1, /*dst=*/2, 7);
-  auto pb = Fragment(two, /*msg_id=*/2, /*src=*/1, /*dst=*/2, 7);
+  auto pa = Fragment(BufferSlice(one), /*msg_id=*/1, /*src=*/1, /*dst=*/2, 7);
+  auto pb = Fragment(BufferSlice(two), /*msg_id=*/2, /*src=*/1, /*dst=*/2, 7);
   ASSERT_EQ(pa.size(), 2u);
   ASSERT_TRUE(reassembler.Add(std::move(pa[0])).ok());
   ASSERT_TRUE(reassembler.Add(std::move(pb[0])).ok());
@@ -549,7 +549,7 @@ TEST(PacketTest, StalePartialsExpireByAge) {
   // its Add runs the amortized sweep.
   std::this_thread::sleep_for(std::chrono::milliseconds(40));
   const Bytes three(14, 0x33);
-  auto pc = Fragment(three, /*msg_id=*/3, /*src=*/1, /*dst=*/2, 7);
+  auto pc = Fragment(BufferSlice(three), /*msg_id=*/3, /*src=*/1, /*dst=*/2, 7);
   auto out = reassembler.Add(std::move(pc[0]));
   ASSERT_TRUE(out.ok());
   EXPECT_FALSE(out->has_value());
@@ -567,7 +567,7 @@ TEST(PacketTest, StalePartialsExpireByAge) {
 TEST(PacketTest, ExpiryZeroDisablesAgeSweep) {
   Reassembler reassembler(/*max_partial=*/1024, /*expiry=*/Micros(0));
   const Bytes msg(14, 0x44);
-  auto packets = Fragment(msg, /*msg_id=*/9, /*src=*/1, /*dst=*/2, 7);
+  auto packets = Fragment(BufferSlice(msg), /*msg_id=*/9, /*src=*/1, /*dst=*/2, 7);
   ASSERT_TRUE(reassembler.Add(std::move(packets[0])).ok());
   std::this_thread::sleep_for(std::chrono::milliseconds(10));
   auto done = reassembler.Add(std::move(packets[1]));
@@ -586,9 +586,9 @@ TEST(PacketTest, NewIncarnationDropsPredecessorPartials) {
   const Bytes pre(40, 0x0A);
   const Bytes post(40, 0x0B);
   constexpr uint64_t kReusedId = 42;
-  auto old_inc = Fragment(pre, kReusedId, /*src=*/1, /*dst=*/2, 10,
+  auto old_inc = Fragment(BufferSlice(pre), kReusedId, /*src=*/1, /*dst=*/2, 10,
                           /*trace_id=*/0, /*src_session=*/100);
-  auto new_inc = Fragment(post, kReusedId, /*src=*/1, /*dst=*/2, 10,
+  auto new_inc = Fragment(BufferSlice(post), kReusedId, /*src=*/1, /*dst=*/2, 10,
                           /*trace_id=*/0, /*src_session=*/200);
   ASSERT_EQ(old_inc.size(), 4u);
   ASSERT_EQ(new_inc.size(), 4u);
@@ -618,6 +618,129 @@ TEST(PacketTest, NewIncarnationDropsPredecessorPartials) {
   EXPECT_EQ(**done, post);
   EXPECT_EQ(reassembler.partial_count(), 0u);
   EXPECT_EQ(reassembler.corrupt_dropped(), 0u);
+}
+
+// --- buffers and the zero-copy path -----------------------------------------
+
+TEST(BufferTest, SlicesShareStorageAndSubViewsAreFree) {
+  const uint64_t copied_before = BufferStats::BytesCopied();
+  BufferSlice whole(Bytes{0, 1, 2, 3, 4, 5, 6, 7});
+  BufferSlice mid = whole.Sub(2, 4);
+  EXPECT_EQ(mid.size(), 4u);
+  EXPECT_EQ(mid[0], 2);
+  EXPECT_TRUE(mid.SharesBufferWith(whole));
+  BufferSlice copy = mid;  // refcount bump
+  EXPECT_TRUE(copy.SharesBufferWith(whole));
+  EXPECT_EQ(BufferStats::BytesCopied(), copied_before);  // no byte moved
+  // Out-of-range requests clamp instead of overreading.
+  EXPECT_EQ(whole.Sub(6, 100).size(), 2u);
+  EXPECT_EQ(whole.Sub(100, 4).size(), 0u);
+}
+
+TEST(BufferTest, MutableDataCopiesOnlyWhenShared) {
+  // Sole owner of the whole buffer: write-in-place, nothing copied.
+  BufferSlice lone(Bytes{1, 2, 3});
+  const void* storage = lone.buffer().id();
+  lone.MutableData()[0] = 9;
+  EXPECT_EQ(lone.buffer().id(), storage);
+  EXPECT_EQ(lone[0], 9);
+
+  // Shared: the writer detaches, the sibling keeps the original bytes.
+  BufferSlice a(Bytes{1, 2, 3});
+  BufferSlice b = a;
+  b.MutableData()[0] = 7;
+  EXPECT_FALSE(a.SharesBufferWith(b));
+  EXPECT_EQ(a[0], 1);
+  EXPECT_EQ(b[0], 7);
+
+  // A sub-slice writer detaches too, and only its window is copied.
+  BufferSlice base(Bytes(100, 0x11));
+  BufferSlice window = base.Sub(10, 5);
+  const uint64_t copied_before = BufferStats::BytesCopied();
+  window.MutableData()[0] = 0x22;
+  EXPECT_EQ(BufferStats::BytesCopied() - copied_before, 5u);
+  EXPECT_EQ(base[10], 0x11);
+  EXPECT_EQ(window[0], 0x22);
+}
+
+TEST(BufferTest, GatherContiguousSlicesIsZeroCopy) {
+  BufferSlice whole(Bytes{0, 1, 2, 3, 4, 5, 6, 7, 8, 9});
+  std::vector<BufferSlice> parts = {whole.Sub(0, 4), whole.Sub(4, 4),
+                                    whole.Sub(8, 2)};
+  const uint64_t copied_before = BufferStats::BytesCopied();
+  BufferSlice joined = GatherSlices(parts, 10);
+  EXPECT_EQ(BufferStats::BytesCopied(), copied_before);
+  EXPECT_TRUE(joined.SharesBufferWith(whole));
+  EXPECT_EQ(joined, whole);
+}
+
+TEST(BufferTest, GatherForeignSlicesJoinsOnce) {
+  std::vector<BufferSlice> parts = {BufferSlice(Bytes{1, 2}),
+                                    BufferSlice(Bytes{3}),
+                                    BufferSlice(Bytes{4, 5})};
+  const uint64_t copied_before = BufferStats::BytesCopied();
+  BufferSlice joined = GatherSlices(parts, 5);
+  EXPECT_EQ(joined, ConstByteSpan(Bytes{1, 2, 3, 4, 5}));
+  EXPECT_EQ(BufferStats::BytesCopied() - copied_before, 5u);
+}
+
+TEST(PacketTest, FragmentsAreViewsOfOneBufferAndReassemblyIsZeroCopy) {
+  // The tentpole property end to end at the wire layer: fragmentation
+  // copies nothing, and reassembly of intact fragments completes as a
+  // spanning view of the sender's encode buffer.
+  Bytes msg(200, 0);
+  for (size_t i = 0; i < msg.size(); ++i) {
+    msg[i] = static_cast<uint8_t>(i);
+  }
+  const Bytes original = msg;
+  const uint64_t copied_before = BufferStats::BytesCopied();
+  auto packets = Fragment(std::move(msg), 5, 1, 2, 64);
+  ASSERT_EQ(packets.size(), 4u);
+  for (size_t i = 1; i < packets.size(); ++i) {
+    EXPECT_TRUE(packets[i].payload.SharesBufferWith(packets[0].payload));
+  }
+  const BufferSlice first = packets[0].payload;  // keep a handle on the buffer
+
+  Reassembler reassembler;
+  std::optional<BufferSlice> complete;
+  for (auto& p : packets) {
+    auto out = reassembler.Add(std::move(p));
+    ASSERT_TRUE(out.ok());
+    if (out->has_value()) {
+      complete = std::move(**out);
+    }
+  }
+  ASSERT_TRUE(complete.has_value());
+  EXPECT_EQ(*complete, original);
+  EXPECT_TRUE(complete->SharesBufferWith(first));
+  EXPECT_EQ(BufferStats::BytesCopied(), copied_before)
+      << "fragment + reassemble of intact fragments must not copy payload";
+}
+
+TEST(PacketTest, ReassemblyGathersOnceWhenAFragmentWasRewritten) {
+  // A COW'd (e.g. corrupted-then-resent) fragment breaks contiguity, so
+  // completion falls back to exactly one pre-sized gather.
+  Bytes msg(60, 0x3C);
+  const Bytes original = msg;
+  auto packets = Fragment(std::move(msg), 6, 1, 2, 20);
+  ASSERT_EQ(packets.size(), 3u);
+  // Rewrite a byte and put it back, as a retransmission would.
+  packets[1].payload.MutableData()[0] = 0x3C;  // same value: bytes unchanged
+  packets[1].Seal();
+  Reassembler reassembler;
+  std::optional<BufferSlice> complete;
+  const uint64_t copied_before = BufferStats::BytesCopied();
+  for (auto& p : packets) {
+    auto out = reassembler.Add(std::move(p));
+    ASSERT_TRUE(out.ok());
+    if (out->has_value()) {
+      complete = std::move(**out);
+    }
+  }
+  ASSERT_TRUE(complete.has_value());
+  EXPECT_EQ(*complete, original);
+  // Exactly one pre-sized 60-byte gather; nothing else.
+  EXPECT_EQ(BufferStats::BytesCopied() - copied_before, 60u);
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 // containers.
 #include <gtest/gtest.h>
 
+#include "src/common/buffer.h"
 #include "src/common/rng.h"
 #include "src/transmit/assoc_memory.h"
 #include "src/transmit/complex.h"
@@ -65,6 +66,60 @@ TEST_P(EnvelopeFuzz, RandomGarbageIsRejected) {
     // sneaks past must still fail structurally. (Probability of a random
     // 200-byte buffer being a valid envelope is negligible.)
     EXPECT_FALSE(out.ok());
+  }
+}
+
+TEST_P(EnvelopeFuzz, SliceViewDecodeMatchesOwningDecode) {
+  // The decoder is a non-owning view over (pointer, length). Decode the
+  // same envelope through a BufferSlice carved at a random offset of a
+  // padded buffer and through the owning vector: results must agree, and
+  // the view decode must never read outside its window (the padding is
+  // garbage on both sides).
+  auto bytes = EncodeEnvelope(SampleEnvelope(), DefaultLimits());
+  ASSERT_TRUE(bytes.ok());
+  Rng rng(GetParam() ^ 0x511CE);
+  for (int trial = 0; trial < 100; ++trial) {
+    const size_t lead = rng.NextBelow(64);
+    const size_t tail = rng.NextBelow(64);
+    Bytes padded;
+    padded.reserve(lead + bytes->size() + tail);
+    for (size_t i = 0; i < lead; ++i) {
+      padded.push_back(static_cast<uint8_t>(rng.NextBelow(256)));
+    }
+    padded.insert(padded.end(), bytes->begin(), bytes->end());
+    for (size_t i = 0; i < tail; ++i) {
+      padded.push_back(static_cast<uint8_t>(rng.NextBelow(256)));
+    }
+    const BufferSlice whole(std::move(padded));
+    const BufferSlice view = whole.Sub(lead, bytes->size());
+    ASSERT_TRUE(view.SharesBufferWith(whole));  // a view, not a copy
+    auto from_view = DecodeEnvelope(view, DefaultLimits(), nullptr);
+    ASSERT_TRUE(from_view.ok()) << from_view.status();
+    EXPECT_EQ(from_view->msg_id, 77u);
+    EXPECT_EQ(from_view->command, "reserve");
+    ASSERT_EQ(from_view->args.size(), 4u);
+    EXPECT_EQ(from_view->args[0].string_value(), "smith");
+    EXPECT_EQ(from_view->args[1].int_value(), 12);
+  }
+}
+
+TEST_P(EnvelopeFuzz, RandomSubSlicesNeverCrashOrOverread) {
+  // Arbitrary (offset, length) windows over a valid envelope: almost all
+  // are invalid, every one must fail (or succeed) cleanly within bounds.
+  auto bytes = EncodeEnvelope(SampleEnvelope(), DefaultLimits());
+  ASSERT_TRUE(bytes.ok());
+  const BufferSlice whole(std::move(*bytes));
+  Rng rng(GetParam() ^ 0xF0F0);
+  for (int trial = 0; trial < 300; ++trial) {
+    const size_t off = rng.NextBelow(whole.size() + 1);
+    const size_t len = rng.NextBelow(whole.size() + 1);
+    const BufferSlice view = whole.Sub(off, len);
+    auto out = DecodeEnvelope(view, DefaultLimits(), nullptr);
+    if (off != 0 || view.size() != whole.size()) {
+      EXPECT_FALSE(out.ok());  // only the exact window is a valid envelope
+    } else {
+      EXPECT_TRUE(out.ok());
+    }
   }
 }
 
