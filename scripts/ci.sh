@@ -22,17 +22,27 @@
 # leaves BENCH_wire_codec.json. All tracked cross-PR. Skippable with
 # --skip-bench.
 #
-# Usage: scripts/ci.sh [--skip-tsan] [--skip-bench] [--asan]
+# The chaos stage runs the deterministic chaos harness (bench_chaos: three
+# pinned seeds of composed faults — partitions, one-way cuts, campus cuts,
+# link storms, crashes, store failures, dup replays — with the global
+# invariant suite checked every epoch; any violation dumps the seed +
+# schedule and exits 1) and leaves BENCH_chaos.json. Each seed is bounded
+# by the engine's settle deadline, so the stage has a hard wall-time
+# ceiling (`timeout 300` on top as a belt). Skippable with --skip-chaos.
+#
+# Usage: scripts/ci.sh [--skip-tsan] [--skip-bench] [--skip-chaos] [--asan]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 SKIP_TSAN=0
 SKIP_BENCH=0
+SKIP_CHAOS=0
 RUN_ASAN=0
 for arg in "$@"; do
   case "$arg" in
     --skip-tsan) SKIP_TSAN=1 ;;
     --skip-bench) SKIP_BENCH=1 ;;
+    --skip-chaos) SKIP_CHAOS=1 ;;
     --asan) RUN_ASAN=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
@@ -61,6 +71,13 @@ else
 
   echo "==> bench: self-checking benches (bench_encode_decode)"
   (cd build && ./bench/bench_encode_decode)
+fi
+
+if [[ "$SKIP_CHAOS" -eq 1 ]]; then
+  echo "==> chaos: skipped (--skip-chaos)"
+else
+  echo "==> chaos: deterministic fault-schedule gate (bench_chaos, 3 seeds)"
+  (cd build && timeout 300 ./bench/bench_chaos)
 fi
 
 if [[ "$SKIP_TSAN" -eq 1 ]]; then

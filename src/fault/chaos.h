@@ -1,0 +1,187 @@
+// Deterministic chaos harness: FoundationDB-style simulation testing for
+// the §1.1/§2.2 fault model.
+//
+// One seed generates a time-ordered schedule of composed fault events —
+// symmetric and one-way partitions forming and healing, campus-level cuts
+// (topology.h), link-quality storms (LinkParams loss/dup/corrupt/jitter
+// mutated mid-run through the Network's link-epoch path, under the global
+// send lock), node crashes (quiescent power failures, or armed crashpoints
+// inside durability windows with supervised restarts), and StableStore
+// device failures — interleaved with the bank and airline workloads plus a
+// non-idempotent tally guardian that witnesses duplicate effects.
+//
+// After every epoch and at final quiescence a ChaosInvariants pass asserts
+// the global laws the system already implies:
+//
+//   - packet conservation: delivered + dropped == sent + duplicated
+//   - bank balance conservation (no creation mid-run; exact at the end)
+//   - airline no-oversell, FlightDb invariants, §2.2 permanence of acked
+//     effects after recovery, no phantoms
+//   - zero duplicate non-idempotent effects (the tally witness)
+//   - metric ledger identities, e.g.
+//     sendprims.reliable.calls == ok + exhausted + deadline_exceeded
+//     + hard_fail, and net.dup.injected == packets_duplicated
+//
+// On a violation the engine dumps the seed, the full event schedule and
+// DumpTrace output; ChaosShrinker then re-runs the same schedule with
+// events removed (greedy delta-debugging) until no single event can be
+// dropped without the failure disappearing — the minimal failing schedule
+// a human debugs.
+//
+// Determinism: in the default (unsupervised) mode the workload is driven
+// in lockstep — each operation completes (or times out) before the next
+// starts, and every event applies on a drained network at an epoch
+// boundary — so the global Send order, and with it every loss/dup/corrupt
+// die roll, is a pure function of the seed. The outcome counts are then
+// bit-identical at every (delivery_shards x delivery_batch_max) point,
+// which tests/test_chaos.cc asserts over the same grid test_batching uses.
+#ifndef GUARDIANS_SRC_FAULT_CHAOS_H_
+#define GUARDIANS_SRC_FAULT_CHAOS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/net/network.h"
+
+namespace guardians {
+
+enum class ChaosEventKind {
+  kPartition,        // symmetric cut between nodes a and b
+  kHeal,             // heal the symmetric cut
+  kPartitionOneWay,  // cut a -> b only; b -> a still flows
+  kHealOneWay,       // heal the one-way cut
+  kCampusCut,        // cut every cross-campus pair (PartitionCampuses)
+  kCampusHeal,       // heal the campus cut
+  kLinkStorm,        // override LinkParams on the a<->b link
+  kLinkCalm,         // restore the default params on the a<->b link
+  kCrash,            // crash node a; restarted per ChaosConfig::supervised
+  kStoreFail,        // node a's stable store starts failing mutations
+  kStoreHeal,        // the store works again
+  kDupReplay,        // re-send a duplicate of a completed non-idempotent op
+};
+
+struct ChaosEvent {
+  ChaosEventKind kind = ChaosEventKind::kPartition;
+  int epoch = 0;   // applied (in schedule order) before this epoch's ops
+  NodeId a = 0;    // primary node: crash/store target, or link endpoint
+  NodeId b = 0;    // second link endpoint (partition/storm events)
+  LinkParams storm;         // kLinkStorm only
+  std::string crash_point;  // kCrash, supervised mode: armed site; empty =
+                            // direct power failure between operations
+  uint64_t nth_hit = 1;     // which hit of crash_point fires
+
+  std::string Describe() const;
+};
+
+struct ChaosConfig {
+  uint64_t seed = 1;
+  int epochs = 6;
+  int ops_per_epoch = 6;
+  // Forwarded into SystemConfig: the determinism grid.
+  size_t delivery_shards = Network::kDefaultShards;
+  size_t delivery_batch_max = Network::kDefaultBatchMax;
+  // false: deterministic mode — crashes are quiescent power failures with
+  // an immediate synchronous restart, storms keep dup off the RPC links,
+  // and outcome counts are bit-identical across the shard/batch grid.
+  // true: supervised mode — crashes arm crashpoints inside durability
+  // windows, a Supervisor restarts (and may quarantine) the node, and
+  // storms hit every link; counts are then timing-dependent, so only the
+  // schedule and the invariants are asserted.
+  bool supervised = false;
+  // Generous on purpose: a healthy op must never time out from host
+  // scheduling jitter alone (a spurious retry changes the packet counts
+  // and breaks grid determinism on slow or oversubscribed machines);
+  // doomed ops don't pay this — their budgets are derived from the
+  // schedule-mirrored link state.
+  Micros op_timeout{Millis(400)};
+  int op_attempts = 4;
+  // Epilogue budget: heal everything, restart what is down, and wait for
+  // the system to answer probes before the final invariant pass.
+  Micros settle_deadline{Millis(15000)};
+  // Plant the known at-most-once bug (NodeRuntime skips the dedup journal
+  // write) for the shrinker proof. Tests only.
+  bool plant_dedup_bug = false;
+};
+
+// Outcome counts that must be bit-identical across the shard/batch grid in
+// deterministic mode (the test_batching contract, extended to chaos runs).
+struct ChaosCounts {
+  NetworkStats net;
+  uint64_t delivered = 0;    // deliver.delivered (per-shard sum)
+  uint64_t executions = 0;   // NodeStats::messages_delivered, all nodes
+  uint64_t suppressed = 0;   // duplicate deliveries recognised and stopped
+  uint64_t replayed = 0;     // ...of which answered from the reply cache
+  uint64_t partition_drops = 0;         // net.drop.partition
+  uint64_t oneway_partition_drops = 0;  // net.drop.partition_oneway
+  uint64_t link_epochs = 0;  // Network::link_epoch at the end of the run
+
+  bool Equal(const ChaosCounts& other) const;
+  std::string Diff(const ChaosCounts& other) const;  // empty when Equal
+};
+
+struct ChaosViolation {
+  int epoch = -1;  // -1: the final post-settle pass
+  std::string invariant;
+  std::string detail;
+};
+
+struct ChaosReport {
+  uint64_t seed = 0;
+  std::vector<ChaosEvent> schedule;
+  std::vector<ChaosViolation> violations;
+  ChaosCounts counts;
+  uint64_t events_applied = 0;
+  uint64_t crashes = 0;
+  uint64_t recoveries = 0;
+  uint64_t dup_replays = 0;
+  int ops_attempted = 0;
+  int ops_acked = 0;
+  // Seed + schedule + DumpTrace evidence; filled when violations exist.
+  std::string failure_dump;
+
+  bool ok() const { return violations.empty(); }
+  std::string Summary() const;
+};
+
+// The engine. Stateless between runs: every Run/RunSchedule builds a fresh
+// three-node world (region: accounts + branch + flight f1 + tally; annex:
+// flight f2 + a fire-and-forget noise sink; client: the driver), campuses
+// {region, annex} | {client}, drives the composed workload through the
+// schedule, and checks invariants at every epoch boundary.
+class ChaosEngine {
+ public:
+  explicit ChaosEngine(ChaosConfig config);
+
+  // Pure function of the config: same seed, same schedule, every time.
+  std::vector<ChaosEvent> GenerateSchedule() const;
+
+  // GenerateSchedule + RunSchedule.
+  ChaosReport Run();
+  // Run the workload under an explicit schedule (the shrinker's entry
+  // point; also how tests construct hand-built schedules).
+  ChaosReport RunSchedule(const std::vector<ChaosEvent>& schedule);
+
+  const ChaosConfig& config() const { return config_; }
+
+ private:
+  ChaosConfig config_;
+};
+
+struct ShrinkResult {
+  std::vector<ChaosEvent> minimal;  // smallest schedule that still fails
+  int runs = 0;                     // re-runs the shrinker spent
+  ChaosReport final_report;         // the report of the minimal schedule
+};
+
+// Greedy delta-debugging: repeatedly re-run with single events removed,
+// keeping any removal that still fails, until a fixpoint. The engine's
+// epilogue heals every fault regardless of schedule content, so any subset
+// of a sane schedule is itself sane (no stuck partitions/stores).
+ShrinkResult ShrinkSchedule(const ChaosConfig& config,
+                            const std::vector<ChaosEvent>& failing);
+
+}  // namespace guardians
+
+#endif  // GUARDIANS_SRC_FAULT_CHAOS_H_

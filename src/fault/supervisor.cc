@@ -17,6 +17,8 @@ Supervisor::Supervisor(System* system, SupervisorConfig config)
       restart_failures_(system->metrics().counter(
           "supervisor.restart_failures")),
       quarantined_count_(system->metrics().counter("supervisor.quarantined")),
+      unquarantined_count_(
+          system->metrics().counter("supervisor.unquarantines")),
       backoff_us_(system->metrics().histogram("supervisor.backoff_us")),
       recovery_us_(system->metrics().histogram("supervisor.recovery_us")),
       rng_(config.seed) {
@@ -80,6 +82,21 @@ void Supervisor::ClearQuarantine(NodeId id) {
   st.quarantined = false;
   st.strikes = 0;
   st.down_seen = false;
+}
+
+void Supervisor::Unquarantine(NodeId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  NodeState& st = state_[id];
+  if (!st.quarantined) {
+    return;  // nothing to reverse; don't inflate the counter
+  }
+  st.quarantined = false;
+  st.strikes = 0;
+  st.down_seen = false;
+  unquarantined_count_->Inc();
+  system_->traces().Record(trace_id_, static_cast<uint32_t>(id),
+                           "supervisor.unquarantine",
+                           "rejoining rotation");
 }
 
 Supervisor::NodeHealth Supervisor::Health(NodeId id) const {

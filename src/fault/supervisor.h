@@ -71,6 +71,11 @@ class Supervisor {
   // Manually mark a node dead / alive again (tests, operators).
   void ForceQuarantine(NodeId id);
   void ClearQuarantine(NodeId id);
+  // Operator-grade un-quarantine: like ClearQuarantine, but counted
+  // (supervisor.unquarantines) and traced, so a harness that heals a long
+  // partition can prove the node rejoined rotation. Without this, K-strike
+  // quarantine is permanent — a healed node would stay demoted forever.
+  void Unquarantine(NodeId id);
 
   struct NodeHealth {
     int strikes = 0;
@@ -103,6 +108,7 @@ class Supervisor {
   Counter* restarts_;
   Counter* restart_failures_;
   Counter* quarantined_count_;
+  Counter* unquarantined_count_;
   Histogram* backoff_us_;
   Histogram* recovery_us_;
   uint64_t trace_id_;  // all supervisor.* trace events share one trace

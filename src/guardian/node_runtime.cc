@@ -30,6 +30,10 @@ CrashPoint crash_persist_creation_after("node.persist_creation.after_log");
 CrashPoint crash_dedup_before_journal("node.dedup.before_journal");
 CrashPoint crash_dedup_after_journal("node.dedup.after_journal");
 
+// See NodeRuntime::SetSkipDedupJournalForTesting: the chaos harness plants
+// this bug to prove its shrinker can find it.
+std::atomic<bool> g_skip_dedup_journal{false};
+
 constexpr GuardianId kPrimordialId = 1;
 constexpr char kMetaLogName[] = "node/meta";
 constexpr char kNextIdCell[] = "node/next_guardian_id";
@@ -1183,6 +1187,10 @@ void NodeRuntime::SendFlowNack(const Envelope& dropped, const Port& port) {
   ++stats_.failures_synthesized;
 }
 
+void NodeRuntime::SetSkipDedupJournalForTesting(bool skip) {
+  g_skip_dedup_journal.store(skip, std::memory_order_relaxed);
+}
+
 void NodeRuntime::MaybeJournalReply(const Envelope& env) {
   PendingReply pending;
   uint64_t high_water = 0;
@@ -1208,7 +1216,7 @@ void NodeRuntime::MaybeJournalReply(const Envelope& env) {
        {"to", Value::OfPort(env.target)},
        {"cmd", Value::Str(env.command)},
        {"args", Value::Array(env.args)}});
-  {
+  if (!g_skip_dedup_journal.load(std::memory_order_relaxed)) {
     std::lock_guard<std::mutex> log_lock(dedup_log_mu_);
     Wal dedup_log(&stable_store_, kDedupLogName);
     crash_dedup_before_journal.Hit();

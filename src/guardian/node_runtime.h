@@ -172,6 +172,13 @@ class NodeRuntime {
   // retries recognisable as duplicates at the receiver.
   uint64_t SendSession() const { return send_session_.load(); }
   uint64_t NextDedupSeq() { return dedup_seq_.fetch_add(1) + 1; }
+  // Planted-bug switch for the chaos harness: when true, MaybeJournalReply
+  // skips the durable dedup-journal append (the in-memory table and reply
+  // cache still work). Across a crash the at-most-once floor is then lost,
+  // so a post-recovery duplicate of a completed operation re-executes —
+  // exactly the violation the chaos shrinker must isolate. Process-wide,
+  // tests only; never set in production paths.
+  static void SetSkipDedupJournalForTesting(bool skip);
   // `trace_id` ties the synthesized failure into the lost message's trace.
   void SendSystemFailure(const PortName& to, const std::string& reason,
                          uint64_t trace_id = 0);

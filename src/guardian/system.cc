@@ -1,6 +1,7 @@
 #include "src/guardian/system.h"
 
 #include <cassert>
+#include <thread>
 
 #include "src/common/buffer.h"
 
@@ -76,6 +77,29 @@ bool System::NodeQuarantined(NodeId id) {
   }
   // Invoked outside the lock: the oracle takes the supervisor's own mutex.
   return oracle && oracle(id);
+}
+
+bool System::WaitQuiescent(Micros deadline, Micros settle,
+                           int stable_rounds) {
+  const TimePoint give_up = Now() + deadline;
+  int rounds = 0;
+  uint64_t last_sent = network_.stats().packets_sent;
+  while (rounds < stable_rounds) {
+    if (Now() > give_up) {
+      return false;
+    }
+    network_.DrainForTesting();
+    std::this_thread::sleep_for(settle);
+    const uint64_t sent = network_.stats().packets_sent;
+    if (sent == last_sent) {
+      ++rounds;
+    } else {
+      rounds = 0;
+      last_sent = sent;
+    }
+  }
+  network_.DrainForTesting();
+  return true;
 }
 
 void System::SyncBufferStats() {

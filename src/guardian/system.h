@@ -82,6 +82,16 @@ class System {
   // False when no oracle is installed (no supervisor: nothing is known).
   bool NodeQuarantined(NodeId id);
 
+  // Quiescence barrier: block until the network drains AND stays drained —
+  // no new packet is sent for `stable_rounds` consecutive `settle`-long
+  // windows. DrainForTesting alone is not quiescence: a delivered message
+  // may wake a guardian that replies, re-filling the network after the
+  // drain returns. Chaos epochs check global invariants only at points
+  // like this. Returns false if the system would not settle within
+  // `deadline` (a guardian ping-ponging forever).
+  bool WaitQuiescent(Micros deadline = Millis(5000),
+                     Micros settle = Millis(1), int stable_rounds = 2);
+
   // Text snapshot of the whole system: every node's NodeRuntime::Report()
   // (port depths and drop reasons) plus the metrics registry dump and the
   // trace-buffer occupancy. What the benches and demos print.

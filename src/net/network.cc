@@ -112,12 +112,14 @@ bool Network::IsNodeUp(NodeId node) const {
 void Network::SetDefaultLink(const LinkParams& params) {
   std::lock_guard<std::mutex> lock(mu_);
   default_link_ = params;
+  ++link_epoch_;
 }
 
 void Network::SetLink(NodeId a, NodeId b, const LinkParams& params) {
   std::lock_guard<std::mutex> lock(mu_);
   links_[LinkKey(a, b)] = params;
   links_[LinkKey(b, a)] = params;
+  ++link_epoch_;
 }
 
 LinkParams Network::GetLink(NodeId from, NodeId to) const {
@@ -135,6 +137,28 @@ void Network::SetPartitioned(NodeId a, NodeId b, bool cut) {
     partitions_.erase(LinkKey(a, b));
     partitions_.erase(LinkKey(b, a));
   }
+  ++link_epoch_;
+}
+
+void Network::SetPartitionedOneWay(NodeId from, NodeId to, bool cut) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (cut) {
+    oneway_partitions_.insert(LinkKey(from, to));
+  } else {
+    oneway_partitions_.erase(LinkKey(from, to));
+  }
+  ++link_epoch_;
+}
+
+bool Network::IsPartitioned(NodeId from, NodeId to) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t key = LinkKey(from, to);
+  return partitions_.count(key) > 0 || oneway_partitions_.count(key) > 0;
+}
+
+uint64_t Network::link_epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return link_epoch_;
 }
 
 void Network::Send(Packet packet) {
@@ -154,9 +178,14 @@ void Network::Send(Packet packet) {
     const bool partitioned =
         packet.src != packet.dst &&
         partitions_.count(LinkKey(packet.src, packet.dst)) > 0;
-    if (!src_ok || partitioned) {
+    const bool cut_oneway =
+        packet.src != packet.dst &&
+        oneway_partitions_.count(LinkKey(packet.src, packet.dst)) > 0;
+    if (!src_ok || partitioned || cut_oneway) {
       ++stats_.packets_dropped;
-      CountDrop(packet, !src_ok ? "src_down" : "partition");
+      CountDrop(packet, !src_ok ? "src_down"
+                                : (partitioned ? "partition"
+                                               : "partition_oneway"));
       return;
     }
 

@@ -138,13 +138,30 @@ class Network {
   void SetNodeUp(NodeId node, bool up);
   bool IsNodeUp(NodeId node) const;
 
-  // Link characteristics. SetLink applies to both directions.
+  // Link characteristics. SetLink applies to both directions. All link
+  // mutators (SetLink, SetDefaultLink, the partition calls) take the same
+  // global lock Send() rolls its dice under, so a mid-run storm applies on
+  // a packet boundary: every packet is sent entirely under the old params
+  // or entirely under the new ones, never a mixture — which keeps chaos
+  // runs deterministic at any shard/batch configuration.
   void SetDefaultLink(const LinkParams& params);
   void SetLink(NodeId a, NodeId b, const LinkParams& params);
   LinkParams GetLink(NodeId from, NodeId to) const;
 
   // Cut or restore connectivity between two nodes (both directions).
   void SetPartitioned(NodeId a, NodeId b, bool cut);
+  // Cut or restore one direction only: packets from -> to are dropped
+  // (counted as net.drop.partition_oneway), while to -> from still flows.
+  // Independent of the symmetric cut: healing one never heals the other.
+  void SetPartitionedOneWay(NodeId from, NodeId to, bool cut);
+  // True when from -> to is currently cut (by either kind of partition).
+  bool IsPartitioned(NodeId from, NodeId to) const;
+
+  // Monotone counter bumped by every link mutation (SetLink,
+  // SetDefaultLink, SetPartitioned, SetPartitionedOneWay), under the same
+  // lock. Lets a harness assert that a scheduled storm or cut really was
+  // applied, and marks epochs in traces.
+  uint64_t link_epoch() const;
 
   // Inject one packet. Loss/corruption/latency are decided here, under one
   // lock and one rng, so outcomes depend only on the seed and the Send
@@ -244,6 +261,8 @@ class Network {
   std::vector<PacketBatchSink> sinks_;      // index = id - 1
   std::unordered_map<uint64_t, LinkParams> links_;
   std::unordered_set<uint64_t> partitions_;
+  std::unordered_set<uint64_t> oneway_partitions_;  // directed src->dst cuts
+  uint64_t link_epoch_ = 0;
   MetricsRegistry* metrics_;  // may be null (standalone networks in tests)
   TraceBuffer* traces_;       // may be null
   Histogram* delivery_latency_ = nullptr;

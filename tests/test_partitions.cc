@@ -1,0 +1,189 @@
+// One-way partitions, quarantine reversal, and campus heal-under-load.
+//
+// A symmetric partition makes a peer *silent*; a one-way cut makes it
+// *deaf or mute*, which is the harder §3.5 case: the request executes but
+// the ack never returns, so the client's timeout proves nothing about the
+// true state of affairs. These tests pin the Network's directed-cut
+// semantics, its separate drop accounting, and the recovery story around
+// them (Supervisor::Unquarantine, FailoverCall re-promotion after heal).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/airline/flight_guardian.h"
+#include "src/airline/types.h"
+#include "src/fault/supervisor.h"
+#include "src/guardian/system.h"
+#include "src/net/topology.h"
+#include "src/sendprims/failover.h"
+#include "src/sendprims/remote_call.h"
+
+namespace guardians {
+namespace {
+
+FlightConfig SmallFlight(int64_t flight_no) {
+  FlightConfig fc;
+  fc.flight_no = flight_no;
+  fc.capacity = 16;
+  fc.organization = FlightOrganization::kOneAtATime;
+  fc.logging = true;
+  return fc;
+}
+
+TEST(OneWayPartition, AckDirectionCutExecutesButTimesOut) {
+  SystemConfig sc;
+  sc.seed = 3;
+  System system(sc);
+  NodeRuntime& server = system.AddNode("server");
+  NodeRuntime& client = system.AddNode("client");
+  server.RegisterGuardianType("flight", MakeFactory<FlightGuardian>());
+  client.RegisterGuardianType("shell", MakeFactory<ShellGuardian>());
+  auto flight = server.Create<FlightGuardian>(
+      "flight", "f1", SmallFlight(1).ToArgs(), /*persistent=*/true);
+  ASSERT_TRUE(flight.ok());
+  const PortName flight_port = (*flight)->ProvidedPorts()[0];
+  auto clerk = client.Create<ShellGuardian>("shell", "clerk", {});
+  ASSERT_TRUE(clerk.ok());
+
+  // Mute the server: requests flow in, replies are cut.
+  system.network().SetPartitionedOneWay(server.id(), client.id(), true);
+  EXPECT_TRUE(system.network().IsPartitioned(server.id(), client.id()));
+  EXPECT_FALSE(system.network().IsPartitioned(client.id(), server.id()));
+
+  RemoteCallOptions options;
+  options.timeout = Millis(50);
+  options.max_attempts = 2;
+  auto reply = RemoteCall(**clerk, flight_port, "reserve",
+                          {Value::Str("p0"), Value::Str("d0")},
+                          ReservationReplyType(), options);
+  EXPECT_FALSE(reply.ok()) << reply->command;
+  system.WaitQuiescent();
+  // The request side of the link was open: the op executed.
+  EXPECT_TRUE((*flight)->SnapshotDb().IsReserved("p0", "d0"));
+  EXPECT_GT(system.metrics().CounterValue("net.drop.partition_oneway"), 0u);
+  EXPECT_EQ(system.metrics().CounterValue("net.drop.partition"), 0u);
+
+  // Heal: the same logical request now acks (and proves it had executed —
+  // the fresh call gets "pre_reserved", not "ok").
+  system.network().SetPartitionedOneWay(server.id(), client.id(), false);
+  EXPECT_FALSE(system.network().IsPartitioned(server.id(), client.id()));
+  reply = RemoteCall(**clerk, flight_port, "reserve",
+                     {Value::Str("p0"), Value::Str("d0")},
+                     ReservationReplyType(), options);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->command, "pre_reserved");
+
+  // The reverse direction cuts requests instead: nothing executes.
+  system.network().SetPartitionedOneWay(client.id(), server.id(), true);
+  const uint64_t oneway_before =
+      system.metrics().CounterValue("net.drop.partition_oneway");
+  reply = RemoteCall(**clerk, flight_port, "reserve",
+                     {Value::Str("p1"), Value::Str("d0")},
+                     ReservationReplyType(), options);
+  EXPECT_FALSE(reply.ok());
+  system.WaitQuiescent();
+  EXPECT_FALSE((*flight)->SnapshotDb().IsReserved("p1", "d0"));
+  EXPECT_GT(system.metrics().CounterValue("net.drop.partition_oneway"),
+            oneway_before);
+
+  // Packet conservation holds with the directed drops accounted.
+  const NetworkStats s = system.network().stats();
+  EXPECT_EQ(s.packets_delivered + s.packets_dropped,
+            s.packets_sent + s.packets_duplicated);
+}
+
+TEST(Unquarantine, CountsOnceAndRejoinsRotation) {
+  System system;
+  NodeRuntime& service = system.AddNode("service");
+  Supervisor supervisor(&system);
+  supervisor.ForceQuarantine(service.id());
+  EXPECT_TRUE(supervisor.IsQuarantined(service.id()));
+  EXPECT_TRUE(system.NodeQuarantined(service.id()));
+
+  supervisor.Unquarantine(service.id());
+  EXPECT_FALSE(supervisor.IsQuarantined(service.id()));
+  EXPECT_FALSE(system.NodeQuarantined(service.id()));
+  EXPECT_EQ(system.metrics().CounterValue("supervisor.unquarantines"), 1u);
+  EXPECT_EQ(supervisor.Health(service.id()).strikes, 0);
+
+  // Un-quarantining a healthy node is a no-op, not a counted event.
+  supervisor.Unquarantine(service.id());
+  EXPECT_EQ(system.metrics().CounterValue("supervisor.unquarantines"), 1u);
+}
+
+TEST(CampusPartition, HealUnderLoadRecoversThePrimary) {
+  SystemConfig sc;
+  sc.seed = 9;
+  System system(sc);
+  NodeRuntime& primary = system.AddNode("primary");
+  NodeRuntime& backup = system.AddNode("backup");
+  NodeRuntime& client = system.AddNode("client");
+  primary.RegisterGuardianType("flight", MakeFactory<FlightGuardian>());
+  backup.RegisterGuardianType("flight", MakeFactory<FlightGuardian>());
+  client.RegisterGuardianType("shell", MakeFactory<ShellGuardian>());
+  // Primary alone on campus 0; the client shares campus 1 with the backup.
+  const CampusTopology topology = BuildCampuses(
+      system.network(), {0, 1, 1}, LinkParams{}, LinkParams{});
+
+  auto fp = primary.Create<FlightGuardian>(
+      "flight", "fp", SmallFlight(7).ToArgs(), /*persistent=*/true);
+  auto fb = backup.Create<FlightGuardian>(
+      "flight", "fb", SmallFlight(7).ToArgs(), /*persistent=*/true);
+  auto clerk = client.Create<ShellGuardian>("shell", "clerk", {});
+  ASSERT_TRUE(fp.ok() && fb.ok() && clerk.ok());
+  const std::vector<PortName> targets = {(*fp)->ProvidedPorts()[0],
+                                         (*fb)->ProvidedPorts()[0]};
+  Supervisor supervisor(&system);
+
+  RemoteCallOptions per_target;
+  per_target.timeout = Millis(80);
+  per_target.max_attempts = 1;
+  auto probe = [&] {
+    return FailoverCall(**clerk, targets, "flight_stats",
+                        {Value::Str("manager")}, ReservationReplyType(),
+                        per_target);
+  };
+
+  auto before = probe();
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(before->target_index, 0);
+
+  // WAN cut: the whole primary campus goes dark; load keeps arriving.
+  PartitionCampuses(system.network(), topology, 0, 1, true);
+  for (int i = 0; i < 4; ++i) {
+    auto during = FailoverCall(
+        **clerk, targets, "reserve",
+        {Value::Str("p" + std::to_string(i)), Value::Str("d0")},
+        ReservationReplyType(), per_target);
+    ASSERT_TRUE(during.ok()) << during.status().ToString();
+    EXPECT_EQ(during->target_index, 1) << "op " << i;
+  }
+  // An operator (or the chaos engine) quarantines the unreachable primary
+  // so further calls stop burning the per-target timeout up front.
+  supervisor.ForceQuarantine(primary.id());
+  auto demoted = probe();
+  ASSERT_TRUE(demoted.ok());
+  EXPECT_EQ(demoted->target_index, 1);
+
+  // Heal under the same load pattern: Unquarantine restores rotation and
+  // the very next call lands on the recovered primary.
+  PartitionCampuses(system.network(), topology, 0, 1, false);
+  supervisor.Unquarantine(primary.id());
+  auto after = probe();
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->target_index, 0);
+  EXPECT_GT(system.metrics().CounterValue("supervisor.unquarantines"), 0u);
+
+  // The backup took the writes; nothing was lost or duplicated on the wire.
+  system.WaitQuiescent();
+  EXPECT_TRUE((*fb)->SnapshotDb().IsReserved("p0", "d0"));
+  EXPECT_FALSE((*fp)->SnapshotDb().IsReserved("p0", "d0"));
+  EXPECT_GT(system.metrics().CounterValue("net.drop.partition"), 0u);
+  const NetworkStats s = system.network().stats();
+  EXPECT_EQ(s.packets_delivered + s.packets_dropped,
+            s.packets_sent + s.packets_duplicated);
+}
+
+}  // namespace
+}  // namespace guardians
