@@ -11,8 +11,17 @@
 // One seed additionally runs in supervised mode (watcher-thread restarts
 // instead of harness-driven synchronous ones) so the gate covers both
 // recovery paths.
+//
+// --soak N: after the pinned seeds, run N additional seeds on simulated
+// time (clock skew / drift / reordering storms included in the generated
+// schedules). Virtual time makes each soak seed cost milliseconds of
+// wall clock, so N can be large; every soak seed lands in
+// BENCH_chaos.json as its own record with a pass field, and any failing
+// seed fails the binary.
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "bench/bench_util.h"
 #include "src/fault/chaos.h"
@@ -23,6 +32,7 @@ namespace {
 struct SeedOutcome {
   uint64_t seed = 0;
   bool supervised = false;
+  bool soak = false;  // --soak extra seed, run on simulated time
   double wall_ms = 0;
   ChaosReport report;
 };
@@ -50,8 +60,12 @@ void BM_ChaosSeed(benchmark::State& state) {
         std::chrono::duration<double, std::milli>(
             std::chrono::steady_clock::now() - t0)
             .count();
-    Outcomes().push_back(
-        {config.seed, config.supervised, wall_ms, std::move(report)});
+    SeedOutcome outcome;
+    outcome.seed = config.seed;
+    outcome.supervised = config.supervised;
+    outcome.wall_ms = wall_ms;
+    outcome.report = std::move(report);
+    Outcomes().push_back(std::move(outcome));
   }
   const SeedOutcome& last = Outcomes().back();
   state.counters["events"] =
@@ -61,16 +75,49 @@ void BM_ChaosSeed(benchmark::State& state) {
   state.counters["ops_acked"] = static_cast<double>(last.report.ops_acked);
 }
 
+// Soak seeds run on simulated time so the schedule includes the clock
+// chapter (skew steps, drift, reordering storms) and each seed costs
+// wall-milliseconds; the base is arbitrary but pinned so a failing soak
+// seed reproduces by number.
+constexpr uint64_t kSoakSeedBase = 1000;
+
+void RunSoak(int n) {
+  for (int i = 0; i < n; ++i) {
+    ChaosConfig config;
+    config.seed = kSoakSeedBase + static_cast<uint64_t>(i);
+    config.sim_time = true;
+    const auto t0 = std::chrono::steady_clock::now();
+    ChaosEngine engine(config);
+    ChaosReport report = engine.Run();
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    SeedOutcome outcome;
+    outcome.seed = config.seed;
+    outcome.soak = true;
+    outcome.wall_ms = wall_ms;
+    outcome.report = std::move(report);
+    Outcomes().push_back(std::move(outcome));
+  }
+}
+
 int CheckAndRecord() {
   BenchJson json("BENCH_chaos.json");
   int violations_total = 0;
+  int soak_failed = 0;
   for (const SeedOutcome& o : Outcomes()) {
     const double events = static_cast<double>(o.report.events_applied);
+    const bool pass = o.report.ok();
+    std::string name = o.soak ? "chaos/soak:" + std::to_string(o.seed)
+                              : "chaos/seed:" + std::to_string(o.seed) +
+                                    (o.supervised ? "/supervised" : "");
     json.Record(
-        "chaos/seed:" + std::to_string(o.seed) +
-            (o.supervised ? "/supervised" : ""),
+        name,
         {{"seed", static_cast<double>(o.seed)},
          {"supervised", o.supervised ? 1.0 : 0.0},
+         {"sim_time", o.soak ? 1.0 : 0.0},
+         {"pass", pass ? 1.0 : 0.0},
          {"wall_ms", o.wall_ms},
          {"events", events},
          {"events_per_sec", o.wall_ms > 0 ? events / (o.wall_ms / 1000.0)
@@ -82,10 +129,12 @@ int CheckAndRecord() {
          {"ops_acked", static_cast<double>(o.report.ops_acked)},
          {"violations", static_cast<double>(o.report.violations.size())}});
     violations_total += static_cast<int>(o.report.violations.size());
-    std::printf("chaos seed %llu%s: %s\n",
+    soak_failed += (o.soak && !pass) ? 1 : 0;
+    std::printf("chaos seed %llu%s%s: %s %s\n",
                 static_cast<unsigned long long>(o.seed),
                 o.supervised ? " (supervised)" : "",
-                o.report.Summary().c_str());
+                o.soak ? " (soak, sim-time)" : "",
+                o.report.Summary().c_str(), pass ? "PASS" : "FAIL");
     if (!o.report.ok()) {
       std::fprintf(stderr, "%s\n", o.report.failure_dump.c_str());
     }
@@ -93,6 +142,9 @@ int CheckAndRecord() {
   if (Outcomes().empty()) {
     std::fprintf(stderr, "chaos bench ran zero seeds\n");
     return 1;
+  }
+  if (soak_failed > 0) {
+    std::fprintf(stderr, "chaos soak: %d seed(s) failed\n", soak_failed);
   }
   return violations_total == 0 ? 0 : 1;
 }
@@ -110,8 +162,25 @@ BENCHMARK(guardians::BM_ChaosSeed)
     ->UseRealTime();
 
 int main(int argc, char** argv) {
+  // Strip --soak N before the benchmark library sees (and rejects) it.
+  int soak = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--soak") == 0 && i + 1 < argc) {
+      soak = std::atoi(argv[i + 1]);
+      for (int j = i; j + 2 < argc; ++j) {
+        argv[j] = argv[j + 2];
+      }
+      argc -= 2;
+      break;
+    }
+  }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  if (soak > 0) {
+    std::printf("chaos soak: %d sim-time seeds from %llu\n", soak,
+                static_cast<unsigned long long>(guardians::kSoakSeedBase));
+    guardians::RunSoak(soak);
+  }
   return guardians::CheckAndRecord();
 }

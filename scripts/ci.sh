@@ -28,9 +28,18 @@
 # invariant suite checked every epoch; any violation dumps the seed +
 # schedule and exits 1) and leaves BENCH_chaos.json. Each seed is bounded
 # by the engine's settle deadline, so the stage has a hard wall-time
-# ceiling (`timeout 300` on top as a belt). Skippable with --skip-chaos.
+# ceiling (`timeout 300` on top as a belt). The stage then asserts the
+# wall-clock seeds' outcome counts match the pinned goldens below — the
+# virtual-clock plumbing must leave the default wall build bit-for-bit
+# unchanged, and these counts are the canary. Skippable with --skip-chaos.
 #
-# Usage: scripts/ci.sh [--skip-tsan] [--skip-bench] [--skip-chaos] [--asan]
+# --soak N adds N simulated-time seeds to the chaos stage (clock skew,
+# drift and reordering storms included). Virtual time makes each soak
+# seed cost ~0.1s wall, so a hundred-seed soak is a coffee break, not an
+# overnighter; per-seed pass/fail lands in BENCH_chaos.json.
+#
+# Usage: scripts/ci.sh [--skip-tsan] [--skip-bench] [--skip-chaos]
+#        [--soak N] [--asan]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -38,15 +47,28 @@ SKIP_TSAN=0
 SKIP_BENCH=0
 SKIP_CHAOS=0
 RUN_ASAN=0
+SOAK=0
+EXPECT_SOAK_VALUE=0
 for arg in "$@"; do
+  if [[ "$EXPECT_SOAK_VALUE" -eq 1 ]]; then
+    SOAK="$arg"
+    EXPECT_SOAK_VALUE=0
+    continue
+  fi
   case "$arg" in
     --skip-tsan) SKIP_TSAN=1 ;;
     --skip-bench) SKIP_BENCH=1 ;;
     --skip-chaos) SKIP_CHAOS=1 ;;
+    --soak) EXPECT_SOAK_VALUE=1 ;;
+    --soak=*) SOAK="${arg#--soak=}" ;;
     --asan) RUN_ASAN=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
+if [[ "$EXPECT_SOAK_VALUE" -eq 1 ]]; then
+  echo "--soak requires a seed count" >&2
+  exit 2
+fi
 
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2)"
 
@@ -76,8 +98,43 @@ fi
 if [[ "$SKIP_CHAOS" -eq 1 ]]; then
   echo "==> chaos: skipped (--skip-chaos)"
 else
-  echo "==> chaos: deterministic fault-schedule gate (bench_chaos, 3 seeds)"
-  (cd build && timeout 300 ./bench/bench_chaos)
+  if [[ "$SOAK" -gt 0 ]]; then
+    echo "==> chaos: deterministic fault-schedule gate (3 pinned seeds + $SOAK sim-time soak seeds)"
+    (cd build && timeout $((300 + SOAK)) ./bench/bench_chaos --soak "$SOAK")
+  else
+    echo "==> chaos: deterministic fault-schedule gate (bench_chaos, 3 seeds)"
+    (cd build && timeout 300 ./bench/bench_chaos)
+  fi
+
+  echo "==> chaos: pinned wall-clock outcome counts"
+  # The unsupervised wall-clock seeds are count-deterministic by contract;
+  # a drift here means the default (wall) build changed behavior. The
+  # supervised seed 225 is timing-dependent, so only its schedule-derived
+  # fields could be pinned — leave it to the invariant suite.
+  python3 - <<'PYEOF'
+import json, sys
+golden = {
+    "chaos/seed:114": {"events": 15, "crashes": 1, "dup_replays": 2,
+                       "ops_acked": 26},
+    "chaos/seed:163": {"events": 11, "crashes": 2, "dup_replays": 1,
+                       "ops_acked": 29},
+}
+records = {r["name"]: r["fields"]
+           for r in json.load(open("build/BENCH_chaos.json"))["records"]}
+bad = []
+for name, want in golden.items():
+    got = records.get(name)
+    if got is None:
+        bad.append(f"{name}: missing from BENCH_chaos.json")
+        continue
+    for key, value in want.items():
+        if int(got.get(key, -1)) != value:
+            bad.append(f"{name}: {key} = {int(got.get(key, -1))}, pinned {value}")
+if bad:
+    print("pinned chaos counts drifted:\n  " + "\n  ".join(bad))
+    sys.exit(1)
+print("pinned chaos counts hold: " + ", ".join(sorted(golden)))
+PYEOF
 fi
 
 if [[ "$SKIP_TSAN" -eq 1 ]]; then

@@ -225,7 +225,7 @@ void FlightGuardian::DoReserve(const Received& request) {
     date_monitor_.StartRequest(date);
   }
   if (config_.service_time.count() > 0) {
-    std::this_thread::sleep_for(config_.service_time);
+    runtime().clock().SleepFor(config_.service_time);
   }
   // Permanence first (Section 2.2): the operation is logged before it is
   // applied and before the requester learns the result.
@@ -253,7 +253,7 @@ void FlightGuardian::DoCancel(const Received& request) {
     date_monitor_.StartRequest(date);
   }
   if (config_.service_time.count() > 0) {
-    std::this_thread::sleep_for(config_.service_time);
+    runtime().clock().SleepFor(config_.service_time);
   }
   LogOp("cancel", passenger, date);
   crash_cancel_after_log.Hit();

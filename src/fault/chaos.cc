@@ -22,8 +22,28 @@
 #include "src/sendprims/reliable_send.h"
 #include "src/sendprims/remote_call.h"
 
+// TSAN slows compute 10-20x, so the auto-stepper's real-time quiet
+// heuristic needs a matching stretch: 200us of registry quiet on a plain
+// build means "everyone is blocked on virtual time", but under TSAN a
+// thread can be mid-computation (or starved by the scheduler) that long,
+// and stepping past its deadline turns host slowness into spurious
+// virtual timeouts.
+#if defined(__SANITIZE_THREAD__)
+#define GUARDIANS_CHAOS_CC_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define GUARDIANS_CHAOS_CC_TSAN 1
+#endif
+#endif
+#ifndef GUARDIANS_CHAOS_CC_TSAN
+#define GUARDIANS_CHAOS_CC_TSAN 0
+#endif
+
 namespace guardians {
 namespace {
+
+constexpr Micros kAutoStepQuiet =
+    GUARDIANS_CHAOS_CC_TSAN ? Micros(2000) : Micros(200);
 
 // Node ids are fixed by construction order in BuildWorld.
 constexpr NodeId kRegionNode = 1;
@@ -217,12 +237,15 @@ FlightConfig MakeFlightConfig(int64_t flight_no) {
   return fc;
 }
 
-Result<std::unique_ptr<ChaosWorld>> BuildWorld(const ChaosConfig& config) {
+Result<std::unique_ptr<ChaosWorld>> BuildWorld(const ChaosConfig& config,
+                                               SimulatedClock* sim) {
   SystemConfig sc;
   sc.seed = config.seed;
   sc.delivery_shards = config.delivery_shards;
   sc.delivery_batch_max = config.delivery_batch_max;
   sc.default_link.latency = Micros(100);
+  sc.sim_clock = sim;  // null: wall clock, the default world
+  sc.dedup_session_idle = config.dedup_session_idle;
   auto world = std::make_unique<ChaosWorld>(sc);
   world->region = &world->system.AddNode("region");
   world->annex = &world->system.AddNode("annex");
@@ -315,10 +338,12 @@ Result<std::unique_ptr<ChaosWorld>> BuildWorld(const ChaosConfig& config) {
 // is what keeps deterministic-mode counts grid-identical.
 class ChaosRun {
  public:
-  ChaosRun(const ChaosConfig& config, ChaosWorld* world, ChaosReport* report)
+  ChaosRun(const ChaosConfig& config, ChaosWorld* world, ChaosReport* report,
+           SimulatedClock* sim)
       : config_(config),
         world_(world),
         report_(report),
+        sim_(sim),
         chaos_trace_(0xC0A05EEDull ^ config.seed) {}
 
   void Execute(const std::vector<ChaosEvent>& schedule) {
@@ -461,6 +486,25 @@ class ChaosRun {
         break;
       case ChaosEventKind::kDupReplay:
         DoDupReplay(ev.epoch);
+        break;
+      // The simulated-time events. Without a simulated clock they are
+      // no-ops (traced above), so a sim-authored schedule can replay in a
+      // wall world without faulting — it just cannot reproduce the bug.
+      case ChaosEventKind::kClockSkew:
+        if (sim_ != nullptr) {
+          sim_->StepNode(ev.a, Micros(ev.skew_us));
+        }
+        break;
+      case ChaosEventKind::kClockDrift:
+        if (sim_ != nullptr) {
+          sim_->SetNodeDrift(ev.a, ev.drift);
+        }
+        break;
+      case ChaosEventKind::kReorderStorm:
+        if (sim_ != nullptr) {
+          net.HoldLink(ev.a, ev.b, ev.reorder_k);
+          reorder_active_ = true;
+        }
         break;
     }
   }
@@ -692,10 +736,12 @@ class ChaosRun {
   const ChaosConfig& config_;
   ChaosWorld* world_;
   ChaosReport* report_;
+  SimulatedClock* sim_ = nullptr;  // null in wall-clock runs
   const uint64_t chaos_trace_;
 
   int op_index_ = 0;
   bool armed_ = false;
+  bool reorder_active_ = false;  // a HoldLink is capturing packets
 
   // Schedule-mirrored link state.
   bool campus_cut_ = false;
@@ -732,6 +778,14 @@ void ChaosRun::EndEpoch(int epoch) {
     }
     injector.Disarm();
     armed_ = false;
+  }
+  if (reorder_active_) {
+    // Flush the reordering storm before the quiescence barrier: the held
+    // packets re-enter the heaps in a seed-shuffled order (so the shuffle
+    // is schedule-deterministic, keyed off the epoch) and deliver
+    // back-to-back. Conservation and at-most-once must absorb the storm.
+    network().ReleaseHeld(config_.seed ^ (0x0DDC0DEull * (epoch + 1)));
+    reorder_active_ = false;
   }
   if (config_.supervised) {
     // Let the supervisor finish any in-progress restart before checking.
@@ -906,6 +960,10 @@ void ChaosRun::CheckWitnesses(int epoch) {
 void ChaosRun::Epilogue() {
   FaultInjector::Instance().Disarm();
   armed_ = false;
+  if (reorder_active_) {
+    network().ReleaseHeld(config_.seed ^ 0x0DDC0DEull);
+    reorder_active_ = false;
+  }
   // Unconditionally heal *everything*, whether or not the schedule cut it:
   // this is what makes any subset of a sane schedule sane, which the
   // shrinker depends on. The call count is fixed, so link_epoch stays
@@ -936,6 +994,26 @@ void ChaosRun::Epilogue() {
         if (!up.ok()) {
           AddViolation(-1, "settle.restart", up.ToString());
         }
+      }
+    }
+    if (config_.sim_time) {
+      // The reliable-send receipt ack fires on dequeue, before the apply.
+      // On the wall clock the apply always wins the race to CheckFinal,
+      // but on simulated time the tally guardian can still be inside a
+      // virtual store-latency sleep while the harness runs ahead in real
+      // time. A read probe is FIFO-ordered behind every pending add on
+      // the port, so its reply means sum() is final.
+      Deadline deadline(config_.settle_deadline);
+      RemoteCallOptions probe;
+      probe.timeout = config_.op_timeout;
+      bool tally_ok = false;
+      while (!deadline.Expired() && !tally_ok) {
+        auto r = RemoteCall(*clerk(), world_->tally_port, "read", {},
+                            TallyReplyType(), probe);
+        tally_ok = r.ok() && r->command == "tally_ok";
+      }
+      if (!tally_ok) {
+        AddViolation(-1, "settle.probe", "tally never answered the probe");
       }
     }
   } else {
@@ -1146,6 +1224,19 @@ std::string ChaosEvent::Describe() const {
     case ChaosEventKind::kDupReplay:
       what = "dup-replay";
       break;
+    case ChaosEventKind::kClockSkew:
+      what = "clock-skew " + na + " " +
+             (skew_us >= 0 ? "+" : "") + std::to_string(skew_us) + "us";
+      break;
+    case ChaosEventKind::kClockDrift: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.3fx", drift);
+      what = "clock-drift " + na + " " + buf;
+      break;
+    }
+    case ChaosEventKind::kReorderStorm:
+      what = "reorder-storm " + pair + " k=" + std::to_string(reorder_k);
+      break;
   }
   return "e" + std::to_string(epoch) + " " + what;
 }
@@ -1216,6 +1307,10 @@ LinkParams StormParams(Rng& g, bool allow_dup) {
 
 std::vector<ChaosEvent> ChaosEngine::GenerateSchedule() const {
   Rng g(config_.seed ^ 0xC0A05EEDull);
+  // The sim-time chapter draws from its own stream so the wall-mode menu
+  // sees the exact same draws whether or not sim_time is set: the wall
+  // events of a sim schedule equal the wall schedule for the same seed.
+  Rng sim_g(config_.seed ^ 0x51D0C10Cull);
   std::vector<ChaosEvent> out;
   // Heals scheduled against faults already emitted, keyed by target epoch.
   std::multimap<int, ChaosEvent> pending;
@@ -1389,6 +1484,38 @@ std::vector<ChaosEvent> ChaosEngine::GenerateSchedule() const {
     if (e >= 2 && g.NextBool(0.35)) {
       out.push_back({ChaosEventKind::kDupReplay, e});
     }
+    // Simulated-time chapter: appended after the wall-mode menu for the
+    // epoch and drawn from the independent sim_g stream, so a seed's wall
+    // schedule is byte-identical with sim_time on or off (the pinned-seed
+    // counts in ci.sh depend on the wall half never moving).
+    if (config_.sim_time) {
+      if (sim_g.NextBool(0.45)) {
+        ChaosEvent ev{ChaosEventKind::kClockSkew, e};
+        ev.a = static_cast<NodeId>(1 + sim_g.NextBelow(3));
+        const bool forward = sim_g.NextBool(0.5);
+        const int64_t mag =
+            static_cast<int64_t>(1000 + sim_g.NextBelow(2'000'000));
+        ev.skew_us = forward ? mag : -mag;
+        out.push_back(ev);
+      }
+      if (sim_g.NextBool(0.3)) {
+        ChaosEvent ev{ChaosEventKind::kClockDrift, e};
+        ev.a = static_cast<NodeId>(1 + sim_g.NextBelow(3));
+        // 0.5x .. 2.0x in deterministic 1/16 steps; never exactly the
+        // degenerate near-zero rates the clock clamps anyway.
+        ev.drift = 0.5 + 0.0625 * static_cast<double>(sim_g.NextBelow(25));
+        out.push_back(ev);
+      }
+      if (sim_g.NextBool(0.3)) {
+        // Reordering storms ride the fire-and-forget noise link: held
+        // packets deliver late (after the epoch's ops), so a link whose
+        // senders wait for replies would read every hold as a timeout.
+        ChaosEvent ev{ChaosEventKind::kReorderStorm, e, kClientNode,
+                      kAnnexNode};
+        ev.reorder_k = 2 + sim_g.NextBelow(7);
+        out.push_back(ev);
+      }
+    }
   }
   return out;
 }
@@ -1400,21 +1527,36 @@ ChaosReport ChaosEngine::RunSchedule(const std::vector<ChaosEvent>& schedule) {
   report.seed = config_.seed;
   report.schedule = schedule;
   NodeRuntime::SetSkipDedupJournalForTesting(config_.plant_dedup_bug);
+  NodeRuntime::SetDedupSweepOnLocalClockForTesting(config_.plant_clock_bug);
+  // The virtual clock must outlive the world (every wait in it is
+  // registered here) and its auto-stepper runs for the whole lifetime:
+  // any phase of the run — construction, workload, teardown — may block
+  // on a virtual deadline only a step can cross.
+  std::unique_ptr<SimulatedClock> sim;
+  if (config_.sim_time) {
+    sim = std::make_unique<SimulatedClock>();
+    sim->StartAutoStep(kAutoStepQuiet);
+  }
   {
-    auto world = BuildWorld(config_);
+    auto world = BuildWorld(config_, sim.get());
     if (!world.ok()) {
       NodeRuntime::SetSkipDedupJournalForTesting(false);
+      NodeRuntime::SetDedupSweepOnLocalClockForTesting(false);
       report.violations.push_back(
           {-1, "harness.build", world.status().ToString()});
       return report;
     }
-    ChaosRun run(config_, world->get(), &report);
+    ChaosRun run(config_, world->get(), &report, sim.get());
     run.Execute(schedule);
     if ((*world)->supervisor) {
       (*world)->supervisor->Stop();
     }
   }
+  if (sim) {
+    sim->StopAutoStep();
+  }
   NodeRuntime::SetSkipDedupJournalForTesting(false);
+  NodeRuntime::SetDedupSweepOnLocalClockForTesting(false);
   return report;
 }
 
@@ -1425,23 +1567,51 @@ ShrinkResult ShrinkSchedule(const ChaosConfig& config,
   ShrinkResult result;
   result.minimal = failing;
   ChaosEngine engine(config);
-  // Greedy delta-debugging to a fixpoint: drop one event at a time, keep
-  // any removal that still fails, restart the scan from the smaller
-  // schedule. The engine's always-heal epilogue makes every subset sane.
-  bool improved = true;
-  while (improved) {
-    improved = false;
-    for (size_t i = 0; i < result.minimal.size(); ++i) {
-      std::vector<ChaosEvent> candidate = result.minimal;
-      candidate.erase(candidate.begin() + static_cast<long>(i));
-      ++result.runs;
-      ChaosReport attempt = engine.RunSchedule(candidate);
-      if (!attempt.ok()) {
+  // ddmin chunk removal (Zeller & Hildebrandt): split the schedule into n
+  // chunks and try dropping whole chunks, doubling n only when no chunk is
+  // removable. A 12-event schedule whose failure needs two events sheds
+  // its decoys a half/quarter at a time instead of one event per O(n)
+  // scan; at n == size the granularity is single events, so the loop
+  // can only exit 1-minimal (every remaining event was proven necessary).
+  // The engine's always-heal epilogue makes every subset a sane schedule.
+  auto fails = [&](const std::vector<ChaosEvent>& candidate) {
+    ++result.runs;
+    ChaosReport attempt = engine.RunSchedule(candidate);
+    if (!attempt.ok()) {
+      result.final_report = std::move(attempt);
+      return true;
+    }
+    return false;
+  };
+  size_t n = 2;
+  while (result.minimal.size() >= 2) {
+    const size_t len = result.minimal.size();
+    n = std::min(n, len);
+    bool reduced = false;
+    for (size_t chunk = 0; chunk < n; ++chunk) {
+      const size_t begin = chunk * len / n;
+      const size_t end = (chunk + 1) * len / n;
+      std::vector<ChaosEvent> candidate;
+      candidate.reserve(len - (end - begin));
+      candidate.insert(candidate.end(), result.minimal.begin(),
+                       result.minimal.begin() + static_cast<long>(begin));
+      candidate.insert(candidate.end(),
+                       result.minimal.begin() + static_cast<long>(end),
+                       result.minimal.end());
+      if (fails(candidate)) {
         result.minimal = std::move(candidate);
-        result.final_report = std::move(attempt);
-        improved = true;
+        // Complement of chunk i under granularity n has n-1 natural
+        // chunks; restarting there re-tests every surviving chunk.
+        n = n > 2 ? n - 1 : 2;
+        reduced = true;
         break;
       }
+    }
+    if (!reduced) {
+      if (n >= len) {
+        break;  // single-event granularity, nothing removable: 1-minimal
+      }
+      n = std::min(2 * n, len);
     }
   }
   if (result.final_report.violations.empty()) {

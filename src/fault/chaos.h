@@ -23,10 +23,10 @@
 //     + hard_fail, and net.dup.injected == packets_duplicated
 //
 // On a violation the engine dumps the seed, the full event schedule and
-// DumpTrace output; ChaosShrinker then re-runs the same schedule with
-// events removed (greedy delta-debugging) until no single event can be
-// dropped without the failure disappearing — the minimal failing schedule
-// a human debugs.
+// DumpTrace output; ShrinkSchedule then delta-debugs the schedule (ddmin
+// chunk removal) down to a 1-minimal failing schedule — no single event
+// can be dropped without the failure disappearing — which is what a
+// human debugs.
 //
 // Determinism: in the default (unsupervised) mode the workload is driven
 // in lockstep — each operation completes (or times out) before the next
@@ -60,6 +60,13 @@ enum class ChaosEventKind {
   kStoreFail,        // node a's stable store starts failing mutations
   kStoreHeal,        // the store works again
   kDupReplay,        // re-send a duplicate of a completed non-idempotent op
+  // Simulated-time events (generated only when ChaosConfig::sim_time; a
+  // wall-clock RunSchedule treats them as no-ops so hand-built schedules
+  // stay portable):
+  kClockSkew,        // step node a's clock by skew_us (may be negative)
+  kClockDrift,       // node a's clock runs at `drift` x base speed
+  kReorderStorm,     // hold up to reorder_k packets on the a<->b link;
+                     // released in a seed-shuffled order at epoch end
 };
 
 struct ChaosEvent {
@@ -71,6 +78,9 @@ struct ChaosEvent {
   std::string crash_point;  // kCrash, supervised mode: armed site; empty =
                             // direct power failure between operations
   uint64_t nth_hit = 1;     // which hit of crash_point fires
+  int64_t skew_us = 0;      // kClockSkew: step size (negative = backward)
+  double drift = 1.0;       // kClockDrift: rate vs base time
+  uint64_t reorder_k = 0;   // kReorderStorm: max packets held
 
   std::string Describe() const;
 };
@@ -103,6 +113,22 @@ struct ChaosConfig {
   // Plant the known at-most-once bug (NodeRuntime skips the dedup journal
   // write) for the shrinker proof. Tests only.
   bool plant_dedup_bug = false;
+  // Run the whole world on a SimulatedClock owned by RunSchedule (with an
+  // auto-stepper driving virtual time). Unlocks the clock-skew / drift /
+  // reordering events above; timeout-heavy schedules finish at simulation
+  // speed. Off by default: the wall-clock build and its pinned seeds are
+  // untouched.
+  bool sim_time = false;
+  // Receiver dedup-session idle GC horizon, forwarded to SystemConfig
+  // (0 = sweep disabled). Only meaningful with sim_time skew schedules or
+  // very long runs.
+  Micros dedup_session_idle{0};
+  // Plant the TTL-on-local-clock bug (NodeRuntime measures dedup-session
+  // idleness on the node's skewable clock instead of the monotonic base
+  // clock). Only a sim_time schedule with a forward skew step >= the idle
+  // horizon can expose it — wall-clock chaos cannot reproduce it
+  // deterministically. Tests only.
+  bool plant_clock_bug = false;
 };
 
 // Outcome counts that must be bit-identical across the shard/batch grid in
@@ -175,10 +201,14 @@ struct ShrinkResult {
   ChaosReport final_report;         // the report of the minimal schedule
 };
 
-// Greedy delta-debugging: repeatedly re-run with single events removed,
-// keeping any removal that still fails, until a fixpoint. The engine's
-// epilogue heals every fault regardless of schedule content, so any subset
-// of a sane schedule is itself sane (no stuck partitions/stores).
+// ddmin (Zeller/Hildebrandt) chunk removal: split the schedule into n
+// chunks, try dropping each whole chunk, restart coarse on success and
+// double the granularity on failure, until no single event can be removed
+// (1-minimal). Removing a chunk of k events costs one re-run instead of
+// k, so a 12-event schedule with a 2-event culprit shrinks in ~a dozen
+// runs rather than ~60. The engine's epilogue heals every fault
+// regardless of schedule content, so any subset of a sane schedule is
+// itself sane (no stuck partitions/stores).
 ShrinkResult ShrinkSchedule(const ChaosConfig& config,
                             const std::vector<ChaosEvent>& failing);
 

@@ -11,6 +11,7 @@ namespace guardians {
 Supervisor::Supervisor(System* system, SupervisorConfig config)
     : system_(system),
       config_(config),
+      clock_(system->clock()),
       crashes_detected_(system->metrics().counter(
           "supervisor.crashes_detected")),
       restarts_(system->metrics().counter("supervisor.restarts")),
@@ -117,7 +118,8 @@ void Supervisor::RunLoop() {
     lk.unlock();
     Scan();
     lk.lock();
-    cv_.wait_for(lk, config_.poll_interval, [this] { return !running_; });
+    clock_->WaitUntil(cv_, lk, clock_->Now() + config_.poll_interval,
+                      [this] { return !running_; });
   }
 }
 
@@ -143,7 +145,7 @@ void Supervisor::Scan() {
 
 void Supervisor::HandleDown(NodeId id, NodeRuntime& node) {
   {
-    const TimePoint now = Now();
+    const TimePoint now = clock_->Now();
     std::lock_guard<std::mutex> lock(mu_);
     NodeState& st = state_[id];
     if (!st.down_seen) {
@@ -192,7 +194,7 @@ void Supervisor::HandleDown(NodeId id, NodeRuntime& node) {
   if (restarted.ok()) {
     ++st.restarts;
     st.down_seen = false;
-    st.last_recovery = Now();
+    st.last_recovery = clock_->Now();
     restarts_->Inc();
     recovery_us_->Observe(recovery_us);
     system_->traces().Record(trace_id_, static_cast<uint32_t>(id),
@@ -208,7 +210,7 @@ void Supervisor::HandleDown(NodeId id, NodeRuntime& node) {
     if (st.strikes >= config_.quarantine_strikes) {
       QuarantineLocked(st, id, restarted.ToString());
     } else {
-      st.restart_at = Now() + NextBackoffLocked(st.strikes);
+      st.restart_at = clock_->Now() + NextBackoffLocked(st.strikes);
     }
   }
 }

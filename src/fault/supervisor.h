@@ -103,6 +103,11 @@ class Supervisor {
 
   System* system_;
   const SupervisorConfig config_;
+  // The system's base time source: poll cadence, backoff deadlines and
+  // the rapid-crash window all run on it, so a simulated clock drives
+  // supervision too (recovery_us_ stays a wall measurement — it reports
+  // real Restart() cost, not modeled time).
+  const ClockSource* clock_;
 
   Counter* crashes_detected_;
   Counter* restarts_;

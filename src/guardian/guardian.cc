@@ -126,8 +126,9 @@ Result<Received> Guardian::Receive(const std::vector<Port*>& ports,
     (void)p;
   }
   const bool infinite = timeout == Micros::max();
-  const Deadline deadline = infinite ? Deadline::Infinite()
-                                     : Deadline(timeout);
+  const ClockSource& clock = runtime_->clock();
+  const Deadline deadline = infinite ? Deadline::Infinite(&clock)
+                                     : Deadline(timeout, &clock);
   std::unique_lock<std::mutex> lock(mailbox_.mu);
   for (;;) {
     if (mailbox_.closed) {
@@ -148,11 +149,10 @@ Result<Received> Guardian::Receive(const std::vector<Port*>& ports,
       }
     }
     if (infinite) {
-      mailbox_.cv.wait(lock);
+      clock.WaitOnce(mailbox_.cv, lock, TimePoint::max());
     } else {
       if (deadline.Expired() ||
-          mailbox_.cv.wait_until(lock, deadline.at()) ==
-              std::cv_status::timeout) {
+          clock.WaitOnce(mailbox_.cv, lock, deadline.at())) {
         // Check once more: a message may have arrived with the timeout.
         for (Port* p : ports) {
           if (p->HasMessageLocked()) {

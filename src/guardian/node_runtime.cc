@@ -33,6 +33,8 @@ CrashPoint crash_dedup_after_journal("node.dedup.after_journal");
 // See NodeRuntime::SetSkipDedupJournalForTesting: the chaos harness plants
 // this bug to prove its shrinker can find it.
 std::atomic<bool> g_skip_dedup_journal{false};
+// See NodeRuntime::SetDedupSweepOnLocalClockForTesting.
+std::atomic<bool> g_dedup_sweep_local_clock{false};
 
 constexpr GuardianId kPrimordialId = 1;
 constexpr char kMetaLogName[] = "node/meta";
@@ -136,9 +138,11 @@ PortType AckPortType() {
 
 NodeRuntime::NodeRuntime(System* system, NodeId id, std::string name,
                          uint64_t seed)
-    : system_(system), id_(id), name_(std::move(name)), rng_(seed),
+    : system_(system), id_(id), name_(std::move(name)),
+      clock_(system->clock_for_node(id)), rng_(seed),
       flow_(system->config().flow, &system->metrics(), &system->traces(),
-            id) {
+            id, system->clock_for_node(id)) {
+  stable_store_.SetClock(clock_);
   MetricsRegistry& metrics = system_->metrics();
   counters_.sent = metrics.counter("node.messages_sent");
   counters_.delivered = metrics.counter("deliver.delivered");
@@ -160,6 +164,8 @@ NodeRuntime::NodeRuntime(System* system, NodeId id, std::string name,
   counters_.dup_suppressed = metrics.counter("deliver.dup.suppressed");
   counters_.dup_replayed = metrics.counter("deliver.dup.replayed");
   counters_.dedup_journaled = metrics.counter("node.dedup.journaled");
+  counters_.dedup_sessions_expired =
+      metrics.counter("node.dedup.sessions_expired");
   counters_.control_overflow = metrics.counter("deliver.control_overflow");
   counters_.nacks_shed = metrics.counter("flow.nacks_shed");
   counters_.reassembly_expired = metrics.counter("net.reassembly.expired");
@@ -729,13 +735,14 @@ void NodeRuntime::DeliverBatch(std::vector<Packet>&& batch) {
   // reassembly completion was at most one gather, usually none.
   std::vector<BufferSlice> completed;
   std::vector<uint64_t> completed_traces;
+  const TimePoint node_now = clock_->Now();
   {
     std::lock_guard<std::mutex> lock(reassembler_mu_);
     const uint64_t expired_before = reassembler_.expired();
     const uint64_t sessions_before = reassembler_.session_dropped();
     for (Packet& packet : batch) {
       const uint64_t trace_id = packet.trace_id;
-      auto added = reassembler_.Add(std::move(packet));
+      auto added = reassembler_.Add(std::move(packet), node_now);
       if (!added.ok()) {
         counters_.drop_corrupt_fragment->Inc();
         system_->traces().Record(trace_id, id_,
@@ -911,12 +918,37 @@ void NodeRuntime::DispatchEnvelopes(std::vector<Envelope> envelopes) {
   // execute once the target exists.
   {
     std::lock_guard<std::mutex> lock(dedup_mu_);
+    // Activity stamps use the system's monotonic base clock: session
+    // idleness is a TTL, and TTLs measured on a skewable clock misfire on
+    // every jump. (Under the wall clock this is the same clock as the
+    // node view.)
+    const TimePoint gate_now = system_->clock()->Now();
+    uint64_t expired_sessions = 0;
+    const Micros idle = system_->config().dedup_session_idle;
+    if (idle.count() > 0) {
+      // Idle-session GC, amortized like the reassembler sweep: at most
+      // once per idle/4. The sweep measures against the same monotonic
+      // clock the stamps were written with — unless the planted
+      // local-clock bug is armed, in which case it consults the node's
+      // skewable view and a forward skew step >= idle expires sessions
+      // that are in active use.
+      const TimePoint sweep_now =
+          g_dedup_sweep_local_clock.load(std::memory_order_relaxed)
+              ? clock_->Now()
+              : gate_now;
+      if (sweep_now - dedup_last_sweep_ >= idle / 4 ||
+          sweep_now < dedup_last_sweep_) {
+        expired_sessions = dedup_.ExpireIdleSessions(sweep_now, idle);
+        dedup_last_sweep_ = sweep_now;
+      }
+    }
     for (Plan& plan : plans) {
       const Envelope& e = plan.env;
       if (!e.Tracked()) {
         continue;
       }
       plan.verdict = dedup_.Classify(e.session_id, e.dedup_seq, &plan.replay);
+      dedup_.Touch(e.session_id, gate_now);
       if (plan.verdict != DedupTable::Verdict::kFresh) {
         plan.original_acked = dedup_.Acked(e.session_id, e.dedup_seq);
         plan.action = Action::kSuppress;
@@ -926,10 +958,14 @@ void NodeRuntime::DispatchEnvelopes(std::vector<Envelope> envelopes) {
         continue;
       }
       dedup_.MarkSeen(e.session_id, e.dedup_seq);
+      dedup_.Touch(e.session_id, gate_now);
       if (e.HasReply()) {
         pending_replies_[e.reply_to] =
             PendingReply{e.session_id, e.dedup_seq};
       }
+    }
+    if (expired_sessions > 0) {
+      counters_.dedup_sessions_expired->Inc(expired_sessions);
     }
   }
 
@@ -1189,6 +1225,10 @@ void NodeRuntime::SendFlowNack(const Envelope& dropped, const Port& port) {
 
 void NodeRuntime::SetSkipDedupJournalForTesting(bool skip) {
   g_skip_dedup_journal.store(skip, std::memory_order_relaxed);
+}
+
+void NodeRuntime::SetDedupSweepOnLocalClockForTesting(bool local) {
+  g_dedup_sweep_local_clock.store(local, std::memory_order_relaxed);
 }
 
 void NodeRuntime::MaybeJournalReply(const Envelope& env) {

@@ -85,6 +85,11 @@ class NodeRuntime {
   NodeId id() const { return id_; }
   const std::string& name() const { return name_; }
   System& system() { return *system_; }
+  // This node's view of time. Everything the node does with time — send
+  // deadlines, retry backoffs, reassembly ages, dedup-session idleness —
+  // goes through here, so a simulated clock (with per-node skew) governs
+  // the whole node.
+  const ClockSource& clock() const { return *clock_; }
   StableStore& stable_store() { return stable_store_; }
   TransmitRegistry& transmit_registry() { return transmit_registry_; }
 
@@ -179,6 +184,18 @@ class NodeRuntime {
   // exactly the violation the chaos shrinker must isolate. Process-wide,
   // tests only; never set in production paths.
   static void SetSkipDedupJournalForTesting(bool skip);
+  // Second planted-bug switch: when true, the dedup-session idle sweep
+  // measures idleness against the node's *local* (skewable) clock, while
+  // activity stamps use the system's monotonic base clock — the classic
+  // TTL-on-wall-clock bug. A forward skew step of at least the idle
+  // horizon then makes every live session look idle: the sweep forgets
+  // the at-most-once window and the next duplicate of a completed op
+  // re-executes. The correct sweep (flag off) measures stamps and ages on
+  // the same monotonic base clock, so no skew can misfire it. Under the
+  // wall clock node views equal the base clock and the flag changes
+  // nothing — only a simulated-time skew schedule can expose it.
+  // Process-wide, tests only.
+  static void SetDedupSweepOnLocalClockForTesting(bool local);
   // `trace_id` ties the synthesized failure into the lost message's trace.
   void SendSystemFailure(const PortName& to, const std::string& reason,
                          uint64_t trace_id = 0);
@@ -261,6 +278,7 @@ class NodeRuntime {
   System* system_;
   const NodeId id_;
   const std::string name_;
+  const ClockSource* clock_;  // borrowed from system (per-node view)
 
   StableStore stable_store_;
   TransmitRegistry transmit_registry_;
@@ -295,6 +313,7 @@ class NodeRuntime {
   // the lock, so the journal path cannot deadlock against delivery).
   mutable std::mutex dedup_mu_;
   DedupTable dedup_;
+  TimePoint dedup_last_sweep_{};  // idle-GC cadence; guarded by dedup_mu_
   struct PendingReply {
     uint64_t session = 0;
     uint64_t seq = 0;
@@ -332,6 +351,8 @@ class NodeRuntime {
     Counter* dup_suppressed = nullptr;
     Counter* dup_replayed = nullptr;
     Counter* dedup_journaled = nullptr;
+    // Dedup sessions dropped by the idle GC (config dedup_session_idle).
+    Counter* dedup_sessions_expired = nullptr;
     // Control messages admitted into port headroom above capacity — how
     // often the control-vs-data shedding policy actually fired.
     Counter* control_overflow = nullptr;

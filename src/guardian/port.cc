@@ -217,6 +217,44 @@ DedupTable::Snapshot() const {
   return out;
 }
 
+void DedupTable::Touch(uint64_t session, TimePoint now) {
+  auto it = sessions_.find(session);
+  if (it == sessions_.end()) {
+    return;  // only stamp sessions some Mark/Cache call created
+  }
+  if (now > it->second.last_touch) {
+    it->second.last_touch = now;
+  }
+}
+
+size_t DedupTable::ExpireIdleSessions(TimePoint now, Micros idle) {
+  size_t dropped = 0;
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    const TimePoint stamp = it->second.last_touch;
+    // Never-stamped sessions (journal recovery) age from epoch zero and
+    // are collectable like any other; future stamps clamp to zero age.
+    const Micros age = now <= stamp
+                           ? Micros(0)
+                           : std::chrono::duration_cast<Micros>(now - stamp);
+    if (age < idle) {
+      ++it;
+      continue;
+    }
+    const uint64_t session = it->first;
+    it = sessions_.erase(it);
+    ++dropped;
+    for (auto r = reply_fifo_.begin(); r != reply_fifo_.end();) {
+      if (r->first == session) {
+        replies_.erase(*r);
+        r = reply_fifo_.erase(r);
+      } else {
+        ++r;
+      }
+    }
+  }
+  return dropped;
+}
+
 void DedupTable::Clear() {
   sessions_.clear();
   replies_.clear();

@@ -26,6 +26,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/common/clock.h"
 #include "src/value/port_type.h"
 #include "src/value/value.h"
 
@@ -232,6 +233,20 @@ class DedupTable {
   std::vector<std::pair<std::pair<uint64_t, uint64_t>, CachedReply>>
   Snapshot() const;
 
+  // Stamp activity for `session` at `now` (the node's clock). NodeRuntime
+  // calls this from the batch dedup gate for every tracked envelope, so a
+  // sender that keeps talking keeps its session alive.
+  void Touch(uint64_t session, TimePoint now);
+
+  // Drop every session idle for at least `idle` (plus its cached replies)
+  // and return how many were dropped. Dropping a session forgets its
+  // window — a *later* duplicate from that sender would classify kFresh
+  // and re-execute — so the idle horizon must exceed any retry span. A
+  // stamp in the future of `now` (the sweep raced a backward clock-skew
+  // step) counts as current, never as idle: elapsed time is clamped at
+  // zero, so skew can only delay a GC, not misfire one.
+  size_t ExpireIdleSessions(TimePoint now, Micros idle);
+
   void Clear();
 
   size_t session_count() const { return sessions_.size(); }
@@ -243,6 +258,7 @@ class DedupTable {
     uint64_t floor = 0;        // every seq <= floor counts as seen
     std::set<uint64_t> seen;   // exact seqs in (floor, high_water]
     std::set<uint64_t> acked;  // subset of seen whose receipt ack went out
+    TimePoint last_touch{};    // last Touch(); epoch-zero = never stamped
   };
 
   using Key = std::pair<uint64_t, uint64_t>;  // (session, seq)

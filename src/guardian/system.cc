@@ -9,9 +9,12 @@ namespace guardians {
 
 System::System(SystemConfig config)
     : config_(config),
+      clock_(config.sim_clock != nullptr
+                 ? static_cast<const ClockSource*>(config.sim_clock)
+                 : WallClock::Get()),
       rng_(config.seed),
       network_(config.seed ^ 0xA5A5A5A5ull, &metrics_, &traces_,
-               config.delivery_shards, config.delivery_batch_max) {
+               config.delivery_shards, config.delivery_batch_max, clock_) {
   network_.SetDefaultLink(config_.default_link);
   // System-defined port types every node may rely on.
   Status st = port_types_.Register(PrimordialPortType());
@@ -53,6 +56,13 @@ NodeRuntime& System::AddNode(const std::string& name) {
   return *raw;
 }
 
+const ClockSource* System::clock_for_node(NodeId id) const {
+  if (config_.sim_clock != nullptr) {
+    return config_.sim_clock->NodeView(id);
+  }
+  return clock_;
+}
+
 NodeRuntime& System::node(NodeId id) {
   std::lock_guard<std::mutex> lock(nodes_mu_);
   assert(id >= 1 && id <= nodes_.size());
@@ -79,6 +89,12 @@ bool System::NodeQuarantined(NodeId id) {
   return oracle && oracle(id);
 }
 
+// The quiescence barrier is harness machinery, so its own budget and
+// settle windows are *wall* time even on a simulated clock — but then the
+// in-flight packets it waits for are scheduled at virtual deliver_at
+// instants, so the barrier advances virtual time to the next pending
+// deadline whenever the drain stalls (redundant, and harmless, when an
+// auto-stepper is already driving the clock).
 bool System::WaitQuiescent(Micros deadline, Micros settle,
                            int stable_rounds) {
   const TimePoint give_up = Now() + deadline;
@@ -88,8 +104,11 @@ bool System::WaitQuiescent(Micros deadline, Micros settle,
     if (Now() > give_up) {
       return false;
     }
-    network_.DrainForTesting();
+    DrainNetwork(give_up);
     std::this_thread::sleep_for(settle);
+    if (config_.sim_clock != nullptr) {
+      config_.sim_clock->AdvanceToNextDeadline();
+    }
     const uint64_t sent = network_.stats().packets_sent;
     if (sent == last_sent) {
       ++rounds;
@@ -98,8 +117,21 @@ bool System::WaitQuiescent(Micros deadline, Micros settle,
       last_sent = sent;
     }
   }
-  network_.DrainForTesting();
+  DrainNetwork(give_up);
   return true;
+}
+
+void System::DrainNetwork(TimePoint wall_give_up) {
+  if (config_.sim_clock == nullptr) {
+    network_.DrainForTesting();
+    return;
+  }
+  while (!network_.DrainForTesting(Millis(1))) {
+    if (Now() > wall_give_up) {
+      return;
+    }
+    config_.sim_clock->AdvanceToNextDeadline();
+  }
 }
 
 void System::SyncBufferStats() {

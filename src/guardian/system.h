@@ -49,6 +49,20 @@ struct SystemConfig {
   // earn a replacement ack, and a burst of stale acks must not evict the
   // real one (satellite bugfix — this was a hardcoded 4).
   size_t sync_ack_capacity = 64;
+  // Time source selection (borrowed; must outlive the System). Null: the
+  // wall clock, bit-for-bit the pre-virtual-time behaviour. Non-null: the
+  // whole stack — network delivery heaps, flow-control holds, send
+  // primitive deadlines and backoffs, reassembly expiry, supervisor polls
+  // — runs on this simulated clock, and each node sees it through its own
+  // per-node view (so chaos skew/drift events can make nodes disagree
+  // about now).
+  SimulatedClock* sim_clock = nullptr;
+  // Receiver-side dedup-session GC: sessions with no tracked activity for
+  // this long (on the node's clock) are dropped — bounded memory for
+  // long-lived systems. 0 disables the sweep (the default; at-most-once
+  // across arbitrary silence). Chaos runs enable it to expose clock-skew
+  // interactions with the at-most-once window.
+  Micros dedup_session_idle{0};
 };
 
 class System {
@@ -66,6 +80,12 @@ class System {
   size_t node_count() const;
 
   Network& network() { return network_; }
+  // The system-wide (base) time source; never null.
+  const ClockSource* clock() const { return clock_; }
+  // The node's own view of time: a per-node skewable view when running on
+  // a simulated clock, the shared base source otherwise.
+  const ClockSource* clock_for_node(NodeId id) const;
+  SimulatedClock* sim_clock() const { return config_.sim_clock; }
   PortTypeRegistry& port_types() { return port_types_; }
   const WireLimits& limits() const { return config_.limits; }
   const SystemConfig& config() const { return config_; }
@@ -105,7 +125,13 @@ class System {
   void SyncBufferStats();
 
  private:
+  // Drain the network; on a simulated clock, step virtual time to the
+  // next pending deadline whenever the drain stalls (packets heaped at
+  // future virtual deliver_at instants only become due when stepped).
+  void DrainNetwork(TimePoint wall_give_up);
+
   SystemConfig config_;
+  const ClockSource* clock_;  // borrowed (or the shared WallClock)
   Rng rng_;
   // Observability must outlive (and be constructed before) the network and
   // the nodes: both cache Counter*/Histogram* pointers into the registry.

@@ -35,8 +35,9 @@ void FlowSlot::Release() {
 
 FlowController::FlowController(FlowControlConfig config,
                                MetricsRegistry* metrics, TraceBuffer* traces,
-                               uint32_t node)
-    : config_(config), traces_(traces), node_(node) {
+                               uint32_t node, const ClockSource* clock)
+    : config_(config), traces_(traces), node_(node),
+      clock_(clock != nullptr ? clock : WallClock::Get()) {
   if (metrics != nullptr) {
     credits_granted_ = metrics->counter("flow.credits_granted");
     implicit_credits_ = metrics->counter("flow.implicit_credits");
@@ -71,13 +72,13 @@ FlowSlot FlowController::Acquire(const PortName& to, const Deadline& deadline) {
     return slot;
   }
 
-  const TimePoint started = Now();
+  const TimePoint started = clock_->Now();
   bool deferred = false;
   for (;;) {
     // Re-look-up each iteration: a concurrent Reset() invalidates
     // references into entries_.
     Entry& entry = EntryFor(to);
-    const TimePoint now = Now();
+    const TimePoint now = clock_->Now();
     const bool congested = now < entry.congested_until;
     if (!congested &&
         static_cast<double>(entry.in_flight) < entry.window) {
@@ -107,11 +108,7 @@ FlowSlot FlowController::Acquire(const PortName& to, const Deadline& deadline) {
     // hold elapses; always bounded by the caller's deadline.
     TimePoint wake = deadline.IsInfinite() ? TimePoint::max() : deadline.at();
     if (congested) wake = std::min(wake, entry.congested_until);
-    if (wake == TimePoint::max()) {
-      cv_.wait(lock);
-    } else {
-      cv_.wait_until(lock, wake);
-    }
+    clock_->WaitOnce(cv_, lock, wake);
     if (shutdown_) {
       slot.ok_ = true;  // unaccounted: the node is going down anyway
       break;
@@ -119,7 +116,8 @@ FlowSlot FlowController::Acquire(const PortName& to, const Deadline& deadline) {
   }
   if (deferred && defer_wait_us_ != nullptr) {
     defer_wait_us_->Observe(
-        static_cast<uint64_t>(std::max<int64_t>(0, ToMicros(Now() - started))));
+        static_cast<uint64_t>(
+            std::max<int64_t>(0, ToMicros(clock_->Now() - started))));
   }
   return slot;
 }
@@ -185,7 +183,7 @@ void FlowController::OnFullNack(const PortName& port, uint32_t queue_depth,
   entry.reopen = entry.reopen.count() == 0
                      ? config_.reopen_initial
                      : std::min(entry.reopen * 2, config_.reopen_max);
-  entry.congested_until = Now() + entry.reopen;
+  entry.congested_until = clock_->Now() + entry.reopen;
   if (full_nacks_ != nullptr) full_nacks_->Inc();
   if (traces_ != nullptr) {
     traces_->Record(CurrentTraceId(), node_, "flow.nack",

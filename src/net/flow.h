@@ -93,9 +93,12 @@ class FlowSlot {
 class FlowController {
  public:
   // `metrics`/`traces` may be null (standalone unit tests). `node` labels
-  // trace events with the sending node id.
+  // trace events with the sending node id. `clock` drives the congested
+  // holds and deferred waits (null = wall clock; a node's view of a
+  // SimulatedClock makes the holds virtual and skewable).
   FlowController(FlowControlConfig config, MetricsRegistry* metrics,
-                 TraceBuffer* traces, uint32_t node);
+                 TraceBuffer* traces, uint32_t node,
+                 const ClockSource* clock = nullptr);
 
   FlowController(const FlowController&) = delete;
   FlowController& operator=(const FlowController&) = delete;
@@ -154,6 +157,7 @@ class FlowController {
   const FlowControlConfig config_;
   TraceBuffer* traces_;
   const uint32_t node_;
+  const ClockSource* clock_;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;

@@ -9,8 +9,9 @@
 namespace guardians {
 
 Network::Network(uint64_t seed, MetricsRegistry* metrics, TraceBuffer* traces,
-                 size_t shards, size_t batch_max)
-    : rng_(seed), metrics_(metrics), traces_(traces),
+                 size_t shards, size_t batch_max, const ClockSource* clock)
+    : clock_(clock != nullptr ? clock : WallClock::Get()), rng_(seed),
+      metrics_(metrics), traces_(traces),
       batch_max_(std::max<size_t>(batch_max, 1)) {
   if (metrics_ != nullptr) {
     delivery_latency_ = metrics_->histogram("net.delivery_latency_us");
@@ -39,12 +40,27 @@ Network::Network(uint64_t seed, MetricsRegistry* metrics, TraceBuffer* traces,
 Network::~Network() { Shutdown(); }
 
 void Network::Shutdown() {
+  uint64_t abandoned_holds = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (stopped_) {
       return;  // already shut down
     }
     stopped_ = true;
+    // Packets still captured by a reorder hold will never be released;
+    // count them dropped so conservation holds, and free the drain
+    // barrier from waiting on them.
+    abandoned_holds = held_.size();
+    stats_.packets_dropped += abandoned_holds;
+    for (const InFlight& entry : held_) {
+      CountDrop(entry.packet, "holdback_shutdown");
+    }
+    held_.clear();
+    held_pairs_.clear();
+    held_max_ = 0;
+  }
+  if (abandoned_holds > 0) {
+    FinishMany(abandoned_holds);
   }
   stopping_.store(true);
   for (auto& shard : shards_) {
@@ -242,7 +258,7 @@ void Network::Send(Packet packet) {
       return std::max<int64_t>(delay_us, 0);
     };
 
-    entry.sent_at = Now();
+    entry.sent_at = clock_->Now();
     entry.deliver_at = entry.sent_at + Micros(roll_delay());
     entry.seq = seq_++;
 
@@ -274,23 +290,47 @@ void Network::Send(Packet packet) {
       duplicate.emplace(std::move(copy));
     }
     entry.packet = std::move(packet);
+
+    // Reordering storm: a held link captures decided packets instead of
+    // scheduling them (the dice above rolled exactly as usual, so counts
+    // and the rng stream are unchanged); ReleaseHeld re-schedules them
+    // shuffled. Held copies are in flight — drains wait for the release.
+    if (!held_pairs_.empty() &&
+        held_pairs_.count(LinkKey(entry.packet.src, entry.packet.dst)) > 0) {
+      const uint64_t copies = duplicate.has_value() ? 2 : 1;
+      if (held_.size() + copies <= held_max_) {
+        in_flight_.fetch_add(copies, std::memory_order_acq_rel);
+        held_.push_back(std::move(entry));
+        if (duplicate.has_value()) {
+          held_.push_back(std::move(*duplicate));
+        }
+        return;
+      }
+    }
   }
 
   // The drop/corrupt/latency/duplication dice are cast; hand the copy (or
   // copies — a duplicate shares the destination, hence the shard) to its
   // destination's shard. in_flight_ rises before the worker can resolve
   // the packets, so DrainForTesting never observes a false zero.
-  Shard& shard = ShardFor(entry.packet.dst);
   const uint64_t copies = duplicate.has_value() ? 2 : 1;
   in_flight_.fetch_add(copies, std::memory_order_acq_rel);
+  EnqueueToShard(std::move(entry));
+  if (duplicate.has_value()) {
+    EnqueueToShard(std::move(*duplicate));
+  }
+}
+
+void Network::EnqueueToShard(InFlight&& entry) {
+  Shard& shard = ShardFor(entry.packet.dst);
   bool wake_worker = false;
   {
     std::lock_guard<std::mutex> lock(shard.mu);
     if (stopping_.load()) {
-      // Workers are gone; the packets silently vanish (they were "in
+      // Workers are gone; the packet silently vanishes (it was "in
       // flight" when the world stopped), and the drain barrier must not
-      // wait on them.
-      in_flight_.fetch_sub(copies, std::memory_order_acq_rel);
+      // wait on it.
+      in_flight_.fetch_sub(1, std::memory_order_acq_rel);
       return;
     }
     const bool was_empty = shard.heap.empty();
@@ -298,12 +338,8 @@ void Network::Send(Packet packet) {
         was_empty ? TimePoint{} : shard.heap.front().deliver_at;
     shard.heap.push_back(std::move(entry));
     std::push_heap(shard.heap.begin(), shard.heap.end(), DueLater{});
-    if (duplicate.has_value()) {
-      shard.heap.push_back(std::move(*duplicate));
-      std::push_heap(shard.heap.begin(), shard.heap.end(), DueLater{});
-    }
     if (shard.enqueued != nullptr) {
-      shard.enqueued->Inc(copies);
+      shard.enqueued->Inc();
     }
     // Wake coalescing: the worker only needs a signal when the heap went
     // empty -> non-empty (it may be in its indefinite wait) or when a new
@@ -319,9 +355,62 @@ void Network::Send(Packet packet) {
   }
 }
 
+void Network::HoldLink(NodeId a, NodeId b, size_t max_held) {
+  std::lock_guard<std::mutex> lock(mu_);
+  held_pairs_.insert(LinkKey(a, b));
+  held_pairs_.insert(LinkKey(b, a));
+  held_max_ = std::max(held_max_, max_held);
+  ++link_epoch_;
+}
+
+void Network::ReleaseHeld(uint64_t shuffle_seed) {
+  std::vector<InFlight> held;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    held = std::move(held_);
+    held_.clear();
+    held_pairs_.clear();
+    held_max_ = 0;
+    ++link_epoch_;
+    if (!held.empty()) {
+      // Fisher–Yates on a dedicated rng (the send-path dice stream must
+      // not depend on how many packets a hold captured), then deliver_at
+      // offsets one microsecond apart so each destination's heap pops
+      // the shuffled order verbatim, at any shard/batch configuration.
+      Rng shuffle(shuffle_seed ^ 0x5EED0DE2ull);
+      for (size_t i = held.size(); i > 1; --i) {
+        std::swap(held[i - 1], held[shuffle.NextBelow(i)]);
+      }
+      const TimePoint now = clock_->Now();
+      for (size_t i = 0; i < held.size(); ++i) {
+        held[i].deliver_at = now + Micros(static_cast<int64_t>(i));
+      }
+      if (metrics_ != nullptr) {
+        metrics_->counter("net.reorder.released")->Inc(held.size());
+      }
+    }
+  }
+  for (InFlight& entry : held) {
+    EnqueueToShard(std::move(entry));
+  }
+}
+
+size_t Network::held_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return held_.size();
+}
+
 void Network::DrainForTesting() {
   std::unique_lock<std::mutex> lock(drain_mu_);
   drained_cv_.wait(lock, [this] {
+    return in_flight_.load(std::memory_order_acquire) == 0 ||
+           stopping_.load();
+  });
+}
+
+bool Network::DrainForTesting(Micros wall_timeout) {
+  std::unique_lock<std::mutex> lock(drain_mu_);
+  return drained_cv_.wait_for(lock, wall_timeout, [this] {
     return in_flight_.load(std::memory_order_acquire) == 0 ||
            stopping_.load();
   });
@@ -382,13 +471,14 @@ void Network::ShardLoop(Shard& shard) {
       return;
     }
     if (shard.heap.empty()) {
-      shard.cv.wait(lock,
-                    [&] { return stopping_.load() || !shard.heap.empty(); });
+      clock_->WaitUntil(
+          shard.cv, lock, TimePoint::max(),
+          [&] { return stopping_.load() || !shard.heap.empty(); });
       continue;
     }
-    const TimePoint now = Now();
+    const TimePoint now = clock_->Now();
     if (now < shard.heap.front().deliver_at) {
-      shard.cv.wait_until(lock, shard.heap.front().deliver_at);
+      clock_->WaitOnce(shard.cv, lock, shard.heap.front().deliver_at);
       continue;
     }
 
@@ -461,7 +551,7 @@ void Network::DeliverGroup(Shard& shard, NodeId dst,
       for (InFlight& entry : group) {
         if (delivery_latency_ != nullptr) {
           delivery_latency_->Observe(static_cast<uint64_t>(
-              std::max<int64_t>(ToMicros(Now() - entry.sent_at), 0)));
+              std::max<int64_t>(ToMicros(clock_->Now() - entry.sent_at), 0)));
         }
         LinkCounters* link_counters = CountersForLink(entry.packet.src, dst);
         if (link_counters != nullptr) {

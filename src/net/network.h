@@ -110,10 +110,15 @@ class Network {
   // and per-hop trace events. `shards` is the number of delivery worker
   // threads (clamped to >= 1); destination nodes are statically assigned
   // to shards round-robin. `batch_max` bounds one drain (clamped to >= 1).
+  // `clock` is the time source for delivery scheduling (sent_at /
+  // deliver_at, the shard workers' timed waits). Null means the wall
+  // clock; a SimulatedClock runs the whole delivery engine on virtual
+  // time. Borrowed; must outlive the network.
   explicit Network(uint64_t seed = 1, MetricsRegistry* metrics = nullptr,
                    TraceBuffer* traces = nullptr,
                    size_t shards = kDefaultShards,
-                   size_t batch_max = kDefaultBatchMax);
+                   size_t batch_max = kDefaultBatchMax,
+                   const ClockSource* clock = nullptr);
   ~Network();
 
   Network(const Network&) = delete;
@@ -157,8 +162,22 @@ class Network {
   // True when from -> to is currently cut (by either kind of partition).
   bool IsPartitioned(NodeId from, NodeId to) const;
 
+  // Reordering storm (§1.1: the network may reorder messages, and a
+  // misbehaving switch may do so pathologically). After HoldLink, up to
+  // `max_held` packets sent on the a<->b link (either direction) are
+  // captured instead of scheduled; ReleaseHeld re-schedules every held
+  // packet in a seed-deterministic shuffled order (back-to-back
+  // deliver_at offsets force that order within each destination).
+  // Packets beyond `max_held` flow normally. Held packets stay in the
+  // in-flight count, so DrainForTesting waits for the release; Shutdown
+  // drops any still-held packets (counted, so conservation holds).
+  void HoldLink(NodeId a, NodeId b, size_t max_held);
+  void ReleaseHeld(uint64_t shuffle_seed);
+  size_t held_count() const;
+
   // Monotone counter bumped by every link mutation (SetLink,
-  // SetDefaultLink, SetPartitioned, SetPartitionedOneWay), under the same
+  // SetDefaultLink, SetPartitioned, SetPartitionedOneWay, HoldLink,
+  // ReleaseHeld), under the same
   // lock. Lets a harness assert that a scheduled storm or cut really was
   // applied, and marks epochs in traces.
   uint64_t link_epoch() const;
@@ -174,6 +193,11 @@ class Network {
   // mid-call (useful in tests). Packets a sink re-sends while draining are
   // waited for too. Returns immediately after Shutdown().
   void DrainForTesting();
+  // Same, but give up after `wall_timeout` of *real* time. Returns true
+  // iff the network drained (or stopped). Lets a simulated-time caller
+  // interleave drain attempts with virtual clock steps so packets heaped
+  // at future virtual deliver_at instants can become due.
+  bool DrainForTesting(Micros wall_timeout);
 
   // Stop every delivery worker and join them; no sink runs after this
   // returns. Idempotent. System teardown calls it before destroying the
@@ -249,7 +273,12 @@ class Network {
   LinkCounters* CountersForLink(NodeId src, NodeId dst);
   void CountDrop(const Packet& packet, const char* reason);
 
+  // Enqueue one decided entry onto its destination shard (wake-coalesced);
+  // the in-flight count must already cover it.
+  void EnqueueToShard(InFlight&& entry);
+
   mutable std::mutex mu_;
+  const ClockSource* clock_;
   std::atomic<bool> stopping_{false};
   bool stopped_ = false;  // guarded by mu_; makes Shutdown idempotent
   uint64_t seq_ = 0;
@@ -262,6 +291,9 @@ class Network {
   std::unordered_map<uint64_t, LinkParams> links_;
   std::unordered_set<uint64_t> partitions_;
   std::unordered_set<uint64_t> oneway_partitions_;  // directed src->dst cuts
+  std::unordered_set<uint64_t> held_pairs_;  // links under a reorder hold
+  std::vector<InFlight> held_;               // captured, unscheduled packets
+  size_t held_max_ = 0;
   uint64_t link_epoch_ = 0;
   MetricsRegistry* metrics_;  // may be null (standalone networks in tests)
   TraceBuffer* traces_;       // may be null

@@ -28,10 +28,15 @@ class CountdownLatch {
     cv_.wait(lock, [this] { return count_ == 0; });
   }
 
-  // False on timeout.
-  bool WaitFor(Micros timeout) {
+  // False on timeout. `clock` (default: wall) is the clock the timeout is
+  // measured on; pass a node's clock to make the wait virtual.
+  bool WaitFor(Micros timeout, const ClockSource* clock = nullptr) {
+    if (clock == nullptr) {
+      clock = WallClock::Get();
+    }
     std::unique_lock<std::mutex> lock(mu_);
-    return cv_.wait_for(lock, timeout, [this] { return count_ == 0; });
+    return clock->WaitUntil(cv_, lock, clock->Now() + timeout,
+                            [this] { return count_ == 0; });
   }
 
   uint64_t count() const {

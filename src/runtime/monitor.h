@@ -44,9 +44,16 @@ class Monitor {
     }
 
     // Returns false on timeout with the predicate still unsatisfied.
+    // `clock` (default: wall) measures the timeout; a guardian passes its
+    // node's clock so monitor waits run on virtual time.
     template <typename Pred>
-    bool WaitFor(Entry& entry, Micros timeout, Pred pred) {
-      return cv_.wait_for(entry.lock(), timeout, pred);
+    bool WaitFor(Entry& entry, Micros timeout, Pred pred,
+                 const ClockSource* clock = nullptr) {
+      if (clock == nullptr) {
+        clock = WallClock::Get();
+      }
+      return clock->WaitUntil(cv_, entry.lock(), clock->Now() + timeout,
+                              pred);
     }
 
     void Signal() { cv_.notify_one(); }

@@ -29,9 +29,10 @@ Result<ReliableSendResult> ReliableSend(Guardian& sender, const PortName& to,
   // One dedup sequence number for the whole call: every resend is the same
   // logical operation, so the receiver executes at most one of them.
   const uint64_t dedup_seq = sender.runtime().NextDedupSeq();
+  const ClockSource& clock = sender.runtime().clock();
   const Deadline overall = options.deadline.count() > 0
-                               ? Deadline(options.deadline)
-                               : Deadline::Infinite();
+                               ? Deadline(options.deadline, &clock)
+                               : Deadline::Infinite(&clock);
   for (int attempt = 1; attempt <= options.max_attempts; ++attempt) {
     if (overall.Expired()) {
       metrics.counter("sendprims.reliable.deadline_exceeded")->Inc();
@@ -80,7 +81,7 @@ Result<ReliableSendResult> ReliableSend(Guardian& sender, const PortName& to,
       const Micros delay(static_cast<int64_t>(jittered));
       if (delay.count() > 0) {
         backoff_hist->Observe(static_cast<uint64_t>(delay.count()));
-        std::this_thread::sleep_for(delay);
+        clock.SleepFor(delay);
         result.total_backoff += delay;
       }
       backoff_us = std::min(

@@ -26,8 +26,8 @@ Result<RemoteReply> RemoteCall(Guardian& caller, const PortName& to,
     // Defer-before-send against the destination's congestion window; a
     // window that stays closed for the attempt's whole timeout counts as
     // a timed-out attempt (the receiver is that congested).
-    FlowSlot slot =
-        caller.runtime().flow().Acquire(to, Deadline(options.timeout));
+    FlowSlot slot = caller.runtime().flow().Acquire(
+        to, Deadline(options.timeout, &caller.runtime().clock()));
     if (!slot.ok()) {
       last = Status(Code::kTimeout, "flow window closed for remote call");
       timeouts_counter->Inc();

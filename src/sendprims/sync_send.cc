@@ -11,7 +11,7 @@ Status SyncSend(Guardian& sender, const PortName& to,
   NodeRuntime& rt = sender.runtime();
   MetricsRegistry& metrics = rt.system().metrics();
   metrics.counter("sendprims.sync.calls")->Inc();
-  const Deadline deadline(timeout);
+  const Deadline deadline(timeout, &rt.clock());
   // Defer-before-send: claim a slot of the destination's congestion window
   // first. When the window is closed (or the destination is in a congested
   // hold after a full nack) the message waits here, at the sender, instead

@@ -124,7 +124,7 @@ void SpoolerGuardian::PrinterLoop() {
     lock.unlock();
     // "Print": the device is busy for a word-proportional time.
     if (per_word_.count() > 0 && words > 0) {
-      std::this_thread::sleep_for(per_word_ * words);
+      runtime().clock().SleepFor(per_word_ * words);
     }
     lock.lock();
     if (shutdown_) {

@@ -27,9 +27,11 @@ Status StableStore::Append(const std::string& name, const Bytes& data) {
   const bool two_phase = FaultInjectionActive() && data.size() > 1;
   const size_t first_half = two_phase ? data.size() / 2 : data.size();
   Micros latency{0};
+  const ClockSource* clock = nullptr;
   {
     std::lock_guard<std::mutex> lock(mu_);
     GUARDIANS_RETURN_IF_ERROR(FailedLocked());
+    clock = clock_;
     Bytes& stream = streams_[name];
     stream.insert(stream.end(), data.begin(), data.begin() + first_half);
     if (!two_phase) {
@@ -48,7 +50,7 @@ Status StableStore::Append(const std::string& name, const Bytes& data) {
   }
   if (latency.count() > 0) {
     // Model the synchronous wait for the write to reach stable media.
-    std::this_thread::sleep_for(latency);
+    (clock != nullptr ? clock : WallClock::Get())->SleepFor(latency);
   }
   return OkStatus();
 }
@@ -128,6 +130,11 @@ size_t StableStore::TotalBytes() const {
     total += cell.size();
   }
   return total;
+}
+
+void StableStore::SetClock(const ClockSource* clock) {
+  std::lock_guard<std::mutex> lock(mu_);
+  clock_ = clock;
 }
 
 void StableStore::SetWriteLatency(Micros latency) {

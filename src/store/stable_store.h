@@ -50,6 +50,10 @@ class StableStore {
   // --- Device model --------------------------------------------------------
   // Synchronous write latency applied on every Append (default: none).
   void SetWriteLatency(Micros latency);
+  // Clock the modeled write latency sleeps on (borrowed; default: wall).
+  // NodeRuntime points this at the node's clock so the device model runs
+  // on simulated time with everything else.
+  void SetClock(const ClockSource* clock);
   // Fault injection: chop `n` bytes off a stream's tail, as a crash in the
   // middle of a write would. The WAL's framing must recover.
   void ChopTail(const std::string& name, size_t n);
@@ -62,6 +66,8 @@ class StableStore {
 
  private:
   Status FailedLocked() const;
+
+  const ClockSource* clock_ = nullptr;  // null: wall clock
 
   mutable std::mutex mu_;
   std::map<std::string, Bytes> streams_;

@@ -41,7 +41,11 @@ std::vector<Packet> Fragment(BufferSlice message, uint64_t msg_id, NodeId src,
 }
 
 Result<std::optional<BufferSlice>> Reassembler::Add(Packet&& packet) {
-  const TimePoint now = Now();
+  return Add(std::move(packet), Now());
+}
+
+Result<std::optional<BufferSlice>> Reassembler::Add(Packet&& packet,
+                                                    TimePoint now) {
   if (expiry_.count() > 0 && now - last_sweep_ >= expiry_ / 4) {
     ExpireStale(now);
     last_sweep_ = now;

@@ -96,6 +96,10 @@ class Reassembler {
   // for a source drops that source's surviving partials outright — they
   // belong to a dead incarnation and can never complete legitimately.
   Result<std::optional<BufferSlice>> Add(Packet&& packet);
+  // Same, with the caller supplying "now" — how NodeRuntime runs the age
+  // sweep on the node's own (possibly simulated, possibly skewed) clock.
+  // The no-argument form uses the wall clock.
+  Result<std::optional<BufferSlice>> Add(Packet&& packet, TimePoint now);
 
   size_t partial_count() const { return partial_.size(); }
   uint64_t corrupt_dropped() const { return corrupt_dropped_; }
