@@ -1,0 +1,426 @@
+// Experiment DEADLINE — end-to-end deadline propagation under overload.
+//
+// DESIGN.md §16 threads a remaining-budget field through the wire so a
+// receiver can shed work whose caller has already given up: expired
+// envelopes are dropped before the dedup gate and before dispatch, and a
+// budget that dies while queued is discarded at dequeue instead of being
+// executed. This bench drives one slow sink (fixed per-message service
+// time) from a burst sender at 1x and 2x the sink's capacity and measures
+// goodput (in-deadline executions per second) plus the §16 wasted-work
+// story: the 2x leg is run once with the excess load carrying doomed
+// budgets (shedding on) and once with the excess load unbudgeted (the
+// pre-§16 behaviour, where the sink burns service time on work nobody is
+// waiting for).
+//
+// Four properties are checked, not just measured, by the custom main
+// (hard failure, exit 1):
+//  - no expired op produces an effect: zero doomed messages execute, and
+//    every one is accounted for in deliver.expired.shed;
+//  - goodput holds under 2x offered load: in-deadline goodput with
+//    shedding is within 10% of the 1x baseline — expired work costs the
+//    sink (almost) nothing;
+//  - queue-death is lazy but real: a budget that dies while queued is
+//    discarded at dequeue (deliver.expired.queue), never executed;
+//  - determinism survives: shed/delivery counts of a seeded burst are
+//    bit-identical across delivery_shards {1,4} x delivery_batch_max
+//    {1,64}, and on a simulated clock vs the wall clock.
+// Results land in BENCH_deadline.json for cross-PR tracking.
+#include <atomic>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace guardians {
+namespace {
+
+constexpr auto kServiceTime = Micros(150);  // sink's per-message work
+constexpr int kHealthy = 600;               // 1x load: the sink can keep up
+constexpr auto kHealthyBudget = Micros(10'000'000);  // never expires in-run
+constexpr auto kLinkLatency = Micros(100);
+// Doomed budget: below the link latency, so every doomed message ages out
+// in flight and must be shed at delivery — deterministically, because the
+// shed decision compares two constants (budget vs latency).
+constexpr uint64_t kDoomedBudget = 1;
+
+PortType WorkPortType() {
+  return PortType("overload_sink",
+                  {MessageSig{"work", {ArgType::Of(TypeTag::kString)}, {}}});
+}
+
+struct LegOutcome {
+  double elapsed_s = 0;       // first send -> last healthy execution
+  double goodput = 0;         // healthy (in-deadline) executions per second
+  double healthy_executed = 0;
+  double doomed_executed = 0;      // must stay 0: expired ops have no effect
+  double unbudgeted_executed = 0;  // pre-§16 wasted work (leg C only)
+  double expired_shed = 0;         // deliver.expired.shed
+  double expired_queue = 0;        // deliver.expired.queue
+};
+
+enum class Leg { kBaseline = 0, kOverloadShed = 1, kOverloadUnbudgeted = 2 };
+
+std::map<int, LegOutcome>& Outcomes() {
+  static std::map<int, LegOutcome> outcomes;
+  return outcomes;
+}
+
+// One leg: burst-send the workload into the sink's port, then measure the
+// wall time until the sink has executed every healthy message. kBaseline
+// sends kHealthy in-deadline messages; the overload legs interleave one
+// extra message per healthy one (2x offered load) — doomed 1us budgets
+// for kOverloadShed, no budget at all for kOverloadUnbudgeted.
+LegOutcome RunLeg(Leg leg) {
+  SystemConfig config;
+  config.seed = 47;
+  config.default_link.latency = kLinkLatency;
+  BenchWorld world(config);
+  NodeRuntime& sender_node = world.system.AddNode("senders");
+  NodeRuntime& sink_node = world.system.AddNode("sink");
+  Guardian* sender = world.Shell(sender_node, "sender");
+  Guardian* sink = world.Shell(sink_node, "sink");
+  Port* target = sink->AddPort(WorkPortType(), /*capacity=*/2048);
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> healthy{0};
+  std::atomic<uint64_t> doomed{0};
+  std::atomic<uint64_t> unbudgeted{0};
+  std::thread consumer([&] {
+    while (!stop.load()) {
+      auto got = sink->Receive(target, Millis(20));
+      if (!got.ok() || got->args.empty()) {
+        continue;
+      }
+      // The service time is paid per *executed* message; a shed or
+      // discarded one must never reach this line.
+      std::this_thread::sleep_for(kServiceTime);
+      const std::string& id = got->args[0].string_value();
+      switch (id.empty() ? '?' : id[0]) {
+        case 'h': healthy.fetch_add(1); break;
+        case 'x': doomed.fetch_add(1); break;
+        case 'u': unbudgeted.fetch_add(1); break;
+        default: break;
+      }
+    }
+  });
+
+  auto send = [&](const std::string& id, uint64_t budget_micros) {
+    (void)sender->SendFull(target->name(), "work", {Value::Str(id)},
+                           PortName{}, PortName{},
+                           sender_node.NextDedupSeq(), budget_micros);
+  };
+  const TimePoint start = Now();
+  for (int i = 0; i < kHealthy; ++i) {
+    send("h" + std::to_string(i),
+         static_cast<uint64_t>(kHealthyBudget.count()));
+    if (leg == Leg::kOverloadShed) {
+      send("x" + std::to_string(i), kDoomedBudget);
+    } else if (leg == Leg::kOverloadUnbudgeted) {
+      send("u" + std::to_string(i), /*budget_micros=*/0);
+    }
+  }
+  // Goodput clock stops when the last *healthy* message has executed; the
+  // unbudgeted leg keeps draining past that point (its excess work cannot
+  // expire, so the sink must grind through all of it eventually).
+  const Deadline give_up(Micros(30'000'000));
+  while (healthy.load() < static_cast<uint64_t>(kHealthy) &&
+         !give_up.Expired()) {
+    std::this_thread::sleep_for(Millis(1));
+  }
+  const double elapsed_s =
+      static_cast<double>(ToMicros(Now() - start)) / 1e6;
+  if (leg == Leg::kOverloadUnbudgeted) {
+    while (unbudgeted.load() < static_cast<uint64_t>(kHealthy) &&
+           !give_up.Expired()) {
+      std::this_thread::sleep_for(Millis(1));
+    }
+  }
+  world.system.WaitQuiescent(Millis(5000));
+  stop.store(true);
+  consumer.join();
+
+  LegOutcome out;
+  out.elapsed_s = elapsed_s;
+  out.healthy_executed = static_cast<double>(healthy.load());
+  out.goodput = elapsed_s > 0 ? out.healthy_executed / elapsed_s : 0;
+  out.doomed_executed = static_cast<double>(doomed.load());
+  out.unbudgeted_executed = static_cast<double>(unbudgeted.load());
+  out.expired_shed = static_cast<double>(
+      world.system.metrics().CounterValue("deliver.expired.shed"));
+  out.expired_queue = static_cast<double>(
+      world.system.metrics().CounterValue("deliver.expired.queue"));
+  return out;
+}
+
+void BM_Overload(benchmark::State& state) {
+  const Leg leg = static_cast<Leg>(state.range(0));
+  LegOutcome out;
+  for (auto _ : state) {
+    out = RunLeg(leg);
+    state.SetIterationTime(out.elapsed_s);
+  }
+  state.counters["goodput_msgs_per_s"] = benchmark::Counter(out.goodput);
+  state.counters["expired_shed"] = out.expired_shed;
+  state.counters["wasted_executions"] =
+      out.doomed_executed + out.unbudgeted_executed;
+  state.SetItemsProcessed(static_cast<int64_t>(out.healthy_executed));
+  Outcomes()[static_cast<int>(leg)] = out;
+}
+
+// Queue-death micro-scenario: two messages land while the sink is away; by
+// the time it dequeues, the short budget has died in the queue. The dead
+// entry must be lazily discarded at dequeue (deliver.expired.queue), and
+// only the live message may execute.
+bool CheckQueueDeath(BenchJson* json) {
+  SystemConfig config;
+  config.seed = 48;
+  config.default_link.latency = kLinkLatency;
+  BenchWorld world(config);
+  NodeRuntime& sender_node = world.system.AddNode("senders");
+  NodeRuntime& sink_node = world.system.AddNode("sink");
+  Guardian* sender = world.Shell(sender_node, "sender");
+  Guardian* sink = world.Shell(sink_node, "sink");
+  Port* target = sink->AddPort(WorkPortType(), /*capacity=*/16);
+
+  // FIFO: the short-budget message is pushed first, so it is popped first.
+  (void)sender->SendFull(target->name(), "work", {Value::Str("dies")},
+                         PortName{}, PortName{}, sender_node.NextDedupSeq(),
+                         /*budget=*/ToMicros(Millis(5)));
+  (void)sender->SendFull(target->name(), "work", {Value::Str("lives")},
+                         PortName{}, PortName{}, sender_node.NextDedupSeq(),
+                         /*budget=*/ToMicros(Micros(10'000'000)));
+  world.system.WaitQuiescent(Millis(2000));
+  std::this_thread::sleep_for(Millis(20));  // 4x the short budget: it died
+
+  auto got = sink->Receive(target, Millis(500));
+  const bool live_first = got.ok() && !got->args.empty() &&
+                          got->args[0].string_value() == "lives";
+  const double discarded = static_cast<double>(
+      world.system.metrics().CounterValue("deliver.expired.queue"));
+  json->Record("deadline/queue_death",
+               {{"discarded_at_dequeue", discarded},
+                {"live_executed", live_first ? 1.0 : 0.0}});
+  if (!live_first || discarded != 1.0) {
+    std::fprintf(stderr,
+                 "DEADLINE FAIL: queue-death leg expected 1 dequeue "
+                 "discard + the live message (got discarded=%.0f, "
+                 "live=%d)\n",
+                 discarded, live_first ? 1 : 0);
+    return false;
+  }
+  return true;
+}
+
+// The determinism leg: a seeded doomed/healthy burst replayed over the
+// delivery grid — and once on a simulated clock — must produce identical
+// shed and delivery counts everywhere, because the shed decision compares
+// the wire budget against the (constant) link latency, never against a
+// host-timing artifact.
+struct DetCounts {
+  NetworkStats net;
+  uint64_t expired_shed = 0;
+  uint64_t expired_queue = 0;
+  uint64_t port_full = 0;
+  bool operator==(const DetCounts& o) const {
+    return net.packets_sent == o.net.packets_sent &&
+           net.packets_delivered == o.net.packets_delivered &&
+           net.packets_dropped == o.net.packets_dropped &&
+           expired_shed == o.expired_shed &&
+           expired_queue == o.expired_queue && port_full == o.port_full;
+  }
+};
+
+DetCounts RunDeterminismLeg(size_t shards, size_t batch_max,
+                            SimulatedClock* sim) {
+  SystemConfig config;
+  config.seed = 49;
+  config.delivery_shards = shards;
+  config.delivery_batch_max = batch_max;
+  config.default_link.latency = kLinkLatency;
+  config.sim_clock = sim;
+  BenchWorld world(config);
+  NodeRuntime& sender_node = world.system.AddNode("senders");
+  NodeRuntime& sink_node = world.system.AddNode("sink");
+  Guardian* sender = world.Shell(sender_node, "sender");
+  Guardian* sink = world.Shell(sink_node, "sink");
+  Port* target = sink->AddPort(WorkPortType(), /*capacity=*/2048);
+  for (int i = 0; i < 120; ++i) {
+    const bool doom = (i % 2) == 1;
+    (void)sender->SendFull(
+        target->name(), "work",
+        {Value::Str((doom ? "x" : "h") + std::to_string(i))}, PortName{},
+        PortName{}, sender_node.NextDedupSeq(),
+        doom ? kDoomedBudget
+             : static_cast<uint64_t>(kHealthyBudget.count()));
+  }
+  world.system.WaitQuiescent(Millis(5000));
+  DetCounts c;
+  c.net = world.system.network().stats();
+  c.expired_shed =
+      world.system.metrics().CounterValue("deliver.expired.shed");
+  c.expired_queue =
+      world.system.metrics().CounterValue("deliver.expired.queue");
+  c.port_full =
+      world.system.metrics().CounterValue("deliver.drop.port_full");
+  return c;
+}
+
+int CheckAndRecord() {
+  auto& outcomes = Outcomes();
+  if (outcomes.empty()) {
+    return 0;  // filtered run (--benchmark_filter): nothing to check
+  }
+  BenchJson json("BENCH_deadline.json");
+  int failures = 0;
+  static const char* const kLegNames[] = {"baseline_1x", "overload_2x_shed",
+                                          "overload_2x_unbudgeted"};
+  for (const auto& [leg, out] : outcomes) {
+    json.Record(std::string("deadline/") + kLegNames[leg],
+                {{"goodput_msgs_per_s", out.goodput},
+                 {"elapsed_s", out.elapsed_s},
+                 {"healthy_executed", out.healthy_executed},
+                 {"doomed_executed", out.doomed_executed},
+                 {"unbudgeted_executed", out.unbudgeted_executed},
+                 {"expired_shed", out.expired_shed},
+                 {"expired_queue", out.expired_queue}});
+  }
+
+  const auto base = outcomes.find(static_cast<int>(Leg::kBaseline));
+  const auto shed = outcomes.find(static_cast<int>(Leg::kOverloadShed));
+  const auto unb =
+      outcomes.find(static_cast<int>(Leg::kOverloadUnbudgeted));
+  if (shed != outcomes.end()) {
+    // No expired op produces an effect, and every doomed message is
+    // accounted for by the shed path (delivery or queue discard).
+    if (shed->second.doomed_executed != 0) {
+      std::fprintf(stderr,
+                   "DEADLINE FAIL: %.0f expired messages executed (must "
+                   "be 0)\n",
+                   shed->second.doomed_executed);
+      ++failures;
+    }
+    const double accounted =
+        shed->second.expired_shed + shed->second.expired_queue;
+    if (accounted != static_cast<double>(kHealthy)) {
+      std::fprintf(stderr,
+                   "DEADLINE FAIL: %d doomed messages sent but %.0f shed "
+                   "(%.0f delivery + %.0f queue)\n",
+                   kHealthy, accounted, shed->second.expired_shed,
+                   shed->second.expired_queue);
+      ++failures;
+    }
+  }
+  if (base != outcomes.end() && shed != outcomes.end()) {
+    const double retention =
+        base->second.goodput > 0
+            ? shed->second.goodput / base->second.goodput
+            : 0;
+    json.Record("deadline/goodput_retention_2x", {{"ratio", retention}});
+    std::printf("DEADLINE: goodput at 2x load with shedding = %.0f msgs/s "
+                "(%.0f%% of the 1x baseline %.0f)\n",
+                shed->second.goodput, retention * 100,
+                base->second.goodput);
+    if (retention < 0.9) {
+      std::fprintf(stderr,
+                   "DEADLINE FAIL: goodput at 2x load is %.0f%% of the "
+                   "in-deadline baseline (< 90%%)\n",
+                   retention * 100);
+      ++failures;
+    }
+    if (unb != outcomes.end()) {
+      // The pre-§16 story, recorded for the wasted-work table (not a hard
+      // gate — it is a measurement of the *absence* of shedding).
+      const double unb_retention =
+          base->second.goodput > 0
+              ? unb->second.goodput / base->second.goodput
+              : 0;
+      json.Record("deadline/unbudgeted_wasted_work",
+                  {{"wasted_executions", unb->second.unbudgeted_executed},
+                   {"goodput_retention", unb_retention}});
+      std::printf("DEADLINE: without budgets the same 2x load wastes %.0f "
+                  "executions and holds %.0f%% of baseline goodput\n",
+                  unb->second.unbudgeted_executed, unb_retention * 100);
+    }
+  }
+
+  if (!CheckQueueDeath(&json)) {
+    ++failures;
+  }
+
+  // Determinism across the delivery grid and across clock sources.
+  const DetCounts baseline = RunDeterminismLeg(1, 1, nullptr);
+  bool identical = true;
+  for (const size_t shards : {size_t{1}, size_t{4}}) {
+    for (const size_t batch : {size_t{1}, size_t{64}}) {
+      if (shards == 1 && batch == 1) {
+        continue;
+      }
+      const DetCounts probe = RunDeterminismLeg(shards, batch, nullptr);
+      if (!(probe == baseline)) {
+        std::fprintf(stderr,
+                     "DEADLINE FAIL: counts diverge at shards=%zu "
+                     "batch=%zu (shed %llu vs %llu, delivered %llu vs "
+                     "%llu)\n",
+                     shards, batch,
+                     static_cast<unsigned long long>(probe.expired_shed),
+                     static_cast<unsigned long long>(baseline.expired_shed),
+                     static_cast<unsigned long long>(
+                         probe.net.packets_delivered),
+                     static_cast<unsigned long long>(
+                         baseline.net.packets_delivered));
+        identical = false;
+      }
+    }
+  }
+  {
+    SimulatedClock sim;
+    const DetCounts virt = RunDeterminismLeg(4, 64, &sim);
+    if (!(virt == baseline)) {
+      std::fprintf(stderr,
+                   "DEADLINE FAIL: simulated-clock counts diverge from "
+                   "wall (shed %llu vs %llu)\n",
+                   static_cast<unsigned long long>(virt.expired_shed),
+                   static_cast<unsigned long long>(baseline.expired_shed));
+      identical = false;
+    }
+  }
+  json.Record("deadline/determinism",
+              {{"expired_shed", static_cast<double>(baseline.expired_shed)},
+               {"delivered",
+                static_cast<double>(baseline.net.packets_delivered)},
+               {"identical", identical ? 1.0 : 0.0}});
+  if (identical) {
+    std::printf("DEADLINE: shed/delivery counts bit-identical across "
+                "shards {1,4} x batch {1,64} and wall vs simulated clock "
+                "(shed %llu of %llu delivered)\n",
+                static_cast<unsigned long long>(baseline.expired_shed),
+                static_cast<unsigned long long>(
+                    baseline.net.packets_delivered));
+  } else {
+    ++failures;
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace guardians
+
+BENCHMARK(guardians::BM_Overload)
+    ->ArgNames({"leg"})
+    ->Args({0})   // baseline: 1x, all in-deadline
+    ->Args({1})   // 2x offered load, excess carries doomed budgets
+    ->Args({2})   // 2x offered load, excess unbudgeted (pre-§16)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond)
+    ->UseManualTime();
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return guardians::CheckAndRecord();
+}

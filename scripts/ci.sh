@@ -19,8 +19,14 @@
 # vs the legacy copying model, via BufferStats/buffer.bytes_copied) and
 # leaves BENCH_wire.json; bench_encode_decode verifies the codec copy
 # budget (zero buffer-layer copies per round trip, linear wire size) and
-# leaves BENCH_wire_codec.json. All tracked cross-PR. Skippable with
-# --skip-bench.
+# leaves BENCH_wire_codec.json; bench_overload verifies the deadline
+# acceptance criteria (zero expired executions, goodput retention at 2x
+# offered load, shed-count grid determinism) and leaves
+# BENCH_deadline.json, re-checked from the JSON by a python gate. All
+# tracked cross-PR. Skippable with --skip-bench.
+#
+# A grep lint runs before everything: src/ and tests/ must read time only
+# through the §15 ClockSource seam, never raw std::chrono clocks.
 #
 # The chaos stage runs the deterministic chaos harness (bench_chaos: three
 # pinned seeds of composed faults — partitions, one-way cuts, campus cuts,
@@ -72,6 +78,21 @@ fi
 
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2)"
 
+echo "==> lint: no raw std::chrono clocks outside src/common/clock"
+# The §15 pluggable-clock contract: every time read in the stack goes
+# through ClockSource so simulated time and per-node skew reach all of it.
+# A raw steady_clock/system_clock call in src/ silently escapes the
+# virtual-time world (benches may self-time their own harness cost, so
+# bench/ is exempt; clock.{h,cc} is where the wall clock legitimately
+# lives).
+if grep -rn "std::chrono::steady_clock\|std::chrono::system_clock" \
+     --include='*.h' --include='*.cc' src/ tests/ \
+     | grep -v '^src/common/clock\.\(h\|cc\):'; then
+  echo "lint FAIL: raw std::chrono clock usage outside src/common/clock.{h,cc}" >&2
+  exit 1
+fi
+echo "lint ok: src/ and tests/ read time only through ClockSource"
+
 echo "==> tier-1: configure + build (preset: default)"
 cmake --preset default
 cmake --build --preset default -j "$JOBS"
@@ -93,6 +114,37 @@ else
 
   echo "==> bench: self-checking benches (bench_encode_decode)"
   (cd build && ./bench/bench_encode_decode)
+
+  echo "==> bench: self-checking benches (bench_overload)"
+  (cd build && ./bench/bench_overload)
+
+  echo "==> bench: BENCH_deadline.json acceptance fields"
+  # bench_overload exits nonzero on any violated property; this re-checks
+  # the recorded JSON so a silently-empty file cannot pass the gate.
+  python3 - <<'PYEOF'
+import json, sys
+records = {r["name"]: r["fields"]
+           for r in json.load(open("build/BENCH_deadline.json"))["records"]}
+bad = []
+shed = records.get("deadline/overload_2x_shed")
+if shed is None:
+    bad.append("deadline/overload_2x_shed missing")
+elif shed["doomed_executed"] != 0:
+    bad.append(f"expired executions = {shed['doomed_executed']} (want 0)")
+ret = records.get("deadline/goodput_retention_2x")
+if ret is None:
+    bad.append("deadline/goodput_retention_2x missing")
+elif ret["ratio"] < 0.9:
+    bad.append(f"goodput retention at 2x = {ret['ratio']:.2f} (want >= 0.9)")
+det = records.get("deadline/determinism")
+if det is None or det["identical"] != 1:
+    bad.append("shed counts not bit-identical across the delivery grid")
+if bad:
+    print("DEADLINE acceptance failed:\n  " + "\n  ".join(bad))
+    sys.exit(1)
+print("DEADLINE acceptance holds: no expired effects, goodput retained, "
+      "grid-deterministic")
+PYEOF
 fi
 
 if [[ "$SKIP_CHAOS" -eq 1 ]]; then
@@ -114,9 +166,9 @@ else
   python3 - <<'PYEOF'
 import json, sys
 golden = {
-    "chaos/seed:114": {"events": 15, "crashes": 1, "dup_replays": 2,
+    "chaos/seed:114": {"events": 16, "crashes": 1, "dup_replays": 2,
                        "ops_acked": 26},
-    "chaos/seed:163": {"events": 11, "crashes": 2, "dup_replays": 1,
+    "chaos/seed:163": {"events": 13, "crashes": 2, "dup_replays": 1,
                        "ops_acked": 29},
 }
 records = {r["name"]: r["fields"]

@@ -123,6 +123,13 @@ class TallyGuardian : public Guardian {
     std::lock_guard<std::mutex> lock(mu_);
     return double_applies_;
   }
+  // Whether an add with this op id ever executed (applied or witnessed as
+  // a duplicate) — how the overload-storm invariant proves a doomed op
+  // never produced an effect.
+  bool Saw(const std::string& id) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return seen_.count(id) > 0;
+  }
 
  private:
   Status Init(bool recovering) {
@@ -506,6 +513,9 @@ class ChaosRun {
           reorder_active_ = true;
         }
         break;
+      case ChaosEventKind::kOverloadStorm:
+        DoOverloadStorm(ev);
+        break;
     }
   }
 
@@ -557,6 +567,30 @@ class ChaosRun {
                             world_->tally_reply->name(), PortName{}, op.seq);
     system().WaitQuiescent(config_.settle_deadline);
     FlushTallyReplies();
+  }
+
+  void DoOverloadStorm(const ChaosEvent& ev) {
+    // A burst of deadline-doomed tracked adds: each carries a 1us wire
+    // budget, which the receiver's >=1us-per-hop charge (§16) spends by
+    // construction — even when a negative jitter draw clamps the link
+    // delay to zero virtual time — so every one that reaches the region
+    // node must be shed before the dedup gate and before dispatch. The
+    // shed decision is thus clock- and schedule-independent, so the
+    // counts stay grid-deterministic. The
+    // amounts are huge on purpose: a single doomed op leaking through
+    // would blow tally.bounds as well as the expired-effect witness.
+    for (uint64_t k = 0; k < ev.overload_n; ++k) {
+      const std::string id =
+          "x" + std::to_string(ev.epoch) + "-" + std::to_string(k);
+      doomed_ids_.push_back(id);
+      (void)clerk()->SendFull(world_->tally_port, "add",
+                              {Value::Str(id), Value::Int(1'000'000)},
+                              world_->tally_reply->name(), PortName{},
+                              world_->client->NextDedupSeq(),
+                              /*deadline_micros=*/1);
+    }
+    system().WaitQuiescent(config_.settle_deadline);
+    FlushTallyReplies();  // the expired-shed failure nacks land here
   }
 
   void FlushTallyReplies() {
@@ -752,6 +786,7 @@ class ChaosRun {
   // Workload truth tracking.
   std::map<Key, bool> expected_;
   std::set<Key> attempted_;
+  std::vector<std::string> doomed_ids_;  // overload-storm ops; must never run
   std::vector<TallyOp> acked_tally_;
   int64_t tally_acked_ = 0;
   int64_t tally_unknown_ = 0;
@@ -944,6 +979,16 @@ void ChaosRun::CheckWitnesses(int epoch) {
                      std::to_string(doubles) +
                          " duplicate non-idempotent effects (bound " +
                          std::to_string(bound) + ")");
+      }
+      // §16 invariant: no expired op produces an effect. Every overload-
+      // storm add was doomed by construction (a 1us budget against a
+      // >=60us link), so its id must never enter the witness's seen set.
+      for (const std::string& id : doomed_ids_) {
+        if (tally->Saw(id)) {
+          AddViolation(epoch, "deadline.expired_effect",
+                       "doomed op " + id +
+                           " executed despite an expired budget");
+        }
       }
     }
   }
@@ -1237,6 +1282,9 @@ std::string ChaosEvent::Describe() const {
     case ChaosEventKind::kReorderStorm:
       what = "reorder-storm " + pair + " k=" + std::to_string(reorder_k);
       break;
+    case ChaosEventKind::kOverloadStorm:
+      what = "overload-storm n=" + std::to_string(overload_n);
+      break;
   }
   return "e" + std::to_string(epoch) + " " + what;
 }
@@ -1311,6 +1359,10 @@ std::vector<ChaosEvent> ChaosEngine::GenerateSchedule() const {
   // sees the exact same draws whether or not sim_time is set: the wall
   // events of a sim schedule equal the wall schedule for the same seed.
   Rng sim_g(config_.seed ^ 0x51D0C10Cull);
+  // Overload storms draw from a third independent stream for the same
+  // reason: adding them must leave every pre-existing wall and sim draw
+  // for a seed untouched (the new events only append to the schedule).
+  Rng ov_g(config_.seed ^ 0x0BADD11Eull);
   std::vector<ChaosEvent> out;
   // Heals scheduled against faults already emitted, keyed by target epoch.
   std::multimap<int, ChaosEvent> pending;
@@ -1483,6 +1535,13 @@ std::vector<ChaosEvent> ChaosEngine::GenerateSchedule() const {
     }
     if (e >= 2 && g.NextBool(0.35)) {
       out.push_back({ChaosEventKind::kDupReplay, e});
+    }
+    if (ov_g.NextBool(0.35)) {
+      // Doomed-by-construction overload bursts (clock-agnostic, so part
+      // of the wall menu): see ChaosRun::DoOverloadStorm.
+      ChaosEvent ev{ChaosEventKind::kOverloadStorm, e};
+      ev.overload_n = 4 + ov_g.NextBelow(5);
+      out.push_back(ev);
     }
     // Simulated-time chapter: appended after the wall-mode menu for the
     // epoch and drawn from the independent sim_g stream, so a seed's wall

@@ -18,6 +18,9 @@
 //   - airline no-oversell, FlightDb invariants, §2.2 permanence of acked
 //     effects after recovery, no phantoms
 //   - zero duplicate non-idempotent effects (the tally witness)
+//   - no expired op produces an effect: every kOverloadStorm op carries a
+//     1us wire budget it cannot survive, and the tally witness proves none
+//     of them ever executed (§16 deadline-aware shedding)
 //   - metric ledger identities, e.g.
 //     sendprims.reliable.calls == ok + exhausted + deadline_exceeded
 //     + hard_fail, and net.dup.injected == packets_duplicated
@@ -67,6 +70,10 @@ enum class ChaosEventKind {
   kClockDrift,       // node a's clock runs at `drift` x base speed
   kReorderStorm,     // hold up to reorder_k packets on the a<->b link;
                      // released in a seed-shuffled order at epoch end
+  // Clock-agnostic again (wall and sim alike):
+  kOverloadStorm,    // burst of overload_n deadline-doomed tracked adds
+                     // (1us wire budgets no hop can survive); the tally
+                     // witness proves none of them produced an effect
 };
 
 struct ChaosEvent {
@@ -81,6 +88,7 @@ struct ChaosEvent {
   int64_t skew_us = 0;      // kClockSkew: step size (negative = backward)
   double drift = 1.0;       // kClockDrift: rate vs base time
   uint64_t reorder_k = 0;   // kReorderStorm: max packets held
+  uint64_t overload_n = 0;  // kOverloadStorm: doomed ops in the burst
 
   std::string Describe() const;
 };

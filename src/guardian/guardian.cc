@@ -1,6 +1,7 @@
 #include "src/guardian/guardian.h"
 
 #include <cassert>
+#include <optional>
 
 #include "src/common/bytes.h"
 #include "src/common/log.h"
@@ -89,7 +90,8 @@ Result<uint64_t> Guardian::SendFull(const PortName& to,
                                     const std::string& command,
                                     ValueList args, const PortName& reply_to,
                                     const PortName& ack_to,
-                                    uint64_t dedup_seq) {
+                                    uint64_t dedup_seq,
+                                    uint64_t deadline_micros) {
   Envelope env;
   env.msg_id = runtime_->NextMsgId();
   if (dedup_seq != 0) {
@@ -110,6 +112,7 @@ Result<uint64_t> Guardian::SendFull(const PortName& to,
   env.target = to;
   env.reply_to = reply_to;
   env.ack_to = ack_to;
+  env.deadline_micros = deadline_micros;
   env.command = command;
   env.args = std::move(args);
   const uint64_t msg_id = env.msg_id;
@@ -130,23 +133,48 @@ Result<Received> Guardian::Receive(const std::vector<Port*>& ports,
   const Deadline deadline = infinite ? Deadline::Infinite(&clock)
                                      : Deadline(timeout, &clock);
   std::unique_lock<std::mutex> lock(mailbox_.mu);
+  // Priority scan of the port list, lazily discarding entries whose
+  // propagated deadline budget died while they sat in the queue (§16): a
+  // backed-up port drains dead work at dequeue speed instead of executing
+  // it. Finishing a dead entry (failure nack, dedup rollback, metrics)
+  // takes node locks, so it happens outside the mailbox lock; the caller
+  // re-scans afterwards because the mailbox may have changed meanwhile.
+  auto pop_live = [&](bool* discarded) -> std::optional<Received> {
+    for (Port* p : ports) {
+      while (p->HasMessageLocked()) {
+        Received message = p->PopLocked();
+        if (message.deadline_at != TimePoint::max() &&
+            clock.Now() >= message.deadline_at) {
+          lock.unlock();
+          runtime_->FinishExpiredAtDequeue(std::move(message));
+          lock.lock();
+          *discarded = true;
+          continue;
+        }
+        return message;
+      }
+    }
+    return std::nullopt;
+  };
   for (;;) {
     if (mailbox_.closed) {
       return Status(Code::kNodeDown, "guardian's node is down");
     }
-    // Priority: scan the port list in order.
-    for (Port* p : ports) {
-      if (p->HasMessageLocked()) {
-        Received message = p->PopLocked();
-        lock.unlock();
-        runtime_->NoteReceived(message);
-        if (!message.ack_to.IsNull()) {
-          // The synchronization send's receipt notification: the message
-          // has now been received by the target process.
-          runtime_->SendAck(message);
-        }
-        return message;
+    bool discarded = false;
+    if (std::optional<Received> message = pop_live(&discarded)) {
+      lock.unlock();
+      runtime_->NoteReceived(*message);
+      if (!message->ack_to.IsNull()) {
+        // The synchronization send's receipt notification: the message
+        // has now been received by the target process.
+        runtime_->SendAck(*message);
       }
+      return std::move(*message);
+    }
+    if (discarded) {
+      // The mailbox lock was dropped while finishing dead entries; rescan
+      // (and recheck closed) before deciding to wait.
+      continue;
     }
     if (infinite) {
       clock.WaitOnce(mailbox_.cv, lock, TimePoint::max());
@@ -154,16 +182,14 @@ Result<Received> Guardian::Receive(const std::vector<Port*>& ports,
       if (deadline.Expired() ||
           clock.WaitOnce(mailbox_.cv, lock, deadline.at())) {
         // Check once more: a message may have arrived with the timeout.
-        for (Port* p : ports) {
-          if (p->HasMessageLocked()) {
-            Received message = p->PopLocked();
-            lock.unlock();
-            runtime_->NoteReceived(message);
-            if (!message.ack_to.IsNull()) {
-              runtime_->SendAck(message);
-            }
-            return message;
+        discarded = false;
+        if (std::optional<Received> message = pop_live(&discarded)) {
+          lock.unlock();
+          runtime_->NoteReceived(*message);
+          if (!message->ack_to.IsNull()) {
+            runtime_->SendAck(*message);
           }
+          return std::move(*message);
         }
         if (mailbox_.closed) {
           return Status(Code::kNodeDown, "guardian's node is down");

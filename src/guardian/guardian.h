@@ -97,10 +97,14 @@ class Guardian {
   // `dedup_seq` (from NodeRuntime::NextDedupSeq) makes the send *tracked*:
   // the envelope carries this node's at-most-once session and the given
   // sequence number, and the receiving node suppresses re-deliveries —
-  // retries of one logical operation must reuse one seq.
+  // retries of one logical operation must reuse one seq. A nonzero
+  // `deadline_micros` stamps the remaining deadline budget (§16) onto the
+  // envelope: the receiver decrements it by observed network age and sheds
+  // the message instead of executing it once the budget is gone.
   Result<uint64_t> SendFull(const PortName& to, const std::string& command,
                             ValueList args, const PortName& reply_to,
-                            const PortName& ack_to, uint64_t dedup_seq = 0);
+                            const PortName& ack_to, uint64_t dedup_seq = 0,
+                            uint64_t deadline_micros = 0);
 
   // receive on <port list> ... with timeout. Ports are scanned in list
   // order — that is the priority rule. All ports must belong to this

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <limits>
 #include <thread>
 #include <utility>
 
@@ -44,6 +45,18 @@ constexpr char kDedupLogName[] = "node/dedup";
 // after this many appends, so it stays proportional to the reply cache
 // rather than to message volume.
 constexpr uint64_t kDedupCompactEvery = 512;
+
+// Sentinel for "this envelope carries no deadline budget" in the
+// per-batch remaining-budget vector (deadline_micros == 0 on the wire).
+constexpr int64_t kNoDeadlineRemaining =
+    std::numeric_limits<int64_t>::max();
+// The §3.4 failure text for a message shed because its propagated budget
+// was spent. SyncSend matches on the prefix to map the nack to kTimeout
+// (the sender's budget is gone — a port-full-style retry would be wasted
+// work, which is exactly what shedding exists to avoid).
+constexpr char kExpiredReason[] = "deadline expired before delivery";
+constexpr char kExpiredQueueReason[] =
+    "deadline expired while queued at target port";
 
 // The primordial guardian: created with the node, never persistent-logged
 // (it is always re-created on restart). It creates guardians at its node in
@@ -171,6 +184,8 @@ NodeRuntime::NodeRuntime(System* system, NodeId id, std::string name,
   counters_.reassembly_expired = metrics.counter("net.reassembly.expired");
   counters_.reassembly_session_dropped =
       metrics.counter("net.reassembly.session_dropped");
+  counters_.expired_shed = metrics.counter("deliver.expired.shed");
+  counters_.expired_dequeue = metrics.counter("deliver.expired.queue");
 }
 
 NodeRuntime::~NodeRuntime() { Crash(); }
@@ -709,6 +724,10 @@ void NodeRuntime::SendAck(const Received& message) {
 void NodeRuntime::NoteReceived(const Received& message) {
   counters_.receives->Inc();
   SetCurrentTraceId(message.trace_id);
+  // Unconditional: an unbudgeted message must clear any deadline a prior
+  // message left on this thread, or its budget would leak into unrelated
+  // nested sends.
+  SetCurrentDeadlineAt(message.deadline_at);
   system_->traces().Record(message.trace_id, id_, "recv",
                            message.command +
                                (message.port != nullptr
@@ -735,6 +754,7 @@ void NodeRuntime::DeliverBatch(std::vector<Packet>&& batch) {
   // reassembly completion was at most one gather, usually none.
   std::vector<BufferSlice> completed;
   std::vector<uint64_t> completed_traces;
+  std::vector<int64_t> completed_ages;
   const TimePoint node_now = clock_->Now();
   {
     std::lock_guard<std::mutex> lock(reassembler_mu_);
@@ -742,7 +762,8 @@ void NodeRuntime::DeliverBatch(std::vector<Packet>&& batch) {
     const uint64_t sessions_before = reassembler_.session_dropped();
     for (Packet& packet : batch) {
       const uint64_t trace_id = packet.trace_id;
-      auto added = reassembler_.Add(std::move(packet), node_now);
+      int64_t age_micros = 0;
+      auto added = reassembler_.Add(std::move(packet), node_now, &age_micros);
       if (!added.ok()) {
         counters_.drop_corrupt_fragment->Inc();
         system_->traces().Record(trace_id, id_,
@@ -756,6 +777,7 @@ void NodeRuntime::DeliverBatch(std::vector<Packet>&& batch) {
       if (message.has_value()) {
         completed.push_back(std::move(*message));
         completed_traces.push_back(trace_id);
+        completed_ages.push_back(age_micros);
       }
     }
     const uint64_t expired = reassembler_.expired() - expired_before;
@@ -768,9 +790,15 @@ void NodeRuntime::DeliverBatch(std::vector<Packet>&& batch) {
     }
   }
 
-  // --- Decode with this node's representations (no locks held).
+  // --- Decode with this node's representations (no locks held). Each
+  // budgeted envelope's remaining deadline is its wire budget minus the
+  // network age the hop observed — the §16 per-hop decrement, computed
+  // entirely from relative quantities so clock skew cannot inflate or
+  // deflate it.
   std::vector<Envelope> envelopes;
+  std::vector<int64_t> remaining_micros;
   envelopes.reserve(completed.size());
+  remaining_micros.reserve(completed.size());
   for (size_t i = 0; i < completed.size(); ++i) {
     auto env = DecodeEnvelope(completed[i], system_->limits(),
                               transmit_registry_.AsDecodeFn());
@@ -794,7 +822,19 @@ void NodeRuntime::DeliverBatch(std::vector<Packet>&& batch) {
       }
       continue;
     }
-    envelopes.push_back(env.take());
+    Envelope decoded = env.take();
+    // Every hop charges at least 1us: a zero observed age is possible (a
+    // negative jitter draw clamps the delivery delay to zero, and under
+    // virtual time no residual wall microseconds leak in), and a budget
+    // that "survives" such a hop unspent would execute at the same
+    // virtual instant it expired. The floor makes "a 1us budget cannot
+    // survive any hop" hold on every clock.
+    remaining_micros.push_back(
+        decoded.deadline_micros == 0
+            ? kNoDeadlineRemaining
+            : static_cast<int64_t>(decoded.deadline_micros) -
+                  std::max<int64_t>(completed_ages[i], 1));
+    envelopes.push_back(std::move(decoded));
   }
   if (envelopes.empty()) {
     return;
@@ -806,7 +846,7 @@ void NodeRuntime::DeliverBatch(std::vector<Packet>&& batch) {
   // dead port still delivers its credit). All packets for this node go
   // through one shard, so feedback is applied in deterministic order.
   ApplyFlowFeedback(envelopes);
-  DispatchEnvelopes(std::move(envelopes));
+  DispatchEnvelopes(std::move(envelopes), std::move(remaining_micros));
 }
 
 void NodeRuntime::ApplyFlowFeedback(const std::vector<Envelope>& envelopes) {
@@ -857,14 +897,18 @@ void NodeRuntime::ApplyFlowFeedback(const std::vector<Envelope>& envelopes) {
   }
 }
 
-void NodeRuntime::DispatchEnvelopes(std::vector<Envelope> envelopes) {
-  enum class Action : uint8_t { kPush, kFail, kSuppress };
+void NodeRuntime::DispatchEnvelopes(std::vector<Envelope> envelopes,
+                                    std::vector<int64_t> remaining_micros) {
+  enum class Action : uint8_t { kPush, kFail, kSuppress, kExpired };
   struct Plan {
     Envelope env;
     Port* port = nullptr;
     bool control = false;
     Action action = Action::kPush;
     DropKind drop_kind = DropKind::kNoGuardian;  // when action == kFail
+    // Deadline budget left after the network hop (kNoDeadlineRemaining =
+    // unbudgeted); stamps Received::deadline_at on push.
+    int64_t remaining_micros = kNoDeadlineRemaining;
     // Dedup-gate verdict (when action == kSuppress).
     DedupTable::Verdict verdict = DedupTable::Verdict::kFresh;
     DedupTable::CachedReply replay;
@@ -878,9 +922,10 @@ void NodeRuntime::DispatchEnvelopes(std::vector<Envelope> envelopes) {
   // per-packet path ordered its checks.
   std::vector<Plan> plans;
   plans.reserve(envelopes.size());
-  for (Envelope& env : envelopes) {
+  for (size_t n = 0; n < envelopes.size(); ++n) {
     Plan plan;
-    plan.env = std::move(env);
+    plan.env = std::move(envelopes[n]);
+    plan.remaining_micros = remaining_micros[n];
     const Envelope& e = plan.env;
     Guardian* guardian = FindGuardian(e.target.guardian);
     Port* port =
@@ -902,6 +947,17 @@ void NodeRuntime::DispatchEnvelopes(std::vector<Envelope> envelopes) {
       // when the data buffer is full (DESIGN.md §11 shedding policy).
       plan.control = e.command == kFailureCommand || e.command == "ack" ||
                      e.command == "ping" || e.command == "pong";
+    }
+    if (plan.remaining_micros != kNoDeadlineRemaining &&
+        plan.remaining_micros <= 0 && !plan.control) {
+      // The budget was spent in the network: shed before the dedup gate
+      // (the arrival is never marked seen, so an in-deadline retry of the
+      // same (session, seq) classifies fresh) and before any dispatch
+      // work. Shedding wins over the resolution outcome — the sender's
+      // budget is gone either way, and the expired nack says so directly.
+      // Control traffic is exempt: acks and nacks are the backpressure
+      // signal itself and carry no work worth shedding.
+      plan.action = Action::kExpired;
     }
     plans.push_back(std::move(plan));
   }
@@ -944,6 +1000,12 @@ void NodeRuntime::DispatchEnvelopes(std::vector<Envelope> envelopes) {
     }
     for (Plan& plan : plans) {
       const Envelope& e = plan.env;
+      if (plan.action == Action::kExpired) {
+        // Shed before the gate: an expired arrival is never classified,
+        // marked, or touched, so a later in-deadline retry of the same
+        // (session, seq) is kFresh and executes exactly once.
+        continue;
+      }
       if (!e.Tracked()) {
         continue;
       }
@@ -972,9 +1034,15 @@ void NodeRuntime::DispatchEnvelopes(std::vector<Envelope> envelopes) {
   // Execution pass, in batch order. Runs of consecutive pushes into one
   // (port, control-class) pair collapse into a single PushBatch — one
   // mailbox lock and at most one receiver wake per run.
+  const TimePoint dispatch_now = clock_->Now();
   size_t i = 0;
   while (i < plans.size()) {
     Plan& plan = plans[i];
+    if (plan.action == Action::kExpired) {
+      FinishExpired(plan.env);
+      ++i;
+      continue;
+    }
     if (plan.action == Action::kSuppress) {
       FinishSuppressed(plan.env, plan.verdict, std::move(plan.replay),
                        plan.original_acked);
@@ -1005,6 +1073,12 @@ void NodeRuntime::DispatchEnvelopes(std::vector<Envelope> envelopes) {
       message.trace_id = e.trace_id;
       message.session_id = e.session_id;
       message.dedup_seq = e.dedup_seq;
+      if (plans[k].remaining_micros != kNoDeadlineRemaining) {
+        // Project the surviving budget onto this node's clock so dequeue
+        // can lazily discard entries whose budget dies in the queue.
+        message.deadline_at =
+            dispatch_now + Micros(plans[k].remaining_micros);
+      }
       run.push_back(std::move(message));
     }
     const std::vector<Port::PushOutcome> outcomes =
@@ -1066,6 +1140,63 @@ void NodeRuntime::FinishUnroutable(const Envelope& env, DropKind kind) {
     }
   }
   SendSystemFailure(env.reply_to, reason, env.trace_id);
+}
+
+void NodeRuntime::FinishExpired(const Envelope& env) {
+  counters_.expired_shed->Inc();
+  system_->traces().Record(env.trace_id, id_, "deliver.expired.shed",
+                           env.command + " -> " + env.target.ToString());
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.expired_shed;
+  }
+  // Ack port first: the send primitives wait there, so a SyncSend learns
+  // immediately that its budget died in flight instead of burning the
+  // rest of the attempt on an ack that can never come.
+  const PortName to = env.HasAck() ? env.ack_to : env.reply_to;
+  SendSystemFailure(to, kExpiredReason, env.trace_id);
+}
+
+void NodeRuntime::FinishExpiredAtDequeue(Received message) {
+  if (message.dedup_seq != 0) {
+    // Mirror FinishPushFailed's rollback: the dedup gate marked this
+    // message seen when it was enqueued, but it never executed — an
+    // in-deadline retry of the same (session, seq) must classify fresh
+    // and execute exactly once.
+    std::lock_guard<std::mutex> lock(dedup_mu_);
+    dedup_.Unmark(message.session_id, message.dedup_seq);
+    if (!message.reply_to.IsNull()) {
+      auto it = pending_replies_.find(message.reply_to);
+      if (it != pending_replies_.end() &&
+          it->second.session == message.session_id &&
+          it->second.seq == message.dedup_seq) {
+        pending_replies_.erase(it);
+      }
+    }
+  }
+  counters_.expired_dequeue->Inc();
+  system_->traces().Record(message.trace_id, id_, "deliver.expired.queue",
+                           message.command);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.expired_dequeue;
+  }
+  const PortName to =
+      !message.ack_to.IsNull() ? message.ack_to : message.reply_to;
+  SendSystemFailure(to, kExpiredQueueReason, message.trace_id);
+}
+
+void NodeRuntime::SweepReassembler() {
+  if (!up_.load()) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(reassembler_mu_);
+  const uint64_t expired_before = reassembler_.expired();
+  reassembler_.SweepExpired(clock_->Now());
+  const uint64_t expired = reassembler_.expired() - expired_before;
+  if (expired > 0) {
+    counters_.reassembly_expired->Inc(expired);
+  }
 }
 
 void NodeRuntime::FinishPushFailed(const Envelope& env, const Port& port,
@@ -1373,6 +1504,8 @@ std::string NodeRuntime::Report() const {
   line("duplicates_suppressed", s.duplicates_suppressed);
   line("replies_replayed", s.replies_replayed);
   line("replies_journaled", s.replies_journaled);
+  line("expired_shed", s.expired_shed);
+  line("expired_dequeue", s.expired_dequeue);
   std::vector<Guardian*> gs;
   {
     std::lock_guard<std::mutex> lock(mu_);

@@ -70,6 +70,13 @@ struct NodeStats {
   uint64_t duplicates_suppressed = 0;
   uint64_t replies_replayed = 0;
   uint64_t replies_journaled = 0;
+  // Deadline-aware load shedding (DESIGN.md §16): envelopes whose
+  // propagated budget was already spent on arrival (shed before the dedup
+  // gate, never marked, never executed), and queued entries whose budget
+  // died while waiting in a port (discarded at dequeue, dedup mark rolled
+  // back). Both synthesize the §3.4 failure reply toward ack_to/reply_to.
+  uint64_t expired_shed = 0;
+  uint64_t expired_dequeue = 0;
 };
 
 class NodeRuntime {
@@ -207,8 +214,21 @@ class NodeRuntime {
   FlowController& flow() { return flow_; }
   // Called by Guardian::Receive when a message is dequeued: counts it,
   // records the trace hop, and makes the message's trace the thread's
-  // current trace (so replies join the sender's causal chain).
+  // current trace (so replies join the sender's causal chain) and the
+  // message's deadline the thread's inherited deadline (so nested sends
+  // clamp to it).
   void NoteReceived(const Received& message);
+  // Called by Guardian::Receive (outside the mailbox lock) for a dequeued
+  // entry whose deadline budget died in the queue: counts/traces the
+  // discard, rolls back the dedup mark so an in-deadline retry of the same
+  // (session, seq) still executes exactly once, and sends the §3.4 failure
+  // reply toward ack_to/reply_to.
+  void FinishExpiredAtDequeue(Received message);
+  // Expire stale reassembly partials now (the in-Add amortized sweep only
+  // runs when packets arrive, so a link gone idle after a lost fragment
+  // would pin its partials forever). Called from System::WaitQuiescent and
+  // Report; safe from any thread.
+  void SweepReassembler();
   Rng ForkRng();
 
  private:
@@ -230,10 +250,15 @@ class NodeRuntime {
   // a port's run before any nack for that port (per-port order is the only
   // order a window can observe).
   void ApplyFlowFeedback(const std::vector<Envelope>& envelopes);
-  // Route every decoded envelope of one batch: resolve targets, run the
-  // one-acquisition dedup gate, then execute pushes / failure replies /
-  // duplicate suppressions in batch order.
-  void DispatchEnvelopes(std::vector<Envelope> envelopes);
+  // Route every decoded envelope of one batch: resolve targets, shed
+  // already-expired envelopes (before the dedup gate — an expired arrival
+  // is never marked seen), run the one-acquisition dedup gate, then
+  // execute pushes / failure replies / duplicate suppressions in batch
+  // order. `remaining_micros` parallels `envelopes`: the per-envelope
+  // deadline budget left after subtracting observed network age
+  // (kNoDeadlineRemaining = unbudgeted).
+  void DispatchEnvelopes(std::vector<Envelope> envelopes,
+                         std::vector<int64_t> remaining_micros);
   Result<Guardian*> CreateGuardianImpl(const std::string& type_name,
                                        const std::string& guardian_name,
                                        const ValueList& args, bool persistent);
@@ -266,6 +291,10 @@ class NodeRuntime {
   // answer from the reply cache on kReplay.
   void FinishSuppressed(const Envelope& env, DedupTable::Verdict verdict,
                         DedupTable::CachedReply replay, bool original_acked);
+  // Count/trace an envelope shed on arrival because its propagated budget
+  // was already spent, and send the §3.4 failure reply (ack_to first, so a
+  // waiting SyncSend learns immediately; reply_to otherwise).
+  void FinishExpired(const Envelope& env);
   // The full-port loss event as a flow-control signal: a failure envelope
   // whose fc fields carry the port's queue depth and capacity, sent to the
   // sender's ack port when it has one (the send primitives wait there) or
@@ -364,6 +393,11 @@ class NodeRuntime {
     // Reassembler's own counters after each batch).
     Counter* reassembly_expired = nullptr;
     Counter* reassembly_session_dropped = nullptr;
+    // Deadline shedding (§16): arrivals whose budget was spent in the
+    // network (shed before dedup/dispatch) and queued entries whose budget
+    // died in a port (discarded at dequeue).
+    Counter* expired_shed = nullptr;
+    Counter* expired_dequeue = nullptr;
   };
   DeliveryCounters counters_;
 

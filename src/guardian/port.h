@@ -47,6 +47,13 @@ struct Received {
   // out, so a suppressed duplicate can earn a replacement ack.
   uint64_t session_id = 0;
   uint64_t dedup_seq = 0;
+  // Instant (on the receiving node's clock) at which this message's
+  // propagated deadline budget runs out; TimePoint::max() = no deadline.
+  // Computed at dispatch from the envelope's relative budget minus network
+  // age, so it is meaningful even when sender and receiver clocks disagree.
+  // Receive uses it to lazily discard entries whose budget died in the
+  // queue, and to seed the handling thread's inherited deadline.
+  TimePoint deadline_at = TimePoint::max();
   const class Port* port = nullptr;  // which port it arrived on
 };
 

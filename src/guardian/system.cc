@@ -118,7 +118,25 @@ bool System::WaitQuiescent(Micros deadline, Micros settle,
     }
   }
   DrainNetwork(give_up);
+  SweepReassemblers();
   return true;
+}
+
+void System::SweepReassemblers() {
+  // The in-Add reassembly sweep only runs when packets arrive, so a link
+  // that goes idle after a lost fragment would pin its partials forever;
+  // quiescence and reports are the natural moments to reclaim them.
+  std::vector<NodeRuntime*> nodes;
+  {
+    std::lock_guard<std::mutex> lock(nodes_mu_);
+    nodes.reserve(nodes_.size());
+    for (auto& node : nodes_) {
+      nodes.push_back(node.get());
+    }
+  }
+  for (NodeRuntime* node : nodes) {
+    node->SweepReassembler();
+  }
 }
 
 void System::DrainNetwork(TimePoint wall_give_up) {
@@ -151,6 +169,7 @@ void System::SyncBufferStats() {
 
 std::string System::Report() {
   SyncBufferStats();
+  SweepReassemblers();
   std::string out = "=== system report ===\n";
   std::vector<NodeRuntime*> nodes;
   {

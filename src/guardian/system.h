@@ -117,6 +117,11 @@ class System {
   // trace-buffer occupancy. What the benches and demos print.
   std::string Report();
 
+  // Expire stale reassembly partials on every node now (the per-node
+  // in-Add sweep only runs when packets arrive). Called by WaitQuiescent
+  // and Report; callable directly from tests.
+  void SweepReassemblers();
+
   // Mirror the process-global BufferStats copy/alloc counters into the
   // registry as `buffer.bytes_copied` / `buffer.allocs`. Delta-based: the
   // globals are process-wide (common cannot depend on obs), so each call

@@ -548,10 +548,17 @@ void Network::DeliverGroup(Shard& shard, NodeId dst,
       sink = sinks_[dst - 1];
       deliverable.reserve(group.size());
       stats_.packets_delivered += group.size();
+      const TimePoint handoff_now = clock_->Now();
       for (InFlight& entry : group) {
+        // Stamp the time this packet spent inside the network, measured
+        // entirely on the network's own clock — the receiver decrements
+        // any relative deadline budget by this, never by comparing
+        // timestamps across (possibly skewed) node clocks.
+        entry.packet.age_micros =
+            std::max<int64_t>(ToMicros(handoff_now - entry.sent_at), 0);
         if (delivery_latency_ != nullptr) {
-          delivery_latency_->Observe(static_cast<uint64_t>(
-              std::max<int64_t>(ToMicros(clock_->Now() - entry.sent_at), 0)));
+          delivery_latency_->Observe(
+              static_cast<uint64_t>(entry.packet.age_micros));
         }
         LinkCounters* link_counters = CountersForLink(entry.packet.src, dst);
         if (link_counters != nullptr) {

@@ -7,10 +7,14 @@ namespace guardians {
 
 namespace {
 thread_local uint64_t t_current_trace_id = 0;
+thread_local TimePoint t_current_deadline_at = TimePoint::max();
 }  // namespace
 
 uint64_t CurrentTraceId() { return t_current_trace_id; }
 void SetCurrentTraceId(uint64_t id) { t_current_trace_id = id; }
+
+TimePoint CurrentDeadlineAt() { return t_current_deadline_at; }
+void SetCurrentDeadlineAt(TimePoint at) { t_current_deadline_at = at; }
 
 TraceBuffer::TraceBuffer(size_t max_traces, size_t max_events_per_trace)
     : max_traces_(max_traces), max_events_per_trace_(max_events_per_trace) {}

@@ -34,6 +34,17 @@ namespace guardians {
 uint64_t CurrentTraceId();
 void SetCurrentTraceId(uint64_t id);
 
+// The calling thread's inherited deadline: the instant, on the handling
+// node's own clock, at which the message currently being processed runs
+// out of budget. TimePoint::max() means "no deadline". Receive sets it
+// from the dequeued message (unconditionally, so a budget never leaks
+// from one message into the next); nested sends (RemoteCall/FailoverCall)
+// clamp their own budgets to it — deadline propagation rides the same
+// thread-local channel as the trace id, at zero wire cost beyond the
+// envelope's relative-budget field.
+TimePoint CurrentDeadlineAt();
+void SetCurrentDeadlineAt(TimePoint at);
+
 // One hop event. `node` is the node that observed the event (0 for the
 // network itself). `point` identifies the layer and outcome, e.g. "send",
 // "net.drop.loss", "port.drop.retired", "recv".

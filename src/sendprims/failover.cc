@@ -1,5 +1,7 @@
 #include "src/sendprims/failover.h"
 
+#include <algorithm>
+
 #include "src/guardian/node_runtime.h"
 #include "src/guardian/system.h"
 
@@ -32,6 +34,13 @@ Result<FailoverResult> FailoverCall(Guardian& caller,
     order.insert(order.end(), demoted.begin(), demoted.end());
   }
 
+  // Inherited deadline split (§16): when this call runs under a propagated
+  // budget, each replica gets an equal share of whatever remains at the
+  // moment its attempt starts — a slow first replica must not eat the
+  // whole budget and turn every later replica into a zero-time attempt.
+  const ClockSource& clock = caller.runtime().clock();
+  const TimePoint inherited_at = CurrentDeadlineAt();
+
   Status last(Code::kUnreachable, "no targets");
   for (size_t attempt = 0; attempt < order.size(); ++attempt) {
     const size_t i = order[attempt];
@@ -39,9 +48,26 @@ Result<FailoverResult> FailoverCall(Guardian& caller,
       // Attempting the next replica because the previous one failed us.
       failovers_counter->Inc();
     }
+    RemoteCallOptions opts = per_target;
+    if (inherited_at != TimePoint::max()) {
+      const TimePoint now = clock.Now();
+      if (now >= inherited_at) {
+        metrics.counter("sendprims.failover.deadline_exceeded")->Inc();
+        last = Status(Code::kTimeout,
+                      "inherited deadline exhausted after " +
+                          std::to_string(attempt) + " of " +
+                          std::to_string(order.size()) + " replicas");
+        break;
+      }
+      const int64_t left_us =
+          std::chrono::duration_cast<Micros>(inherited_at - now).count();
+      const int64_t targets_left = static_cast<int64_t>(order.size() - attempt);
+      opts.timeout = std::min(
+          per_target.timeout, Micros(std::max<int64_t>(
+                                  left_us / targets_left, 1)));
+    }
     auto reply =
-        RemoteCall(caller, targets[i], command, args, reply_type,
-                   per_target);
+        RemoteCall(caller, targets[i], command, args, reply_type, opts);
     if (!reply.ok()) {
       if (reply.status().code() == Code::kTypeError ||
           reply.status().code() == Code::kEncodeError) {

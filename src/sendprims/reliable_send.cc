@@ -34,7 +34,16 @@ Result<ReliableSendResult> ReliableSend(Guardian& sender, const PortName& to,
                                ? Deadline(options.deadline, &clock)
                                : Deadline::Infinite(&clock);
   for (int attempt = 1; attempt <= options.max_attempts; ++attempt) {
-    if (overall.Expired()) {
+    // Zero-remaining boundary: Remaining() can be 0µs while Expired() is
+    // still false — the clamped floor after a backward clock-skew step, or
+    // the clock landing exactly on the deadline between the two reads.
+    // Before the fix, min(ack_timeout, 0) pushed a 0 timeout into
+    // SyncSend, which reads 0 as an immediate poll — the attempt burned a
+    // send and a dedup-tracked retry on a budget that was already gone.
+    // A non-positive remaining budget IS the deadline being exceeded.
+    const Micros remaining = overall.Remaining();
+    if (overall.Expired() ||
+        (!overall.IsInfinite() && remaining.count() <= 0)) {
       metrics.counter("sendprims.reliable.deadline_exceeded")->Inc();
       return Status(Code::kTimeout, "reliable send deadline exceeded after " +
                                         std::to_string(result.attempts) +
@@ -43,7 +52,9 @@ Result<ReliableSendResult> ReliableSend(Guardian& sender, const PortName& to,
     result.attempts = attempt;
     attempts_counter->Inc();
     Status st = SyncSend(sender, to, command, args,
-                         std::min(options.ack_timeout, overall.Remaining()),
+                         overall.IsInfinite()
+                             ? options.ack_timeout
+                             : std::min(options.ack_timeout, remaining),
                          dedup_seq);
     if (st.ok()) {
       metrics.counter("sendprims.reliable.ok")->Inc();

@@ -1,5 +1,7 @@
 #include "src/sendprims/remote_call.h"
 
+#include <algorithm>
+
 #include "src/guardian/node_runtime.h"
 #include "src/guardian/system.h"
 
@@ -13,6 +15,12 @@ Result<RemoteReply> RemoteCall(Guardian& caller, const PortName& to,
   metrics.counter("sendprims.call.calls")->Inc();
   Counter* attempts_counter = metrics.counter("sendprims.call.attempts");
   Counter* timeouts_counter = metrics.counter("sendprims.call.timeouts");
+  const ClockSource& clock = caller.runtime().clock();
+  // Inherit the caller's propagated deadline (§16): a handler that fans
+  // out nested calls must never promise downstream more time than its own
+  // caller has left. Set by Receive from the message being handled;
+  // TimePoint::max() when the current message carried no budget.
+  const TimePoint inherited_at = CurrentDeadlineAt();
   Port* reply_port = caller.AddPort(reply_type, /*capacity=*/8);
   Status last(Code::kTimeout, "no attempts made");
   RemoteReply reply;
@@ -21,27 +29,49 @@ Result<RemoteReply> RemoteCall(Guardian& caller, const PortName& to,
   // most one and a replayed cached reply still lands where we are waiting.
   const uint64_t dedup_seq = caller.runtime().NextDedupSeq();
   for (int attempt = 1; attempt <= options.max_attempts; ++attempt) {
+    Micros effective = options.timeout;
+    if (inherited_at != TimePoint::max()) {
+      const TimePoint now = clock.Now();
+      if (now >= inherited_at) {
+        // The inherited budget is gone: another attempt could only
+        // produce a reply nobody upstream is still waiting for.
+        metrics.counter("sendprims.call.deadline_exceeded")->Inc();
+        last = Status(Code::kTimeout,
+                      "inherited deadline exhausted before attempt " +
+                          std::to_string(attempt));
+        break;
+      }
+      effective = std::min(
+          effective, std::chrono::duration_cast<Micros>(inherited_at - now));
+    }
     reply.attempts = attempt;
     attempts_counter->Inc();
     // Defer-before-send against the destination's congestion window; a
     // window that stays closed for the attempt's whole timeout counts as
     // a timed-out attempt (the receiver is that congested).
     FlowSlot slot = caller.runtime().flow().Acquire(
-        to, Deadline(options.timeout, &caller.runtime().clock()));
+        to, effective == Micros::max() ? Deadline::Infinite(&clock)
+                                       : Deadline(effective, &clock));
     if (!slot.ok()) {
       last = Status(Code::kTimeout, "flow window closed for remote call");
       timeouts_counter->Inc();
       continue;
     }
+    // Stamp this attempt's budget onto the wire so the server sheds the
+    // request instead of executing it once we have stopped waiting.
+    const uint64_t budget_micros =
+        effective == Micros::max()
+            ? 0
+            : static_cast<uint64_t>(std::max<int64_t>(effective.count(), 1));
     auto sent = caller.SendFull(to, command, args, reply_port->name(),
-                                PortName{}, dedup_seq);
+                                PortName{}, dedup_seq, budget_micros);
     if (!sent.ok()) {
       // Local errors (type error, encode failure, node down) will not be
       // cured by retrying.
       caller.RetirePort(reply_port);
       return sent.status();
     }
-    auto received = caller.Receive(reply_port, options.timeout);
+    auto received = caller.Receive(reply_port, effective);
     if (!received.ok()) {
       last = received.status();  // timeout or node down
       if (received.status().code() == Code::kNodeDown) {

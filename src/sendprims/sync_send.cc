@@ -1,5 +1,7 @@
 #include "src/sendprims/sync_send.h"
 
+#include <algorithm>
+
 #include "src/guardian/node_runtime.h"
 #include "src/guardian/system.h"
 
@@ -11,7 +13,13 @@ Status SyncSend(Guardian& sender, const PortName& to,
   NodeRuntime& rt = sender.runtime();
   MetricsRegistry& metrics = rt.system().metrics();
   metrics.counter("sendprims.sync.calls")->Inc();
-  const Deadline deadline(timeout, &rt.clock());
+  // Micros::max() is explicitly infinite — constructing a Deadline from it
+  // would overflow Now() + timeout into the past and expire immediately,
+  // the exact expired-vs-unset confusion the 0-sentinel audit exists to
+  // remove.
+  const Deadline deadline = timeout == Micros::max()
+                                ? Deadline::Infinite(&rt.clock())
+                                : Deadline(timeout, &rt.clock());
   // Defer-before-send: claim a slot of the destination's congestion window
   // first. When the window is closed (or the destination is in a congested
   // hold after a full nack) the message waits here, at the sender, instead
@@ -25,10 +33,21 @@ Status SyncSend(Guardian& sender, const PortName& to,
   // under dup_prob a burst of duplicate/stale acks used to evict the real
   // ack from a hardcoded 4-slot buffer, turning a delivered message into a
   // spurious timeout + retry.
+  // Stamp the remaining budget onto the wire (§16): the receiver
+  // decrements it by observed network age and sheds the message instead
+  // of executing it once it is gone. A budget that is already spent here
+  // (the flow wait consumed it) is stamped as the 1µs floor rather than
+  // 0 — on the wire 0 means "no deadline", and an expired budget must
+  // never widen into an unbudgeted send.
+  uint64_t budget_micros = 0;
+  if (!deadline.IsInfinite()) {
+    budget_micros = static_cast<uint64_t>(
+        std::max<int64_t>(deadline.Remaining().count(), 1));
+  }
   Port* ack_port =
       sender.AddPort(AckPortType(), rt.system().config().sync_ack_capacity);
   auto sent = sender.SendFull(to, command, std::move(args), PortName{},
-                              ack_port->name(), dedup_seq);
+                              ack_port->name(), dedup_seq, budget_micros);
   if (!sent.ok()) {
     sender.RetirePort(ack_port);
     return sent.status();
@@ -45,6 +64,20 @@ Status SyncSend(Guardian& sender, const PortName& to,
       return received.status();
     }
     if (received->command == kFailureCommand) {
+      const bool expired_nack =
+          !received->args.empty() &&
+          received->args[0].is(TypeTag::kString) &&
+          received->args[0].string_value().rfind("deadline expired", 0) == 0;
+      if (expired_nack) {
+        // The receiver shed the message because our budget died in flight
+        // (or in its queue). That is a deadline outcome, not congestion:
+        // kTimeout, so ReliableSend books it against the overall deadline
+        // instead of fast-retrying into a window that has nothing to do
+        // with it.
+        metrics.counter("sendprims.sync.expired")->Inc();
+        sender.RetirePort(ack_port);
+        return Status(Code::kTimeout, received->args[0].string_value());
+      }
       // A full-port nack delivered to the ack port (flow control routes
       // the §3.4 failure here when the send carried an ack port): the
       // message was shed. Fail fast with kPortFull — no need to wait out

@@ -30,7 +30,7 @@ Result<Bytes> EncodeEnvelope(const Envelope& env, const WireLimits& limits) {
   // Fixed header fields total ~154 bytes (magic + ids + four 24-byte port
   // names + flow feedback); reserve them plus the command up front so the
   // header encodes with zero reallocations.
-  enc.Reserve(160 + env.command.size());
+  enc.Reserve(170 + env.command.size());
   enc.PutU8(kEnvelopeMagic);
   enc.PutU64(env.msg_id);
   enc.PutU64(env.trace_id);
@@ -44,6 +44,7 @@ Result<Bytes> EncodeEnvelope(const Envelope& env, const WireLimits& limits) {
   enc.PutU32(env.fc_depth);
   enc.PutU32(env.fc_capacity);
   enc.PutU8(env.fc_full ? 1 : 0);
+  enc.PutVarU64(env.deadline_micros);
   enc.PutString(env.command);
   enc.PutVarU64(env.args.size());
   for (const auto& arg : env.args) {
@@ -76,6 +77,7 @@ Result<Envelope> DecodeHeaderInto(WireDecoder& dec) {
   GUARDIANS_ASSIGN_OR_RETURN(env.fc_capacity, dec.GetU32());
   GUARDIANS_ASSIGN_OR_RETURN(uint8_t fc_full, dec.GetU8());
   env.fc_full = fc_full != 0;
+  GUARDIANS_ASSIGN_OR_RETURN(env.deadline_micros, dec.GetVarU64());
   GUARDIANS_ASSIGN_OR_RETURN(env.command, dec.GetString(4096));
   return env;
 }

@@ -42,6 +42,12 @@ struct Envelope {
   uint32_t fc_depth = 0;
   uint32_t fc_capacity = 0;
   bool fc_full = false;
+  // Remaining deadline budget in microseconds at the instant the envelope
+  // was handed to the network (DESIGN.md §16). 0 = no deadline. Always a
+  // *relative* budget, never an absolute timestamp: each hop decrements it
+  // by the elapsed time it observed on its own clock, so the field is
+  // meaningful across nodes with skewed or drifting clocks.
+  uint64_t deadline_micros = 0;
   std::string command;
   ValueList args;
 

@@ -1,5 +1,7 @@
 #include "src/wire/packet.h"
 
+#include <algorithm>
+
 #include "src/wire/crc32.h"
 
 namespace guardians {
@@ -45,7 +47,8 @@ Result<std::optional<BufferSlice>> Reassembler::Add(Packet&& packet) {
 }
 
 Result<std::optional<BufferSlice>> Reassembler::Add(Packet&& packet,
-                                                    TimePoint now) {
+                                                    TimePoint now,
+                                                    int64_t* age_micros_out) {
   if (expiry_.count() > 0 && now - last_sweep_ >= expiry_ / 4) {
     ExpireStale(now);
     last_sweep_ = now;
@@ -73,6 +76,9 @@ Result<std::optional<BufferSlice>> Reassembler::Add(Packet&& packet,
   }
   if (packet.frag_count == 1) {
     // Unfragmented: the payload slice passes straight through, zero-copy.
+    if (age_micros_out != nullptr) {
+      *age_micros_out = packet.age_micros;
+    }
     return std::optional<BufferSlice>(std::move(packet.payload));
   }
 
@@ -97,6 +103,13 @@ Result<std::optional<BufferSlice>> Reassembler::Add(Packet&& packet,
   if (!part.have[packet.frag_index]) {
     part.have[packet.frag_index] = 1;
     part.total_bytes += packet.payload.size();
+    // Project this fragment's send instant onto the local clock; the
+    // partial remembers the earliest so the completed message's age covers
+    // both network transit and the wait for sibling fragments.
+    const TimePoint frag_sent = now - Micros(packet.age_micros);
+    if (frag_sent < part.earliest_send) {
+      part.earliest_send = frag_sent;
+    }
     part.frags[packet.frag_index] = std::move(packet.payload);
     ++part.received;
   }
@@ -106,8 +119,22 @@ Result<std::optional<BufferSlice>> Reassembler::Add(Packet&& packet,
   // At most one gather: when every fragment is still an adjacent view of
   // the sender's encode buffer this is a zero-copy spanning slice.
   BufferSlice message = GatherSlices(part.frags, part.total_bytes);
+  if (age_micros_out != nullptr) {
+    *age_micros_out =
+        part.earliest_send == TimePoint::max()
+            ? packet.age_micros
+            : std::max<int64_t>(ToMicros(now - part.earliest_send), 0);
+  }
   partial_.erase(it);
   return std::optional<BufferSlice>(std::move(message));
+}
+
+void Reassembler::SweepExpired(TimePoint now) {
+  if (expiry_.count() == 0) {
+    return;
+  }
+  ExpireStale(now);
+  last_sweep_ = now;
 }
 
 void Reassembler::EvictOldestIfNeeded() {

@@ -45,6 +45,12 @@ struct Packet {
   // and sibling fragments intact.
   BufferSlice payload;
   uint32_t crc = 0;  // CRC over payload; the error detection bits
+  // Time this packet spent inside the network (queueing + link latency),
+  // stamped by the delivery worker at handoff. In-memory metadata, not
+  // wire-encoded: it is how the receiving node decrements the envelope's
+  // relative deadline budget (§16) without ever comparing absolute
+  // timestamps across skewed clocks.
+  int64_t age_micros = 0;
 
   // Recompute and store the CRC (after constructing / corrupting payload).
   void Seal();
@@ -98,14 +104,26 @@ class Reassembler {
   Result<std::optional<BufferSlice>> Add(Packet&& packet);
   // Same, with the caller supplying "now" — how NodeRuntime runs the age
   // sweep on the node's own (possibly simulated, possibly skewed) clock.
-  // The no-argument form uses the wall clock.
-  Result<std::optional<BufferSlice>> Add(Packet&& packet, TimePoint now);
+  // The no-argument form uses the wall clock. When a message completes and
+  // `age_micros_out` is non-null it receives the message's network age: for
+  // an unfragmented message the packet's own age, for a fragmented one the
+  // oldest fragment's send-to-completion span (its network age plus the
+  // time it waited in the partial for its siblings) — the amount a
+  // relative deadline budget must be decremented by at this hop.
+  Result<std::optional<BufferSlice>> Add(Packet&& packet, TimePoint now,
+                                         int64_t* age_micros_out = nullptr);
 
   size_t partial_count() const { return partial_.size(); }
   uint64_t corrupt_dropped() const { return corrupt_dropped_; }
   // Partials discarded by the age sweep / by a source's session change.
   uint64_t expired() const { return expired_; }
   uint64_t session_dropped() const { return session_dropped_; }
+
+  // Drop partials idle past the age horizon *now*, regardless of packet
+  // arrivals. Add() only sweeps when fed, so a link that goes idle after a
+  // lost fragment would otherwise pin its partials' payload bytes forever;
+  // quiescence barriers and reports call this to reclaim them.
+  void SweepExpired(TimePoint now);
 
  private:
   struct Key {
@@ -138,6 +156,10 @@ class Reassembler {
     uint64_t first_seen_seq = 0;
     TimePoint last_update{};  // refreshed per accepted fragment: a partial
                               // still making progress is not stale
+    // Earliest (arrival - network age) over accepted fragments: the send
+    // instant of the oldest fragment, projected onto this node's clock.
+    // now - earliest_send at completion is the message's total age.
+    TimePoint earliest_send = TimePoint::max();
   };
 
   void EvictOldestIfNeeded();

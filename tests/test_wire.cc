@@ -340,6 +340,26 @@ TEST(EnvelopeTest, FlowFeedbackFieldsRoundTrip) {
   EXPECT_FALSE(plain->fc_full);
 }
 
+TEST(EnvelopeTest, DeadlineBudgetRoundTrips) {
+  Envelope env = MakeEnvelope();
+  env.deadline_micros = 12'345;  // remaining budget, decremented per hop
+  auto bytes = EncodeEnvelope(env, DefaultLimits());
+  ASSERT_TRUE(bytes.ok());
+  auto back = DecodeEnvelope(*bytes, DefaultLimits(), nullptr);
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(back->deadline_micros, 12'345u);
+  // The budget lives in the header section (like the fc fields), so the
+  // shedding decision never needs a full arg decode.
+  auto header = DecodeEnvelopeHeader(*bytes, DefaultLimits());
+  ASSERT_TRUE(header.ok());
+  EXPECT_EQ(header->deadline_micros, 12'345u);
+  // 0 on the wire means "no deadline" and must survive a round trip as 0.
+  auto plain = DecodeEnvelope(*EncodeEnvelope(MakeEnvelope(), DefaultLimits()),
+                              DefaultLimits(), nullptr);
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(plain->deadline_micros, 0u);
+}
+
 TEST(EnvelopeTest, HeaderOnlyDecodeRecoversReplyPort) {
   const Envelope env = MakeEnvelope();
   auto bytes = EncodeEnvelope(env, DefaultLimits());
